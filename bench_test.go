@@ -1,0 +1,455 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per
+// table/figure, plus the ablations called out in DESIGN.md). Each
+// benchmark reports two kinds of numbers:
+//
+//   - "model_MB/s" metrics come from the calibrated WAN model in
+//     internal/bench and reproduce the corresponding figure's values;
+//   - the ordinary ns/op and MB/s columns come from pushing real bytes
+//     through the real driver stacks, so regressions in the
+//     implementation itself show up here.
+package netibis_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netibis/internal/bench"
+	"netibis/internal/core"
+	"netibis/internal/driver"
+	_ "netibis/internal/drivers"
+	"netibis/internal/drivers/tcpblk"
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+	"netibis/internal/relay"
+	"netibis/internal/workload"
+)
+
+// connFactory hands out matched connection pairs (an in-process LAN) to
+// the sending and receiving sides of a driver stack under benchmark.
+type connFactory struct {
+	fabric *emunet.Fabric
+	lst    *emunet.Listener
+	dialer *emunet.Host
+	mu     sync.Mutex
+}
+
+func newConnFactory(b *testing.B) *connFactory {
+	b.Helper()
+	f := emunet.NewFabric()
+	site := f.AddSite("bench", emunet.SiteConfig{})
+	sender := site.AddHost("sender")
+	receiver := site.AddHost("receiver")
+	l, err := receiver.Listen(9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cf := &connFactory{fabric: f, lst: l, dialer: sender}
+	b.Cleanup(f.Close)
+	return cf
+}
+
+func (cf *connFactory) env() (*driver.Env, *driver.Env) {
+	out := &driver.Env{Dial: func() (net.Conn, error) {
+		cf.mu.Lock()
+		defer cf.mu.Unlock()
+		return cf.dialer.Dial(emunet.Endpoint{Addr: cf.lst.Addr().(emunet.Endpoint).Addr, Port: 9000})
+	}}
+	in := &driver.Env{Accept: func() (net.Conn, error) { return cf.lst.Accept() }}
+	return out, in
+}
+
+// runStackTransfer pushes payload through the given stack once and
+// returns only after the receiver has drained it.
+func runStackTransfer(b *testing.B, stackSpec string, payload []byte) {
+	b.Helper()
+	stack, err := driver.ParseStack(stackSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cf := newConnFactory(b)
+	outEnv, inEnv := cf.env()
+
+	var in driver.Input
+	var inErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in, inErr = driver.BuildInput(stack, inEnv)
+	}()
+	out, err := driver.BuildOutput(stack, outEnv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	if inErr != nil {
+		b.Fatal(inErr)
+	}
+
+	recvDone := make(chan int64, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, in)
+		recvDone <- n
+	}()
+
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := out.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := out.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	out.Close()
+	if n := <-recvDone; n < int64(len(payload))*int64(b.N) {
+		b.Fatalf("receiver drained %d bytes, expected at least %d", n, int64(len(payload))*int64(b.N))
+	}
+	in.Close()
+}
+
+// --- Figures 9 and 10 --------------------------------------------------------------------
+
+func benchmarkFigure(b *testing.B, link bench.LinkSpec, methods []bench.MethodSpec, msgSize int64, stackFor func(bench.MethodSpec) string) {
+	comp := bench.MeasureCompression(workload.Grid, 4<<20)
+	payload := workload.Generate(workload.Grid, int(msgSize), 1)
+	for _, m := range methods {
+		b.Run(m.Name, func(b *testing.B) {
+			model := bench.MethodBandwidth(link, m, msgSize, comp)
+			b.ReportMetric(model/1e6, "model_MB/s")
+			b.ReportMetric(model/link.CapacityBps*100, "model_%cap")
+			runStackTransfer(b, stackFor(m), payload)
+		})
+	}
+}
+
+func stackForMethod(m bench.MethodSpec) string {
+	switch {
+	case m.Compress && m.Streams > 1:
+		return fmt.Sprintf("zip:level=1/multi:streams=%d/tcpblk", m.Streams)
+	case m.Compress:
+		return "zip:level=1/tcpblk"
+	case m.Streams > 1:
+		return fmt.Sprintf("multi:streams=%d/tcpblk", m.Streams)
+	default:
+		return "tcpblk"
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (Amsterdam–Rennes, 1.6 MB/s, 30 ms).
+func BenchmarkFig9(b *testing.B) {
+	methods := []bench.MethodSpec{bench.PlainTCP, bench.FourStreams, bench.Compression, bench.CompressionStreams}
+	benchmarkFigure(b, bench.AmsterdamRennes, methods, 4<<20, stackForMethod)
+}
+
+// BenchmarkFig10 regenerates Figure 10 (Delft–Sophia, 9 MB/s, 43 ms).
+func BenchmarkFig10(b *testing.B) {
+	methods := []bench.MethodSpec{bench.PlainTCP, bench.FourStreams, bench.EightStreams, bench.Compression, bench.CompressionStreams}
+	benchmarkFigure(b, bench.DelftSophia, methods, 1679616, stackForMethod)
+}
+
+// --- Section 4.1: LAN aggregation ----------------------------------------------------------
+
+// BenchmarkLANAggregation contrasts TCP_Block's user-space aggregation
+// with sending every small message as its own block, and reports the
+// modelled 100 Mbit/s LAN bandwidth for both.
+func BenchmarkLANAggregation(b *testing.B) {
+	rows := bench.LANAggregation()
+	for _, msgSize := range workload.SmallMessageSizes {
+		payload := workload.Generate(workload.Grid, int(msgSize), 1)
+		for _, aggregated := range []bool{true, false} {
+			name := fmt.Sprintf("msg=%d/aggregated=%v", msgSize, aggregated)
+			b.Run(name, func(b *testing.B) {
+				for _, r := range rows {
+					if r.MessageSize == msgSize && r.Aggregated == aggregated {
+						b.ReportMetric(r.BandwidthMBps, "model_MB/s")
+					}
+				}
+				cf := newConnFactory(b)
+				outEnv, inEnv := cf.env()
+				outConn, err := outEnv.Dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				inConn, err := inEnv.Accept()
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := tcpblk.NewOutput(outConn, tcpblk.DefaultBlockSize)
+				in := tcpblk.NewInput(inConn)
+				go io.Copy(io.Discard, in)
+
+				// One "operation" is 64 small application messages.
+				const batch = 64
+				b.SetBytes(int64(msgSize) * batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < batch; j++ {
+						if _, err := out.Write(payload); err != nil {
+							b.Fatal(err)
+						}
+						if !aggregated {
+							out.Flush()
+						}
+					}
+					out.Flush()
+				}
+				b.StopTimer()
+				out.Close()
+				in.Close()
+			})
+		}
+	}
+}
+
+// --- Table 1 / establishment ----------------------------------------------------------------
+
+// BenchmarkTable1Establishment measures the real establishment path of
+// each method of Table 1 on the emulated internetwork (the decision
+// itself plus the brokering and connection setup it entails).
+func BenchmarkTable1Establishment(b *testing.B) {
+	type scenario struct {
+		name   string
+		method estab.Method
+		cfgA   emunet.SiteConfig
+		cfgB   emunet.SiteConfig
+	}
+	scenarios := []scenario{
+		{"client-server", estab.ClientServer, emunet.SiteConfig{Firewall: emunet.Stateful}, emunet.SiteConfig{Firewall: emunet.Open}},
+		{"tcp-splicing", estab.Splicing, emunet.SiteConfig{Firewall: emunet.Stateful}, emunet.SiteConfig{Firewall: emunet.Stateful}},
+		{"tcp-proxy", estab.Proxy, emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}, emunet.SiteConfig{Firewall: emunet.Open}},
+		{"routed-messages", estab.Routed, emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}, emunet.SiteConfig{Firewall: emunet.Stateful}},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			f := emunet.NewFabric(emunet.WithSeed(23))
+			defer f.Close()
+			dep, err := core.NewDeployment(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			hostA := dep.AddSite("a", sc.cfgA).AddHost("a")
+			hostB := dep.AddSite("b", sc.cfgB).AddHost("b")
+			nodeA, err := core.Join(dep.NodeConfig(hostA, "bench", "a"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nodeA.Close()
+			nodeB, err := core.Join(dep.NodeConfig(hostB, "bench", "b"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nodeB.Close()
+
+			pt := ipl.PortType{Name: "estab", Stack: "tcpblk"}
+			rp, err := nodeB.CreateReceivePort(pt, "estab-inbox")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sc.method == estab.Proxy {
+				// Force the proxy path (client/server would win since
+				// the peer is open); this is the Table 1 row under test.
+				pt = ipl.PortType{Name: "estab", Stack: "tcpblk"}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp, err := nodeA.CreateSendPort(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sp.Connect(rp.ID()); err != nil {
+					b.Fatal(err)
+				}
+				methods := core.SendPortMethods(sp)
+				b.StopTimer()
+				for _, m := range methods {
+					if sc.method != estab.Proxy && m != sc.method {
+						b.Fatalf("expected %v, got %v", sc.method, m)
+					}
+				}
+				sp.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkEstablishmentDelay measures the full send-port connect path
+// (service link + brokering + data link + driver stack) between two
+// firewalled sites — the paper's "connection establishment delay"
+// property.
+func BenchmarkEstablishmentDelay(b *testing.B) {
+	f := emunet.NewFabric(emunet.WithSeed(29))
+	defer f.Close()
+	dep, err := core.NewDeployment(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dep.Close()
+	nodeA, err := core.Join(dep.NodeConfig(dep.AddSite("a", emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost("a"), "bench", "a"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := core.Join(dep.NodeConfig(dep.AddSite("b", emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost("b"), "bench", "b"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nodeB.Close()
+	pt := ipl.PortType{Name: "delay", Stack: "multi:streams=4/tcpblk"}
+	rp, err := nodeB.CreateReceivePort(pt, "delay-inbox")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := nodeA.CreateSendPort(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sp.Connect(rp.ID()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sp.Close()
+		b.StartTimer()
+	}
+}
+
+// --- Section 6: crossover, relay bottleneck, ablations ---------------------------------------
+
+// BenchmarkCompressionCrossover reports the link capacity above which
+// compression stops paying off (paper: ~6 MB/s).
+func BenchmarkCompressionCrossover(b *testing.B) {
+	var cross float64
+	for i := 0; i < b.N; i++ {
+		cross = bench.CrossoverCapacity(bench.Crossover())
+	}
+	b.ReportMetric(cross, "crossover_MB/s")
+}
+
+// BenchmarkRelayBottleneck compares direct spliced links with
+// relay-routed links for bulk data, demonstrating why routed messages
+// are reserved for bootstrap and service traffic (paper Section 3.4:
+// "the relay itself is likely to be a bottleneck").
+func BenchmarkRelayBottleneck(b *testing.B) {
+	payload := workload.Generate(workload.Grid, 256<<10, 3)
+
+	b.Run("direct", func(b *testing.B) {
+		runStackTransfer(b, "tcpblk", payload)
+	})
+
+	b.Run("via-relay", func(b *testing.B) {
+		f := emunet.NewFabric()
+		defer f.Close()
+		gw := f.AddSite("gw", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("gw")
+		l, err := gw.Listen(4500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := relay.NewServer()
+		go srv.Serve(l)
+		defer srv.Close()
+
+		attach := func(site, id string) *relay.Client {
+			h := f.AddSite(site, emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost(id)
+			conn, err := h.Dial(emunet.Endpoint{Addr: gw.Address(), Port: 4500})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := relay.Attach(conn, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return c
+		}
+		sender := attach("s1", "sender")
+		receiver := attach("s2", "receiver")
+		defer sender.Close()
+		defer receiver.Close()
+
+		go func() {
+			c, err := receiver.Accept()
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, c)
+		}()
+		conn, err := sender.Dial("receiver", 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := tcpblk.NewOutput(conn, tcpblk.DefaultBlockSize)
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := out.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := out.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		out.Close()
+	})
+}
+
+// BenchmarkStreamCountSweep is the parallel-stream ablation: real
+// transfers with 1..16 sub-streams plus the modelled WAN bandwidth.
+func BenchmarkStreamCountSweep(b *testing.B) {
+	rows := bench.StreamSweep(16)
+	payload := workload.Generate(workload.Grid, 1<<20, 1)
+	for _, r := range rows {
+		b.Run(fmt.Sprintf("streams=%d", r.Streams), func(b *testing.B) {
+			b.ReportMetric(r.BandwidthMBps, "model_MB/s")
+			stack := "tcpblk"
+			if r.Streams > 1 {
+				stack = fmt.Sprintf("multi:streams=%d/tcpblk", r.Streams)
+			}
+			runStackTransfer(b, stack, payload)
+		})
+	}
+}
+
+// BenchmarkZlibLevels is the compression-level ablation (Section 4.3):
+// real DEFLATE throughput and ratio per level plus the modelled
+// effective WAN bandwidth.
+func BenchmarkZlibLevels(b *testing.B) {
+	rows := bench.ZlibLevels()
+	payload := workload.Generate(workload.Grid, 1<<20, 1)
+	for _, r := range rows {
+		b.Run(fmt.Sprintf("level=%d", r.Level), func(b *testing.B) {
+			b.ReportMetric(r.Ratio, "ratio")
+			b.ReportMetric(r.EffectiveMBps, "model_MB/s")
+			runStackTransfer(b, fmt.Sprintf("zip:level=%d/tcpblk", r.Level), payload)
+		})
+	}
+}
+
+// BenchmarkQualitativeMatrix runs the full qualitative connectivity
+// experiment (every pair of site archetypes) once per iteration and
+// reports how many pairs connected and how many used native TCP.
+func BenchmarkQualitativeMatrix(b *testing.B) {
+	var entries []bench.MatrixEntry
+	var err error
+	for i := 0; i < b.N; i++ {
+		entries, err = bench.ConnectivityMatrix(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hist := bench.MethodHistogram(entries)
+	b.ReportMetric(float64(len(entries)), "pairs")
+	b.ReportMetric(float64(hist[estab.ClientServer]+hist[estab.Splicing]), "native_tcp_pairs")
+	if !bench.FullConnectivity(entries) {
+		b.Fatal("connectivity matrix incomplete")
+	}
+}

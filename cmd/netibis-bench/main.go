@@ -1,0 +1,141 @@
+// Command netibis-bench regenerates the tables and figures of the
+// paper's evaluation section from the NetIbis reproduction. Each
+// subcommand prints one experiment; "all" prints everything, in the
+// order the paper presents it.
+//
+// Usage:
+//
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|all]
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"netibis/internal/bench"
+)
+
+func main() {
+	cmd := "all"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	switch cmd {
+	case "table1":
+		table1()
+	case "fig9":
+		fig9()
+	case "fig10":
+		fig10()
+	case "lan":
+		lan()
+	case "crossover":
+		crossover()
+	case "matrix":
+		matrix()
+	case "delays":
+		delays()
+	case "streams":
+		streams()
+	case "zlib":
+		zlib()
+	case "all":
+		table1()
+		lan()
+		fig9()
+		fig10()
+		crossover()
+		streams()
+		zlib()
+		matrix()
+		delays()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib all")
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func table1() {
+	header("Table 1: connection establishment methods summary")
+	fmt.Print(bench.FormatTable1(bench.Table1()))
+}
+
+func fig9() {
+	header("Figure 9: bandwidth between Amsterdam and Rennes (1.6 MB/s, 30 ms)")
+	fmt.Print(bench.FormatRows(bench.Fig9()))
+}
+
+func fig10() {
+	header("Figure 10: bandwidth between Delft and Sophia (9 MB/s, 43 ms)")
+	fmt.Print(bench.FormatRows(bench.Fig10()))
+}
+
+func lan() {
+	header("Section 4.1: block aggregation on a 100 Mbit/s LAN")
+	for _, r := range bench.LANAggregation() {
+		mode := "per-message blocks"
+		if r.Aggregated {
+			mode = "aggregated + flush"
+		}
+		fmt.Printf("  %5d-byte messages, %-20s %6.2f MB/s\n", r.MessageSize, mode, r.BandwidthMBps)
+	}
+}
+
+func crossover() {
+	header("Section 6: compression crossover (capacity sweep: compression vs 4 plain streams)")
+	rows := bench.Crossover()
+	for _, r := range rows {
+		verdict := "compression hurts"
+		if r.CompressionHelps {
+			verdict = "compression helps"
+		}
+		fmt.Printf("  capacity %5.1f MB/s: without %5.2f MB/s, with %5.2f MB/s  (%s)\n",
+			r.CapacityMBps, r.WithoutMBps, r.WithMBps, verdict)
+	}
+	fmt.Printf("  -> compression stops helping above ~%.0f MB/s (paper: ~6 MB/s)\n", bench.CrossoverCapacity(rows))
+}
+
+func matrix() {
+	header("Section 6 (qualitative): connectivity matrix across site archetypes")
+	entries, err := bench.ConnectivityMatrix(nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "matrix failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatMatrix(entries))
+	fmt.Printf("full connectivity: %v, methods used: %v\n",
+		bench.FullConnectivity(entries), bench.MethodHistogram(entries))
+}
+
+func delays() {
+	header("Ablation: connection establishment delay per method")
+	rows, err := bench.EstablishmentDelays()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delays failed: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-18s %v\n", r.Method, r.Delay.Round(10*time.Microsecond))
+	}
+}
+
+func streams() {
+	header("Ablation: parallel stream count on the Delft-Sophia link")
+	for _, r := range bench.StreamSweep(16) {
+		fmt.Printf("  %2d streams: %5.2f MB/s (%3.0f%% of capacity)\n", r.Streams, r.BandwidthMBps, r.Utilization*100)
+	}
+}
+
+func zlib() {
+	header("Ablation: compression level (Section 4.3)")
+	for _, r := range bench.ZlibLevels() {
+		fmt.Printf("  level %d: ratio %4.2f, compressor %7.1f MB/s (this machine), effective on Amsterdam-Rennes %5.2f MB/s\n",
+			r.Level, r.Ratio, r.CompressMBps, r.EffectiveMBps)
+	}
+}

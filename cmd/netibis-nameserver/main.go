@@ -1,0 +1,41 @@
+// Command netibis-nameserver runs the Ibis Name Service (paper Section
+// 5) as a stand-alone daemon on a real TCP socket. Grid processes
+// register their contact information here and look up their peers to
+// bootstrap connectivity.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netibis/internal/nameservice"
+)
+
+func main() {
+	addr := flag.String("listen", ":4000", "TCP address to listen on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("netibis-nameserver: listen %s: %v", *addr, err)
+	}
+	srv := nameservice.NewServer()
+	log.Printf("netibis-nameserver: listening on %s", l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("netibis-nameserver: shutting down with %d records", len(srv.Snapshot()))
+		srv.Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Printf("netibis-nameserver: serve: %v", err)
+	}
+}

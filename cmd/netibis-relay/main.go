@@ -1,0 +1,43 @@
+// Command netibis-relay runs the routed-messages relay (paper Section
+// 3.3, Figure 3) as a stand-alone daemon on a real TCP socket, for
+// deployments where a gateway machine relays traffic for nodes that have
+// no other way to communicate.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netibis/internal/relay"
+)
+
+func main() {
+	addr := flag.String("listen", ":4500", "TCP address to listen on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("netibis-relay: listen %s: %v", *addr, err)
+	}
+	srv := relay.NewServer()
+	log.Printf("netibis-relay: listening on %s", l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		frames, bytes := srv.Stats()
+		log.Printf("netibis-relay: shutting down (%d frames, %d bytes routed, %d nodes attached)",
+			frames, bytes, len(srv.AttachedNodes()))
+		srv.Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Printf("netibis-relay: serve: %v", err)
+	}
+}

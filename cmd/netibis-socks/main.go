@@ -1,0 +1,52 @@
+// Command netibis-socks runs the SOCKS5 proxy (paper Section 3.3) as a
+// stand-alone daemon on a real TCP socket. It is the gateway proxy that
+// NetIbis nodes behind broken NAT implementations or strict firewalls
+// use for outgoing connections.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"netibis/internal/socks"
+)
+
+func main() {
+	addr := flag.String("listen", ":1080", "TCP address to listen on")
+	user := flag.String("user", "", "require this username (with -pass) for RFC 1929 authentication")
+	pass := flag.String("pass", "", "password matching -user")
+	flag.Parse()
+
+	var auth socks.Auth
+	if *user != "" {
+		auth = func(u, p string) bool { return u == *user && p == *pass }
+	}
+	dial := func(host string, port int) (net.Conn, error) {
+		return net.Dial("tcp", net.JoinHostPort(host, strconv.Itoa(port)))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("netibis-socks: listen %s: %v", *addr, err)
+	}
+	srv := socks.NewServer(dial, auth)
+	log.Printf("netibis-socks: listening on %s (auth: %v)", l.Addr(), auth != nil)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("netibis-socks: shutting down after %d proxied connections", srv.Connections())
+		srv.Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Printf("netibis-socks: serve: %v", err)
+	}
+}

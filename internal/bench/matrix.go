@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"netibis/internal/core"
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+)
+
+// SiteArchetype is one of the site kinds encountered in the paper's
+// testbed (Netherlands, France, Poland, Germany): open, firewalled,
+// firewalled with well-behaved NAT, firewalled with a broken NAT, and a
+// strictly firewalled private cluster.
+type SiteArchetype struct {
+	Name   string
+	Config emunet.SiteConfig
+}
+
+// Archetypes is the default site mix of the qualitative evaluation. It
+// mirrors the paper's testbed: one open site, two sites behind ordinary
+// stateful firewalls, one behind a standards-compliant NAT and one
+// behind a broken NAT implementation ("most of the sites are protected
+// by stateful firewalls, and some use NAT and private IP addresses").
+var Archetypes = []SiteArchetype{
+	{Name: "open", Config: emunet.SiteConfig{Firewall: emunet.Open}},
+	{Name: "firewalled-nl", Config: emunet.SiteConfig{Firewall: emunet.Stateful}},
+	{Name: "firewalled-fr", Config: emunet.SiteConfig{Firewall: emunet.Stateful}},
+	{Name: "nat", Config: emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.CompliantNAT}},
+	{Name: "broken-nat", Config: emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}},
+}
+
+// StrictArchetype is the additional "severe firewall" site kind of the
+// paper's Section 3.3 discussion: outgoing connections only through a
+// well-controlled proxy. It is not part of the default matrix (the
+// paper's testbed had none) but examples and extended experiments can
+// append it.
+var StrictArchetype = SiteArchetype{
+	Name:   "strict",
+	Config: emunet.SiteConfig{Firewall: emunet.Strict, PrivateAddresses: true},
+}
+
+// MatrixEntry is one ordered pair of the connectivity matrix.
+type MatrixEntry struct {
+	From, To string
+	Method   estab.Method
+	OK       bool
+	Err      string
+	// Delay is the wall-clock connection establishment delay (port
+	// creation to connected), one of the connection properties the
+	// paper discusses.
+	Delay time.Duration
+}
+
+// ConnectivityMatrix runs the paper's qualitative experiment on an
+// emulated grid: one NetIbis node per site archetype, and a data-link
+// connection attempt for every ordered pair of nodes, without opening
+// any firewall ports. It reports which establishment method each pair
+// ended up using.
+func ConnectivityMatrix(archetypes []SiteArchetype) ([]MatrixEntry, error) {
+	if len(archetypes) == 0 {
+		archetypes = Archetypes
+	}
+	f := emunet.NewFabric(emunet.WithSeed(17))
+	defer f.Close()
+	dep, err := core.NewDeployment(f)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+
+	nodes := make(map[string]*core.Node, len(archetypes))
+	ports := make(map[string]ipl.ReceivePort, len(archetypes))
+	pt := ipl.PortType{Name: "matrix", Stack: "tcpblk"}
+	for _, a := range archetypes {
+		site := dep.AddSite(a.Name, a.Config)
+		host := site.AddHost(a.Name + "-node")
+		cfg := dep.NodeConfig(host, "matrix", a.Name)
+		cfg.SpliceTimeout = 500 * time.Millisecond
+		cfg.AcceptTimeout = 5 * time.Second
+		n, err := core.Join(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("join %s: %w", a.Name, err)
+		}
+		defer n.Close()
+		nodes[a.Name] = n
+		rp, err := n.CreateReceivePort(pt, "inbox-"+a.Name)
+		if err != nil {
+			return nil, err
+		}
+		ports[a.Name] = rp
+	}
+
+	var entries []MatrixEntry
+	for _, from := range archetypes {
+		for _, to := range archetypes {
+			if from.Name == to.Name {
+				continue
+			}
+			entry := MatrixEntry{From: from.Name, To: to.Name}
+			sp, err := nodes[from.Name].CreateSendPort(pt)
+			if err != nil {
+				entry.Err = err.Error()
+				entries = append(entries, entry)
+				continue
+			}
+			start := time.Now()
+			err = sp.Connect(ports[to.Name].ID())
+			entry.Delay = time.Since(start)
+			if err != nil {
+				entry.Err = err.Error()
+				entries = append(entries, entry)
+				sp.Close()
+				continue
+			}
+			// Exchange one message to prove the link really works.
+			m, err := sp.NewMessage()
+			if err == nil {
+				m.WriteString("probe " + from.Name + "->" + to.Name)
+				err = m.Finish()
+			}
+			if err == nil {
+				msg, rerr := ports[to.Name].Receive()
+				if rerr == nil {
+					_, rerr = msg.ReadString()
+				}
+				err = rerr
+			}
+			if err != nil {
+				entry.Err = err.Error()
+			} else {
+				entry.OK = true
+				for _, method := range core.SendPortMethods(sp) {
+					entry.Method = method
+				}
+			}
+			sp.Close()
+			entries = append(entries, entry)
+		}
+	}
+	return entries, nil
+}
+
+// FullConnectivity reports whether every ordered pair connected.
+func FullConnectivity(entries []MatrixEntry) bool {
+	for _, e := range entries {
+		if !e.OK {
+			return false
+		}
+	}
+	return len(entries) > 0
+}
+
+// MethodHistogram counts how many pairs used each establishment method.
+func MethodHistogram(entries []MatrixEntry) map[estab.Method]int {
+	hist := make(map[estab.Method]int)
+	for _, e := range entries {
+		if e.OK {
+			hist[e.Method]++
+		}
+	}
+	return hist
+}
+
+// FormatMatrix renders the connectivity matrix as a text table.
+func FormatMatrix(entries []MatrixEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-18s %-8s %s\n", "from", "to", "method", "ok", "establish delay")
+	for _, e := range entries {
+		status := "yes"
+		if !e.OK {
+			status = "NO: " + e.Err
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %-18s %-8s %v\n", e.From, e.To, e.Method, status, e.Delay.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// EstablishmentDelayRow is one row of the per-method establishment-delay
+// ablation.
+type EstablishmentDelayRow struct {
+	Method estab.Method
+	Delay  time.Duration
+}
+
+// EstablishmentDelays measures the wall-clock establishment delay of
+// each method between two firewalled sites (forcing the method where the
+// decision tree would pick a different one), reproducing the paper's
+// discussion that brokered methods pay an extra negotiation phase.
+func EstablishmentDelays() ([]EstablishmentDelayRow, error) {
+	entries, err := ConnectivityMatrix(nil)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[estab.Method]time.Duration)
+	for _, e := range entries {
+		if !e.OK {
+			continue
+		}
+		if cur, ok := best[e.Method]; !ok || e.Delay < cur {
+			best[e.Method] = e.Delay
+		}
+	}
+	var rows []EstablishmentDelayRow
+	for _, m := range []estab.Method{estab.ClientServer, estab.Splicing, estab.Proxy, estab.Routed} {
+		if d, ok := best[m]; ok {
+			rows = append(rows, EstablishmentDelayRow{Method: m, Delay: d})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"netibis/internal/emunet"
+	"netibis/internal/nameservice"
+	"netibis/internal/relay"
+	"netibis/internal/socks"
+)
+
+// Well-known gateway ports used by Deployment.
+const (
+	RegistryPort = 4000
+	RelayPort    = 4500
+	SocksPort    = 1080
+)
+
+// Deployment bundles the shared grid infrastructure of a NetIbis run on
+// an emulated internetwork: a public gateway site hosting the Ibis Name
+// Service, the routed-messages relay and a SOCKS proxy. Examples, tests
+// and benchmarks build their multi-site worlds around one Deployment.
+type Deployment struct {
+	Fabric  *emunet.Fabric
+	Gateway *emunet.Host
+
+	Registry *nameservice.Server
+	Relay    *relay.Server
+	Socks    *socks.Server
+}
+
+// NewDeployment creates the gateway site and starts the three shared
+// services on it.
+func NewDeployment(f *emunet.Fabric) (*Deployment, error) {
+	gwSite := f.AddSite("gateway", emunet.SiteConfig{Firewall: emunet.Open})
+	gw := gwSite.AddHost("gateway")
+
+	d := &Deployment{Fabric: f, Gateway: gw}
+
+	regL, err := gw.Listen(RegistryPort)
+	if err != nil {
+		return nil, fmt.Errorf("deployment: registry listener: %w", err)
+	}
+	d.Registry = nameservice.NewServer()
+	go d.Registry.Serve(regL)
+
+	relL, err := gw.Listen(RelayPort)
+	if err != nil {
+		return nil, fmt.Errorf("deployment: relay listener: %w", err)
+	}
+	d.Relay = relay.NewServer()
+	go d.Relay.Serve(relL)
+
+	socksL, err := gw.Listen(SocksPort)
+	if err != nil {
+		return nil, fmt.Errorf("deployment: socks listener: %w", err)
+	}
+	d.Socks = socks.NewServer(func(host string, port int) (net.Conn, error) {
+		return gw.Dial(emunet.Endpoint{Addr: emunet.Address(host), Port: port})
+	}, nil)
+	go d.Socks.Serve(socksL)
+
+	return d, nil
+}
+
+// RegistryEndpoint returns the name service endpoint.
+func (d *Deployment) RegistryEndpoint() emunet.Endpoint {
+	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RegistryPort}
+}
+
+// RelayEndpoint returns the relay endpoint.
+func (d *Deployment) RelayEndpoint() emunet.Endpoint {
+	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RelayPort}
+}
+
+// SocksEndpoint returns the SOCKS proxy endpoint.
+func (d *Deployment) SocksEndpoint() emunet.Endpoint {
+	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: SocksPort}
+}
+
+// NodeConfig returns a ready-to-use Config for an instance on the given
+// host. Sites whose NAT or firewall defeats splicing get the gateway's
+// SOCKS proxy configured automatically, mirroring how the paper's
+// deployments fell back to site proxies.
+func (d *Deployment) NodeConfig(host *emunet.Host, pool, name string) Config {
+	cfg := Config{
+		Name:     name,
+		Pool:     pool,
+		Host:     host,
+		Registry: d.RegistryEndpoint(),
+		Relay:    d.RelayEndpoint(),
+	}
+	topo := host.Topology()
+	if topo.NAT == emunet.BrokenNAT || topo.StrictFirewall {
+		cfg.Proxy = d.SocksEndpoint()
+	}
+	return cfg
+}
+
+// AddSite is a convenience wrapper that creates a site and, for strict
+// firewalls, whitelists the gateway so the site can still reach the
+// shared services.
+func (d *Deployment) AddSite(name string, cfg emunet.SiteConfig) *emunet.Site {
+	if cfg.Firewall == emunet.Strict {
+		cfg.AllowedEgress = append(cfg.AllowedEgress, d.Gateway.Address())
+	}
+	return d.Fabric.AddSite(name, cfg)
+}
+
+// Close stops the shared services.
+func (d *Deployment) Close() {
+	d.Registry.Close()
+	d.Relay.Close()
+	d.Socks.Close()
+}

@@ -1,0 +1,562 @@
+// Package core is the NetIbis integration layer: the implementation of
+// the Ibis Portability Layer that ties together connection establishment
+// (package estab), link utilization driver stacks (package driver and
+// the drivers beneath internal/drivers), the routed-messages relay, the
+// SOCKS proxy client, TLS security and the Ibis Name Service.
+//
+// A process joins a pool by creating a Node. The node:
+//
+//   - bootstraps a connection to the Ibis Name Service and registers
+//     itself,
+//   - attaches to the routed-messages relay, which gives it a service
+//     path to every other node regardless of firewalls and NAT
+//     (paper Figure 7: "service links are routed through the relay"),
+//   - creates send and receive ports on demand; connecting a send port
+//     to a receive port negotiates a data link over the service link,
+//     picking the best establishment method the topology allows (TCP
+//     client/server, TCP splicing, SOCKS proxy or routed messages) and
+//     then builds the configured driver stack (block aggregation,
+//     parallel streams, compression, TLS) on top of it.
+//
+// Establishment and utilization remain orthogonal throughout: any driver
+// stack runs over any establishment method, which is the paper's central
+// claim.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netibis/internal/driver"
+	_ "netibis/internal/drivers" // install the built-in link utilization drivers
+	"netibis/internal/drivers/secure"
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+	"netibis/internal/nameservice"
+	"netibis/internal/relay"
+	"netibis/internal/socks"
+	"netibis/internal/wire"
+)
+
+// Purpose header values stamped on relay-routed connections between
+// nodes, so the receiving node's dispatcher knows what arrived.
+const (
+	purposeService byte = 1
+	purposeData    byte = 2
+)
+
+// Service-link operation codes (frame flags on wire.KindControl frames).
+const (
+	opConnect    byte = 1
+	opConnectOK  byte = 2
+	opConnectErr byte = 3
+	opPing       byte = 4
+	opPong       byte = 5
+)
+
+// Registry key prefixes.
+const (
+	nodeKeyPrefix = "node/"
+	portKeyPrefix = "port/"
+)
+
+// Errors.
+var (
+	// ErrClosed is returned by operations on a closed node.
+	ErrClosed = errors.New("core: node closed")
+	// ErrPeerUnavailable is returned when the peer node cannot be
+	// reached over any service path.
+	ErrPeerUnavailable = errors.New("core: peer unavailable")
+	// ErrConnectRejected is returned when the peer refuses a data link
+	// (unknown port, incompatible port type).
+	ErrConnectRejected = errors.New("core: connection rejected by peer")
+)
+
+// Config describes one NetIbis instance.
+type Config struct {
+	// Name is the instance's unique name within the pool.
+	Name string
+	// Pool is the application run all collaborating instances join.
+	Pool string
+	// Host is the machine the instance runs on.
+	Host *emunet.Host
+	// Registry is the Ibis Name Service endpoint (on a publicly
+	// reachable gateway).
+	Registry emunet.Endpoint
+	// Relay is the routed-messages relay endpoint (on a publicly
+	// reachable gateway).
+	Relay emunet.Endpoint
+	// Proxy is an optional SOCKS proxy usable by this instance.
+	Proxy emunet.Endpoint
+	// ProxyCreds are optional SOCKS credentials.
+	ProxyCreds *socks.Credentials
+	// Identity is the TLS identity used for port types with Secure set.
+	Identity *secure.Identity
+	// DefaultStack is the driver stack used by port types that do not
+	// name one ("tcpblk" if empty).
+	DefaultStack string
+	// SpliceTimeout / AcceptTimeout tune establishment; zero means the
+	// estab package defaults.
+	SpliceTimeout time.Duration
+	AcceptTimeout time.Duration
+}
+
+func (c Config) validate() error {
+	if c.Name == "" {
+		return errors.New("core: config needs a Name")
+	}
+	if c.Pool == "" {
+		return errors.New("core: config needs a Pool")
+	}
+	if c.Host == nil {
+		return errors.New("core: config needs a Host")
+	}
+	if c.Registry.IsZero() {
+		return errors.New("core: config needs a Registry endpoint")
+	}
+	if c.Relay.IsZero() {
+		return errors.New("core: config needs a Relay endpoint")
+	}
+	return nil
+}
+
+// Node is one NetIbis instance.
+type Node struct {
+	cfg       Config
+	id        ipl.Identifier
+	registry  *nameservice.Client
+	relayCli  *relay.Client
+	connector *estab.Connector
+
+	mu           sync.Mutex
+	serviceLinks map[string]*serviceLink
+	recvPorts    map[string]*receivePort
+	pendingData  map[string]chan net.Conn
+	closed       bool
+	done         chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// serviceLink is an outgoing service path to one peer, used to broker
+// data links. Requests over one service link are serialised.
+type serviceLink struct {
+	mu   sync.Mutex
+	peer string
+	conn net.Conn
+	r    *wire.Reader
+	w    *wire.Writer
+}
+
+// Join creates a NetIbis instance: it contacts the registry, attaches to
+// the relay and announces itself, after which peers can connect to its
+// receive ports.
+func Join(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Bootstrap link to the registry: an ordinary outgoing dial to a
+	// public gateway, which works from every topology.
+	regConn, err := cfg.Host.Dial(cfg.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap to registry: %w", err)
+	}
+	registry := nameservice.NewClient(regConn)
+
+	// Attach to the routed-messages relay under the node name; this is
+	// the service path that works regardless of firewalls and NAT.
+	relayConn, err := cfg.Host.Dial(cfg.Relay)
+	if err != nil {
+		registry.Close()
+		return nil, fmt.Errorf("core: bootstrap to relay: %w", err)
+	}
+	relayCli, err := relay.Attach(relayConn, cfg.Pool+"/"+cfg.Name)
+	if err != nil {
+		registry.Close()
+		return nil, fmt.Errorf("core: attach to relay: %w", err)
+	}
+
+	n := &Node{
+		cfg:          cfg,
+		id:           ipl.Identifier{Name: cfg.Name, Pool: cfg.Pool},
+		registry:     registry,
+		relayCli:     relayCli,
+		serviceLinks: make(map[string]*serviceLink),
+		recvPorts:    make(map[string]*receivePort),
+		pendingData:  make(map[string]chan net.Conn),
+		done:         make(chan struct{}),
+	}
+	n.connector = &estab.Connector{
+		Host:          cfg.Host,
+		Relay:         relayCli,
+		ProxyAddr:     cfg.Proxy,
+		ProxyCreds:    cfg.ProxyCreds,
+		SpliceTimeout: cfg.SpliceTimeout,
+		AcceptTimeout: cfg.AcceptTimeout,
+		AcceptRouted:  n.acceptRoutedData,
+		DialRouted:    n.dialRoutedData,
+	}
+
+	// Register the instance so that peers (and monitoring tools) can
+	// discover it.
+	if err := registry.Register(n.nodeKey(cfg.Name), []byte(n.relayID())); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("core: register node: %w", err)
+	}
+
+	n.wg.Add(1)
+	go n.dispatcher()
+	return n, nil
+}
+
+// Identifier returns the node's location-independent Ibis identifier.
+func (n *Node) Identifier() ipl.Identifier { return n.id }
+
+// Registry exposes the node's name service client (for elections and
+// application-level registrations).
+func (n *Node) Registry() *nameservice.Client { return n.registry }
+
+// Profile returns the node's connectivity profile, as used by the
+// establishment decision tree.
+func (n *Node) Profile() estab.Profile { return n.connector.Profile() }
+
+// relayID is the node's identity at the relay.
+func (n *Node) relayID() string { return n.cfg.Pool + "/" + n.cfg.Name }
+
+func (n *Node) nodeKey(name string) string {
+	return n.cfg.Pool + "/" + nodeKeyPrefix + name
+}
+
+func (n *Node) portKey(port string) string {
+	return n.cfg.Pool + "/" + portKeyPrefix + port
+}
+
+// WaitForNode blocks until the named instance has joined the pool.
+func (n *Node) WaitForNode(name string, timeout time.Duration) error {
+	_, err := n.registry.Lookup(n.nodeKey(name), timeout)
+	return err
+}
+
+// Close tears the node down: ports are closed, the relay attachment and
+// registry connection are released.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	ports := make([]*receivePort, 0, len(n.recvPorts))
+	for _, rp := range n.recvPorts {
+		ports = append(ports, rp)
+	}
+	links := make([]*serviceLink, 0, len(n.serviceLinks))
+	for _, sl := range n.serviceLinks {
+		links = append(links, sl)
+	}
+	n.mu.Unlock()
+
+	for _, rp := range ports {
+		rp.Close()
+	}
+	for _, sl := range links {
+		sl.conn.Close()
+	}
+	n.registry.Unregister(n.nodeKey(n.cfg.Name))
+	n.relayCli.Close()
+	n.registry.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// --- dispatcher: incoming routed connections ------------------------------------------
+
+// dispatcher accepts relay-routed connections from peers and hands them
+// to the right consumer: service links get a handler goroutine, routed
+// data links are delivered to the establishment waiting for them.
+func (n *Node) dispatcher() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.relayCli.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func(conn net.Conn) {
+			defer n.wg.Done()
+			n.dispatch(conn)
+		}(conn)
+	}
+}
+
+// dispatch reads the purpose header of one incoming routed connection.
+func (n *Node) dispatch(conn net.Conn) {
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil || f.Kind != wire.KindControl {
+		conn.Close()
+		return
+	}
+	d := wire.NewDecoder(f.Payload)
+	peer := d.String()
+	if d.Err() != nil {
+		conn.Close()
+		return
+	}
+	switch f.Flags {
+	case purposeService:
+		n.serveServiceLink(conn, peer)
+	case purposeData:
+		n.deliverRoutedData(peer, conn)
+	default:
+		conn.Close()
+	}
+}
+
+// pendingDataChan returns (creating if needed) the hand-off channel for
+// routed data links from the given peer.
+func (n *Node) pendingDataChan(peer string) chan net.Conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.pendingData[peer]
+	if !ok {
+		ch = make(chan net.Conn, 8)
+		n.pendingData[peer] = ch
+	}
+	return ch
+}
+
+func (n *Node) deliverRoutedData(peer string, conn net.Conn) {
+	select {
+	case n.pendingDataChan(peer) <- conn:
+	default:
+		// Nobody is waiting and the buffer is full: drop the link.
+		conn.Close()
+	}
+}
+
+// acceptRoutedData is the estab.Connector hook used on the accepting
+// side of a routed data-link establishment.
+func (n *Node) acceptRoutedData(peerID string, timeout time.Duration) (net.Conn, error) {
+	select {
+	case conn := <-n.pendingDataChan(peerID):
+		return conn, nil
+	case <-n.done:
+		return nil, ErrClosed
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("core: timed out waiting for routed data link from %s", peerID)
+	}
+}
+
+// dialRoutedData is the estab.Connector hook used on the initiating side
+// of a routed data-link establishment: it opens the relay link and
+// stamps it with the data purpose header.
+func (n *Node) dialRoutedData(peerID string, timeout time.Duration) (net.Conn, error) {
+	conn, err := n.relayCli.Dial(peerID, timeout)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(conn)
+	if err := w.WriteFrame(wire.KindControl, purposeData, wire.AppendString(nil, n.relayID())); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// --- service links -------------------------------------------------------------------
+
+// serviceLinkTo returns (creating if needed) the service link to a peer
+// node. Service links are routed through the relay, so they exist in
+// every topology; their modest performance does not matter because they
+// only carry brokering traffic.
+func (n *Node) serviceLinkTo(peerName string) (*serviceLink, error) {
+	peerID := n.cfg.Pool + "/" + peerName
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sl, ok := n.serviceLinks[peerName]; ok {
+		n.mu.Unlock()
+		return sl, nil
+	}
+	n.mu.Unlock()
+
+	conn, err := n.relayCli.Dial(peerID, n.acceptTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, err)
+	}
+	w := wire.NewWriter(conn)
+	if err := w.WriteFrame(wire.KindControl, purposeService, wire.AppendString(nil, n.relayID())); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sl := &serviceLink{peer: peerName, conn: conn, r: wire.NewReader(conn), w: w}
+
+	n.mu.Lock()
+	if existing, ok := n.serviceLinks[peerName]; ok {
+		// Lost the race against a concurrent creator; keep the first.
+		n.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	n.serviceLinks[peerName] = sl
+	n.mu.Unlock()
+	return sl, nil
+}
+
+func (n *Node) acceptTimeout() time.Duration {
+	if n.cfg.AcceptTimeout > 0 {
+		return n.cfg.AcceptTimeout
+	}
+	return estab.DefaultAcceptTimeout
+}
+
+// Ping measures the round-trip time to a peer over the (relay-routed)
+// service link; it doubles as a liveness check.
+func (n *Node) Ping(peerName string) (time.Duration, error) {
+	sl, err := n.serviceLinkTo(peerName)
+	if err != nil {
+		return 0, err
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	start := time.Now()
+	if err := sl.w.WriteFrame(wire.KindControl, opPing, nil); err != nil {
+		return 0, err
+	}
+	for {
+		f, err := sl.r.ReadFrame()
+		if err != nil {
+			return 0, err
+		}
+		if f.Kind == wire.KindControl && f.Flags == opPong {
+			return time.Since(start), nil
+		}
+	}
+}
+
+// serveServiceLink handles requests arriving on a service link created
+// by a peer.
+func (n *Node) serveServiceLink(conn net.Conn, peerID string) {
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		if f.Kind != wire.KindControl {
+			continue
+		}
+		switch f.Flags {
+		case opPing:
+			if err := w.WriteFrame(wire.KindControl, opPong, nil); err != nil {
+				return
+			}
+		case opConnect:
+			if err := n.handleConnect(conn, r, w, f.Payload); err != nil {
+				return
+			}
+		case opConnectErr, opConnectOK, opPong:
+			// Stray responses; ignore.
+		default:
+			// Unknown request; ignore to stay forward compatible.
+		}
+	}
+}
+
+// connectRequest is the decoded form of an opConnect payload.
+type connectRequest struct {
+	portName string
+	portType ipl.PortType
+	sender   ipl.Identifier
+}
+
+func encodeConnectRequest(req connectRequest) []byte {
+	var b []byte
+	b = wire.AppendString(b, req.portName)
+	b = wire.AppendString(b, req.portType.Name)
+	b = wire.AppendString(b, req.portType.Stack)
+	secureFlag := byte(0)
+	if req.portType.Secure {
+		secureFlag = 1
+	}
+	b = append(b, secureFlag)
+	b = wire.AppendString(b, req.sender.Name)
+	b = wire.AppendString(b, req.sender.Pool)
+	return b
+}
+
+func decodeConnectRequest(p []byte) (connectRequest, error) {
+	d := wire.NewDecoder(p)
+	var req connectRequest
+	req.portName = d.String()
+	req.portType.Name = d.String()
+	req.portType.Stack = d.String()
+	req.portType.Secure = d.Byte() != 0
+	req.sender.Name = d.String()
+	req.sender.Pool = d.String()
+	if d.Err() != nil {
+		return connectRequest{}, d.Err()
+	}
+	return req, nil
+}
+
+// handleConnect processes one data-link establishment request on the
+// accepting side: validate the target port, acknowledge, then establish
+// as many connections as the driver stack needs and build its input
+// side.
+func (n *Node) handleConnect(conn net.Conn, r *wire.Reader, w *wire.Writer, payload []byte) error {
+	req, err := decodeConnectRequest(payload)
+	if err != nil {
+		return w.WriteFrame(wire.KindControl, opConnectErr, wire.AppendString(nil, "malformed connect request"))
+	}
+	n.mu.Lock()
+	rp := n.recvPorts[req.portName]
+	n.mu.Unlock()
+	if rp == nil {
+		return w.WriteFrame(wire.KindControl, opConnectErr, wire.AppendString(nil, ipl.ErrNoSuchPort.Error()))
+	}
+	if !rp.portType.Compatible(req.portType) {
+		return w.WriteFrame(wire.KindControl, opConnectErr, wire.AppendString(nil, ipl.ErrIncompatiblePortTypes.Error()))
+	}
+	stack, err := rp.portType.ParseStack()
+	if err != nil {
+		return w.WriteFrame(wire.KindControl, opConnectErr, wire.AppendString(nil, err.Error()))
+	}
+	if err := w.WriteFrame(wire.KindControl, opConnectOK, nil); err != nil {
+		return err
+	}
+
+	// Build the input side of the driver stack; every Accept call runs
+	// one brokered establishment over this same service link, mirroring
+	// the Dial calls the initiator makes.
+	env := &driver.Env{
+		Accept: func() (net.Conn, error) {
+			dataConn, _, err := n.connector.EstablishAcceptor(conn)
+			if err != nil {
+				return nil, err
+			}
+			if rp.portType.Secure {
+				return secure.WrapServer(dataConn, n.cfg.Identity)
+			}
+			return dataConn, nil
+		},
+	}
+	input, err := driver.BuildInput(stack, env)
+	if err != nil {
+		// The initiator will observe the failure through its own
+		// establishment errors; nothing more we can do here.
+		return nil
+	}
+	rp.addSource(req.sender, input)
+	return nil
+}

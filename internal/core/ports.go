@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netibis/internal/driver"
+	"netibis/internal/drivers/secure"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+	"netibis/internal/wire"
+)
+
+// CreateSendPort creates a sending endpoint of the given port type.
+func (n *Node) CreateSendPort(pt ipl.PortType) (ipl.SendPort, error) {
+	if pt.Stack == "" {
+		pt.Stack = n.cfg.DefaultStack
+	}
+	if _, err := pt.ParseStack(); err != nil {
+		return nil, err
+	}
+	return &sendPort{node: n, portType: pt, links: make(map[string]*outLink)}, nil
+}
+
+// CreateReceivePort creates a receiving endpoint with the given name and
+// registers it with the Ibis Name Service so peers can locate it.
+func (n *Node) CreateReceivePort(pt ipl.PortType, name string) (ipl.ReceivePort, error) {
+	if pt.Stack == "" {
+		pt.Stack = n.cfg.DefaultStack
+	}
+	if _, err := pt.ParseStack(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := n.recvPorts[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("core: receive port %q already exists", name)
+	}
+	rp := &receivePort{
+		node:     n,
+		name:     name,
+		portType: pt,
+		messages: make(chan *ipl.ReadMessage, 64),
+		done:     make(chan struct{}),
+		sources:  make(map[*inSource]struct{}),
+	}
+	n.recvPorts[name] = rp
+	n.mu.Unlock()
+
+	// Advertise the port in the registry so senders can find its owner
+	// with LocateReceivePort.
+	if err := n.registry.Register(n.portKey(name), []byte(n.cfg.Name)); err != nil {
+		n.mu.Lock()
+		delete(n.recvPorts, name)
+		n.mu.Unlock()
+		return nil, err
+	}
+	return rp, nil
+}
+
+// LocateReceivePort finds which instance owns the named receive port,
+// waiting up to timeout for it to be created (the usual bootstrap
+// pattern: workers locate the master's port before it exists).
+func (n *Node) LocateReceivePort(name string, timeout time.Duration) (ipl.PortID, error) {
+	val, err := n.registry.Lookup(n.portKey(name), timeout)
+	if err != nil {
+		return ipl.PortID{}, err
+	}
+	return ipl.PortID{
+		Owner: ipl.Identifier{Name: string(val), Pool: n.cfg.Pool},
+		Port:  name,
+	}, nil
+}
+
+// --- send port ----------------------------------------------------------------------
+
+// outLink is one established message channel from a send port to a
+// receive port.
+type outLink struct {
+	to     ipl.PortID
+	out    driver.Output
+	method estab.Method
+}
+
+// sendPort implements ipl.SendPort.
+type sendPort struct {
+	node     *Node
+	portType ipl.PortType
+
+	mu        sync.Mutex
+	links     map[string]*outLink // keyed by PortID.String()
+	msgActive bool
+	closed    bool
+
+	// Stats.
+	messagesSent int64
+	bytesSent    int64
+}
+
+// Type implements ipl.SendPort.
+func (sp *sendPort) Type() ipl.PortType { return sp.portType }
+
+// ConnectedTo implements ipl.SendPort.
+func (sp *sendPort) ConnectedTo() []ipl.PortID {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make([]ipl.PortID, 0, len(sp.links))
+	for _, l := range sp.links {
+		out = append(out, l.to)
+	}
+	return out
+}
+
+// Connect implements ipl.SendPort: it brokers a data link to the remote
+// receive port over the service link and builds the driver stack on it.
+func (sp *sendPort) Connect(to ipl.PortID) error {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return ipl.ErrClosed
+	}
+	if _, dup := sp.links[to.String()]; dup {
+		sp.mu.Unlock()
+		return nil // already connected; Connect is idempotent
+	}
+	sp.mu.Unlock()
+
+	n := sp.node
+	sl, err := n.serviceLinkTo(to.Owner.Name)
+	if err != nil {
+		return err
+	}
+
+	// The whole brokering conversation for this connect owns the service
+	// link exclusively.
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+
+	req := connectRequest{portName: to.Port, portType: sp.portType, sender: n.id}
+	if err := sl.w.WriteFrame(wire.KindControl, opConnect, encodeConnectRequest(req)); err != nil {
+		return err
+	}
+	// Wait for the accept/reject verdict.
+	for {
+		f, err := sl.r.ReadFrame()
+		if err != nil {
+			return err
+		}
+		if f.Kind != wire.KindControl {
+			continue
+		}
+		if f.Flags == opConnectErr {
+			d := wire.NewDecoder(f.Payload)
+			return fmt.Errorf("%w: %s", ErrConnectRejected, d.String())
+		}
+		if f.Flags == opConnectOK {
+			break
+		}
+	}
+
+	stack, err := sp.portType.ParseStack()
+	if err != nil {
+		return err
+	}
+	var usedMethod estab.Method
+	env := &driver.Env{
+		Dial: func() (net.Conn, error) {
+			dataConn, method, err := n.connector.EstablishInitiator(sl.conn)
+			if err != nil {
+				return nil, err
+			}
+			usedMethod = method
+			if sp.portType.Secure {
+				return secure.WrapClient(dataConn, n.cfg.Identity, to.Owner.Name)
+			}
+			return dataConn, nil
+		},
+	}
+	out, err := driver.BuildOutput(stack, env)
+	if err != nil {
+		return err
+	}
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		out.Close()
+		return ipl.ErrClosed
+	}
+	sp.links[to.String()] = &outLink{to: to, out: out, method: usedMethod}
+	return nil
+}
+
+// Disconnect implements ipl.SendPort.
+func (sp *sendPort) Disconnect(to ipl.PortID) error {
+	sp.mu.Lock()
+	l, ok := sp.links[to.String()]
+	delete(sp.links, to.String())
+	sp.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return l.out.Close()
+}
+
+// SendPortMethods reports which establishment method each link of a
+// send port created by this package uses, keyed by the remote PortID
+// string. It returns nil for foreign SendPort implementations. The
+// evaluation harness and the examples use it to report how connectivity
+// was achieved.
+func SendPortMethods(sp ipl.SendPort) map[string]estab.Method {
+	if p, ok := sp.(*sendPort); ok {
+		return p.Methods()
+	}
+	return nil
+}
+
+// Methods reports which establishment method each connected link uses
+// (exposed for the evaluation and the examples' reporting).
+func (sp *sendPort) Methods() map[string]estab.Method {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make(map[string]estab.Method, len(sp.links))
+	for k, l := range sp.links {
+		out[k] = l.method
+	}
+	return out
+}
+
+// NewMessage implements ipl.SendPort.
+func (sp *sendPort) NewMessage() (*ipl.WriteMessage, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return nil, ipl.ErrClosed
+	}
+	if sp.msgActive {
+		return nil, ipl.ErrMessageActive
+	}
+	sp.msgActive = true
+	return ipl.NewWriteMessage(sp, func() {
+		sp.mu.Lock()
+		sp.msgActive = false
+		sp.mu.Unlock()
+	}), nil
+}
+
+// Deliver implements ipl.MessageSink: the finished message is framed and
+// pushed down every connected link.
+func (sp *sendPort) Deliver(payload []byte) error {
+	sp.mu.Lock()
+	links := make([]*outLink, 0, len(sp.links))
+	for _, l := range sp.links {
+		links = append(links, l)
+	}
+	sp.messagesSent++
+	sp.bytesSent += int64(len(payload))
+	sp.mu.Unlock()
+
+	var hdr []byte
+	hdr = wire.AppendUvarint(hdr, uint64(len(payload)))
+	var first error
+	for _, l := range links {
+		if _, err := l.out.Write(hdr); err != nil && first == nil {
+			first = err
+			continue
+		}
+		if _, err := l.out.Write(payload); err != nil && first == nil {
+			first = err
+			continue
+		}
+		if err := l.out.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats reports messages and payload bytes sent.
+func (sp *sendPort) Stats() (messages, bytes int64) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.messagesSent, sp.bytesSent
+}
+
+// Close implements ipl.SendPort.
+func (sp *sendPort) Close() error {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return nil
+	}
+	sp.closed = true
+	links := make([]*outLink, 0, len(sp.links))
+	for _, l := range sp.links {
+		links = append(links, l)
+	}
+	sp.links = make(map[string]*outLink)
+	sp.mu.Unlock()
+	var first error
+	for _, l := range links {
+		if err := l.out.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- receive port --------------------------------------------------------------------
+
+// inSource is one connected sender feeding a receive port.
+type inSource struct {
+	origin ipl.Identifier
+	in     driver.Input
+}
+
+// receivePort implements ipl.ReceivePort.
+type receivePort struct {
+	node     *Node
+	name     string
+	portType ipl.PortType
+
+	mu       sync.Mutex
+	sources  map[*inSource]struct{}
+	closed   bool
+	messages chan *ipl.ReadMessage
+	done     chan struct{}
+
+	received int64
+}
+
+// Type implements ipl.ReceivePort.
+func (rp *receivePort) Type() ipl.PortType { return rp.portType }
+
+// ID implements ipl.ReceivePort.
+func (rp *receivePort) ID() ipl.PortID {
+	return ipl.PortID{Owner: rp.node.id, Port: rp.name}
+}
+
+// addSource attaches a newly established incoming link and starts its
+// reader.
+func (rp *receivePort) addSource(origin ipl.Identifier, in driver.Input) {
+	src := &inSource{origin: origin, in: in}
+	rp.mu.Lock()
+	if rp.closed {
+		rp.mu.Unlock()
+		in.Close()
+		return
+	}
+	rp.sources[src] = struct{}{}
+	rp.mu.Unlock()
+
+	rp.node.wg.Add(1)
+	go func() {
+		defer rp.node.wg.Done()
+		rp.readLoop(src)
+	}()
+}
+
+// readLoop pulls framed messages off one incoming link.
+func (rp *receivePort) readLoop(src *inSource) {
+	defer func() {
+		rp.mu.Lock()
+		delete(rp.sources, src)
+		rp.mu.Unlock()
+		src.in.Close()
+	}()
+	br := &byteReader{r: src.in}
+	for {
+		length, err := readUvarint(br)
+		if err != nil {
+			return
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(src.in, payload); err != nil {
+			return
+		}
+		msg := ipl.NewReadMessage(src.origin, payload)
+		rp.mu.Lock()
+		rp.received++
+		rp.mu.Unlock()
+		// Block (preserving FIFO reliability and backpressure) until the
+		// application drains the port or the port is closed.
+		select {
+		case rp.messages <- msg:
+		case <-rp.done:
+			return
+		}
+	}
+}
+
+// Receive implements ipl.ReceivePort.
+func (rp *receivePort) Receive() (*ipl.ReadMessage, error) {
+	select {
+	case msg := <-rp.messages:
+		return msg, nil
+	case <-rp.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-rp.messages:
+			return msg, nil
+		default:
+			return nil, ipl.ErrClosed
+		}
+	}
+}
+
+// Received reports how many messages have arrived on this port.
+func (rp *receivePort) Received() int64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.received
+}
+
+// Close implements ipl.ReceivePort.
+func (rp *receivePort) Close() error {
+	rp.mu.Lock()
+	if rp.closed {
+		rp.mu.Unlock()
+		return nil
+	}
+	rp.closed = true
+	srcs := make([]*inSource, 0, len(rp.sources))
+	for s := range rp.sources {
+		srcs = append(srcs, s)
+	}
+	rp.mu.Unlock()
+
+	for _, s := range srcs {
+		s.in.Close()
+	}
+	rp.node.mu.Lock()
+	delete(rp.node.recvPorts, rp.name)
+	rp.node.mu.Unlock()
+	rp.node.registry.Unregister(rp.node.portKey(rp.name))
+	close(rp.done)
+	return nil
+}
+
+// --- helpers -------------------------------------------------------------------------
+
+// byteReader adapts driver.Input to io.ByteReader for varint decoding.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// readUvarint reads a varint; a clean EOF before the first byte is
+// passed through as io.EOF.
+func readUvarint(br *byteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, fmt.Errorf("core: varint overflow")
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package drivers registers every built-in NetIbis link utilization
+// driver with the driver framework. Importing it (usually blank) makes
+// the textual stack specifications such as
+// "zip:level=1/multi:streams=4/tcpblk" resolvable.
+package drivers
+
+import (
+	// The individual drivers register themselves in their init functions.
+	_ "netibis/internal/drivers/multi"
+	_ "netibis/internal/drivers/tcpblk"
+	_ "netibis/internal/drivers/zip"
+)
+
+// Installed reports the driver names guaranteed to be available after
+// importing this package.
+func Installed() []string {
+	return []string{"multi", "tcpblk", "zip"}
+}

@@ -1,0 +1,388 @@
+// Package multi implements the parallel-streams filtering driver
+// (paper Section 4.2).
+//
+// On high-latency WAN paths a single TCP stream cannot exploit the link
+// capacity: its send window is clamped by the operating system and its
+// congestion control recovers slowly from losses. Using several TCP
+// streams for one logical connection multiplies the aggregate window and
+// lets the streams recover from losses independently, which is how
+// GridFTP-style transfers approach the capacity of such links.
+//
+// The driver fragments the outgoing byte stream into numbered fragments
+// and stripes them across N lower (sub-)driver instances, each of which
+// typically is a TCP_Block driver over its own brokered connection. The
+// receiving side reassembles fragments strictly in sequence order, so
+// the logical link stays a FIFO byte stream, exactly as the IPL
+// requires.
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"netibis/internal/driver"
+	"netibis/internal/wire"
+)
+
+// Name is the registered driver name.
+const Name = "multi"
+
+// DefaultStreams is the number of parallel streams used when the stack
+// spec does not name one. The paper's evaluation uses 4 and 8.
+const DefaultStreams = 4
+
+// DefaultFragment is the fragment size used to stripe data across the
+// streams.
+const DefaultFragment = 64 * 1024
+
+// MaxStreams bounds the stream count to keep resource usage sane.
+const MaxStreams = 64
+
+func init() {
+	driver.Register(Name, buildOutput, buildInput)
+}
+
+func buildOutput(spec driver.Spec, _ *driver.Env, lower func() (driver.Output, error)) (driver.Output, error) {
+	if lower == nil {
+		return nil, errors.New("multi: requires a lower driver (it is a filtering driver)")
+	}
+	n := spec.IntParam("streams", DefaultStreams)
+	frag := spec.IntParam("fragment", DefaultFragment)
+	if n < 1 || n > MaxStreams {
+		return nil, fmt.Errorf("multi: invalid stream count %d", n)
+	}
+	subs := make([]driver.Output, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := lower()
+		if err != nil {
+			for _, prev := range subs {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("multi: building sub-stream %d: %w", i, err)
+		}
+		subs = append(subs, s)
+	}
+	return NewOutput(subs, frag), nil
+}
+
+func buildInput(spec driver.Spec, _ *driver.Env, lower func() (driver.Input, error)) (driver.Input, error) {
+	if lower == nil {
+		return nil, errors.New("multi: requires a lower driver (it is a filtering driver)")
+	}
+	n := spec.IntParam("streams", DefaultStreams)
+	if n < 1 || n > MaxStreams {
+		return nil, fmt.Errorf("multi: invalid stream count %d", n)
+	}
+	subs := make([]driver.Input, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := lower()
+		if err != nil {
+			for _, prev := range subs {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("multi: building sub-stream %d: %w", i, err)
+		}
+		subs = append(subs, s)
+	}
+	return NewInput(subs), nil
+}
+
+// fragment is one unit of striping: a sequence number plus payload.
+type fragment struct {
+	seq  uint64
+	data []byte
+}
+
+// Output is the sending side: it stripes fragments round-robin over the
+// sub-outputs, each fed by its own goroutine so that the sub-streams
+// genuinely transmit in parallel.
+type Output struct {
+	subs     []driver.Output
+	fragSize int
+
+	mu      sync.Mutex
+	nextSeq uint64
+	closed  bool
+	err     error
+
+	queues []chan fragment
+	acks   sync.WaitGroup // outstanding fragments not yet written to a sub-output
+	wg     sync.WaitGroup // worker goroutines
+	errMu  sync.Mutex
+	werr   error
+}
+
+// NewOutput creates a parallel-streams output over the given sub-outputs.
+func NewOutput(subs []driver.Output, fragSize int) *Output {
+	if fragSize <= 0 {
+		fragSize = DefaultFragment
+	}
+	o := &Output{subs: subs, fragSize: fragSize, queues: make([]chan fragment, len(subs))}
+	for i := range subs {
+		o.queues[i] = make(chan fragment, 4)
+		o.wg.Add(1)
+		go o.worker(i)
+	}
+	return o
+}
+
+// worker drains one sub-stream's queue.
+func (o *Output) worker(i int) {
+	defer o.wg.Done()
+	sub := o.subs[i]
+	for frag := range o.queues[i] {
+		hdr := wire.AppendUvarint(nil, frag.seq)
+		hdr = wire.AppendUvarint(hdr, uint64(len(frag.data)))
+		_, err := sub.Write(hdr)
+		if err == nil {
+			_, err = sub.Write(frag.data)
+		}
+		if err == nil {
+			err = sub.Flush()
+		}
+		if err != nil {
+			o.errMu.Lock()
+			if o.werr == nil {
+				o.werr = err
+			}
+			o.errMu.Unlock()
+		}
+		o.acks.Done()
+	}
+}
+
+func (o *Output) workerErr() error {
+	o.errMu.Lock()
+	defer o.errMu.Unlock()
+	return o.werr
+}
+
+// Streams returns the number of parallel sub-streams.
+func (o *Output) Streams() int { return len(o.subs) }
+
+// Write implements driver.Output: data is cut into fragments and striped
+// across the sub-streams.
+func (o *Output) Write(p []byte) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if err := o.workerErr(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > o.fragSize {
+			n = o.fragSize
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		seq := o.nextSeq
+		o.nextSeq++
+		o.acks.Add(1)
+		o.queues[int(seq)%len(o.queues)] <- fragment{seq: seq, data: data}
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Flush implements driver.Output: it waits until every fragment handed
+// to the workers has been pushed into its sub-stream and flushed.
+func (o *Output) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return io.ErrClosedPipe
+	}
+	o.acks.Wait()
+	return o.workerErr()
+}
+
+// Close flushes, stops the workers and closes all sub-streams.
+func (o *Output) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	o.acks.Wait()
+	for _, q := range o.queues {
+		close(q)
+	}
+	o.mu.Unlock()
+	o.wg.Wait()
+	var first error
+	for _, s := range o.subs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first == nil {
+		first = o.workerErr()
+	}
+	return first
+}
+
+// Input is the receiving side: per-sub-stream readers push fragments
+// into a reassembly window; Read delivers bytes strictly in sequence
+// order.
+type Input struct {
+	subs []driver.Input
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[uint64][]byte
+	nextSeq uint64
+	current []byte
+	eofs    int
+	err     error
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewInput creates a parallel-streams input over the given sub-inputs.
+func NewInput(subs []driver.Input) *Input {
+	in := &Input{subs: subs, pending: make(map[uint64][]byte)}
+	in.cond = sync.NewCond(&in.mu)
+	for i := range subs {
+		in.wg.Add(1)
+		go in.reader(i)
+	}
+	return in
+}
+
+// reader pulls fragments off one sub-stream.
+func (in *Input) reader(i int) {
+	defer in.wg.Done()
+	sub := in.subs[i]
+	br := &byteReader{r: sub}
+	for {
+		seq, err := readUvarint(br)
+		if err != nil {
+			in.finish(i, err)
+			return
+		}
+		length, err := readUvarint(br)
+		if err != nil {
+			in.finish(i, io.ErrUnexpectedEOF)
+			return
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(sub, data); err != nil {
+			in.finish(i, io.ErrUnexpectedEOF)
+			return
+		}
+		in.mu.Lock()
+		in.pending[seq] = data
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	}
+}
+
+// finish records a sub-stream's termination. A clean EOF on every
+// sub-stream turns into EOF for the logical link; anything else is an
+// error.
+func (in *Input) finish(_ int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err == io.EOF {
+		in.eofs++
+	} else if in.err == nil && err != nil {
+		in.err = err
+	}
+	in.cond.Broadcast()
+}
+
+// Read implements driver.Input.
+func (in *Input) Read(p []byte) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if len(in.current) > 0 {
+			n := copy(p, in.current)
+			in.current = in.current[n:]
+			return n, nil
+		}
+		if data, ok := in.pending[in.nextSeq]; ok {
+			delete(in.pending, in.nextSeq)
+			in.nextSeq++
+			in.current = data
+			continue
+		}
+		if in.err != nil {
+			return 0, in.err
+		}
+		if in.closed {
+			return 0, io.ErrClosedPipe
+		}
+		if in.eofs == len(in.subs) && len(in.pending) == 0 {
+			return 0, io.EOF
+		}
+		in.cond.Wait()
+	}
+}
+
+// Close stops the readers and closes all sub-streams.
+func (in *Input) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	in.cond.Broadcast()
+	in.mu.Unlock()
+	var first error
+	for _, s := range in.subs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	in.wg.Wait()
+	return first
+}
+
+// --- small helpers ---------------------------------------------------------------
+
+// byteReader adapts an io.Reader into an io.ByteReader for varint decoding.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// readUvarint reads a varint, mapping an EOF on the very first byte to
+// io.EOF (clean end of stream) and later EOFs to ErrUnexpectedEOF.
+func readUvarint(br *byteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, errors.New("multi: varint overflow")
+		}
+	}
+}

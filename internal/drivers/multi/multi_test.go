@@ -1,0 +1,290 @@
+package multi
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"netibis/internal/driver"
+	"netibis/internal/drivers/tcpblk"
+)
+
+// testLink builds a parallel-streams link with n streams over in-memory
+// connections, with TCP_Block as the networking driver underneath — the
+// exact composition used on real WAN data links.
+func testLink(t *testing.T, n int, fragment int) (driver.Output, driver.Input) {
+	t.Helper()
+	outs := make([]driver.Output, n)
+	ins := make([]driver.Input, n)
+	for i := 0; i < n; i++ {
+		c1, c2 := net.Pipe()
+		outs[i] = tcpblk.NewOutput(c1, 8192)
+		ins[i] = tcpblk.NewInput(c2)
+	}
+	return NewOutput(outs, fragment), NewInput(ins)
+}
+
+func transfer(t *testing.T, out driver.Output, in driver.Input, payload []byte) []byte {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := out.Write(payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := out.Flush(); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got, err := io.ReadAll(in)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wg.Wait()
+	in.Close()
+	return got
+}
+
+func TestRoundTripSingleStream(t *testing.T) {
+	out, in := testLink(t, 1, 4096)
+	payload := bytes.Repeat([]byte("single stream "), 5000)
+	got := transfer(t, out, in, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestRoundTripFourStreams(t *testing.T) {
+	out, in := testLink(t, 4, 4096)
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+	want := sha256.Sum256(payload)
+	got := transfer(t, out, in, payload)
+	if sha256.Sum256(got) != want {
+		t.Fatalf("payload mismatch: got %d bytes want %d", len(got), len(payload))
+	}
+}
+
+func TestRoundTripEightStreamsOddSizes(t *testing.T) {
+	out, in := testLink(t, 8, 3333)
+	payload := make([]byte, 777777)
+	rand.New(rand.NewSource(8)).Read(payload)
+	got := transfer(t, out, in, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch with odd fragment size")
+	}
+}
+
+// TestOrderingPreserved checks the FIFO property the IPL depends on: a
+// strictly increasing counter written at the sender must arrive strictly
+// increasing, whatever interleaving the parallel streams produce.
+func TestOrderingPreserved(t *testing.T) {
+	out, in := testLink(t, 4, 512)
+	const count = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4)
+		for i := 0; i < count; i++ {
+			buf[0] = byte(i >> 24)
+			buf[1] = byte(i >> 16)
+			buf[2] = byte(i >> 8)
+			buf[3] = byte(i)
+			out.Write(buf)
+		}
+		out.Flush()
+		out.Close()
+	}()
+	data, err := io.ReadAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(data) != count*4 {
+		t.Fatalf("got %d bytes, want %d", len(data), count*4)
+	}
+	for i := 0; i < count; i++ {
+		v := int(data[i*4])<<24 | int(data[i*4+1])<<16 | int(data[i*4+2])<<8 | int(data[i*4+3])
+		if v != i {
+			t.Fatalf("ordering violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMultipleMessagesWithFlushes(t *testing.T) {
+	out, in := testLink(t, 3, 1000)
+	var want []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 100+i*37)
+			out.Write(msg)
+			out.Flush()
+		}
+		out.Close()
+	}()
+	// The receiver sees one continuous byte stream.
+	got, err := io.ReadAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < 50; i++ {
+		want = append(want, bytes.Repeat([]byte{byte(i)}, 100+i*37)...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("multi-message stream corrupted")
+	}
+}
+
+func TestStreamsAccessor(t *testing.T) {
+	out, in := testLink(t, 5, 1024)
+	if out.(*Output).Streams() != 5 {
+		t.Fatalf("Streams() = %d", out.(*Output).Streams())
+	}
+	out.Close()
+	in.Close()
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	out, in := testLink(t, 2, 1024)
+	go io.Copy(io.Discard, in)
+	out.Close()
+	if _, err := out.Write([]byte("late")); err == nil {
+		t.Fatal("write after close should fail")
+	}
+	if err := out.Flush(); err == nil {
+		t.Fatal("flush after close should fail")
+	}
+	if err := out.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	in.Close()
+}
+
+func TestBuilderValidation(t *testing.T) {
+	spec := driver.Spec{Name: Name, Params: map[string]string{"streams": "0"}}
+	lower := func() (driver.Output, error) { return nil, io.EOF }
+	if _, err := buildOutput(spec, nil, lower); err == nil {
+		t.Fatal("zero streams should be rejected")
+	}
+	spec.Params["streams"] = "100000"
+	if _, err := buildOutput(spec, nil, lower); err == nil {
+		t.Fatal("absurd stream count should be rejected")
+	}
+	if _, err := buildOutput(driver.Spec{Name: Name}, nil, nil); err == nil {
+		t.Fatal("multi without a lower driver should be rejected")
+	}
+	if _, err := buildInput(driver.Spec{Name: Name}, nil, nil); err == nil {
+		t.Fatal("multi input without a lower driver should be rejected")
+	}
+}
+
+func TestBuilderPropagatesLowerErrors(t *testing.T) {
+	spec := driver.Spec{Name: Name, Params: map[string]string{"streams": "3"}}
+	calls := 0
+	lower := func() (driver.Output, error) {
+		calls++
+		if calls == 2 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		c1, c2 := net.Pipe()
+		go io.Copy(io.Discard, c2)
+		return tcpblk.NewOutput(c1, 1024), nil
+	}
+	if _, err := buildOutput(spec, nil, lower); err == nil {
+		t.Fatal("sub-stream build failure must propagate")
+	}
+}
+
+func TestFullStackViaRegistry(t *testing.T) {
+	// Build "multi/tcpblk" through the registry with an Env that hands
+	// out one in-memory connection per sub-stream.
+	const n = 4
+	outConns := make(chan net.Conn, n)
+	inConns := make(chan net.Conn, n)
+	for i := 0; i < n; i++ {
+		c1, c2 := net.Pipe()
+		outConns <- c1
+		inConns <- c2
+	}
+	envOut := &driver.Env{Dial: func() (net.Conn, error) { return <-outConns, nil }}
+	envIn := &driver.Env{Accept: func() (net.Conn, error) { return <-inConns, nil }}
+
+	stack, err := driver.ParseStack("multi:streams=4:fragment=2048/tcpblk:block=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := driver.BuildOutput(stack, envOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := driver.BuildInput(stack, envIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("registry built parallel streams "), 3000)
+	got := transfer(t, out, in, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestReassemblyQuick(t *testing.T) {
+	// Property: for any payload and any stream count 1..6, the bytes
+	// arrive intact and in order.
+	f := func(seed int64, streamsRaw, fragRaw uint8, size uint16) bool {
+		streams := int(streamsRaw)%6 + 1
+		frag := int(fragRaw)%2000 + 16
+		n := int(size) % 50000
+		payload := make([]byte, n)
+		rand.New(rand.NewSource(seed)).Read(payload)
+
+		outs := make([]driver.Output, streams)
+		ins := make([]driver.Input, streams)
+		for i := 0; i < streams; i++ {
+			c1, c2 := net.Pipe()
+			outs[i] = tcpblk.NewOutput(c1, 4096)
+			ins[i] = tcpblk.NewInput(c2)
+		}
+		out := NewOutput(outs, frag)
+		in := NewInput(ins)
+		errCh := make(chan error, 1)
+		go func() {
+			if _, err := out.Write(payload); err != nil {
+				errCh <- err
+				return
+			}
+			if err := out.Flush(); err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- out.Close()
+		}()
+		got, err := io.ReadAll(in)
+		if err != nil {
+			return false
+		}
+		if werr := <-errCh; werr != nil {
+			return false
+		}
+		in.Close()
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package emunet
+
+import "math/rand"
+
+// Test-only constructors for internal state machines.
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func newTestBrokenNAT() *natState { return newNATState(newTestRand(), BrokenNAT) }

@@ -1,0 +1,476 @@
+package emunet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fabric is an emulated internetwork: a set of sites containing hosts,
+// connected by WAN links. A Fabric is safe for concurrent use.
+type Fabric struct {
+	mu        sync.Mutex
+	sites     map[string]*Site
+	hosts     map[Address]*Host
+	links     map[linkKey]LinkParams
+	shapers   map[linkKey]*shaper
+	defLink   LinkParams
+	timeScale float64
+	rng       *rand.Rand
+	closed    bool
+
+	splices map[string]*spliceOffer // keyed by actual-local + target endpoints
+
+	nextPublic  int
+	nextSiteNet int
+}
+
+type linkKey struct{ a, b string }
+
+func orderedLinkKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithTimeScale sets the ratio between emulated time and wall-clock time
+// used by the data plane shaper. 0 (the default) disables shaping
+// delays entirely, so tests run as fast as possible. 1.0 emulates the
+// configured latencies and capacities in real time; 0.01 runs a 30 ms
+// RTT link with 0.3 ms of real delay.
+func WithTimeScale(scale float64) Option {
+	return func(f *Fabric) { f.timeScale = scale }
+}
+
+// WithDefaultLink sets the link parameters used between sites that have
+// no explicit link configured.
+func WithDefaultLink(p LinkParams) Option {
+	return func(f *Fabric) { f.defLink = p }
+}
+
+// WithSeed fixes the random seed used for NAT port assignment and loss,
+// making topologies deterministic for tests.
+func WithSeed(seed int64) Option {
+	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewFabric creates an empty emulated internetwork.
+func NewFabric(opts ...Option) *Fabric {
+	f := &Fabric{
+		sites:   make(map[string]*Site),
+		hosts:   make(map[Address]*Host),
+		links:   make(map[linkKey]LinkParams),
+		shapers: make(map[linkKey]*shaper),
+		defLink: LinkParams{CapacityBps: 1.25e6, RTT: 30 * time.Millisecond, LossRate: 0.0001},
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// SiteConfig describes a site to be added to the fabric.
+type SiteConfig struct {
+	// Firewall is the site's filtering policy.
+	Firewall FirewallPolicy
+	// NAT is the site's address translation mode. Sites with NAT give
+	// their hosts private addresses hidden behind the site's public
+	// gateway address.
+	NAT NATMode
+	// PrivateAddresses forces private (non-routable) host addresses
+	// even without NAT, modelling the "non-routed private networks"
+	// the paper mentions; such hosts can only reach the outside through
+	// a proxy or relay.
+	PrivateAddresses bool
+	// AllowedEgress lists destination addresses reachable through a
+	// Strict firewall (typically the site's SOCKS proxy or a relay).
+	AllowedEgress []Address
+}
+
+// Site is a collection of hosts sharing a firewall and NAT device.
+type Site struct {
+	fabric *Fabric
+	name   string
+	cfg    SiteConfig
+	public Address // the site's externally visible gateway address
+
+	mu        sync.Mutex
+	hosts     []*Host
+	openPorts map[int]Endpoint // explicit port forwarding: external port -> internal endpoint
+	fw        *firewallState
+	nat       *natState
+	nextHost  int
+}
+
+// AddSite adds a site with the given name and configuration. Site names
+// must be unique within the fabric.
+func (f *Fabric) AddSite(name string, cfg SiteConfig) *Site {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.sites[name]; ok {
+		panic(fmt.Sprintf("emunet: duplicate site %q", name))
+	}
+	f.nextPublic++
+	f.nextSiteNet++
+	s := &Site{
+		fabric:    f,
+		name:      name,
+		cfg:       cfg,
+		public:    Address(fmt.Sprintf("198.51.%d.1", f.nextPublic)),
+		openPorts: make(map[int]Endpoint),
+		fw:        newFirewallState(),
+		nat:       newNATState(f.rng, cfg.NAT),
+	}
+	f.sites[name] = s
+	return s
+}
+
+// Site returns the site with the given name, or nil.
+func (f *Fabric) Site(name string) *Site {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sites[name]
+}
+
+// Sites returns the names of all sites in the fabric.
+func (f *Fabric) Sites() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.sites))
+	for n := range f.sites {
+		names = append(names, n)
+	}
+	return names
+}
+
+// SetLink configures the WAN link parameters between two sites.
+func (f *Fabric) SetLink(siteA, siteB string, p LinkParams) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := orderedLinkKey(siteA, siteB)
+	f.links[k] = p
+	delete(f.shapers, k)
+}
+
+// Link returns the link parameters between two sites (or the default).
+// Intra-site traffic uses DefaultLAN.
+func (f *Fabric) Link(siteA, siteB string) LinkParams {
+	if siteA == siteB {
+		return DefaultLAN
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p, ok := f.links[orderedLinkKey(siteA, siteB)]; ok {
+		return p
+	}
+	return f.defLink
+}
+
+// shaperFor returns the shared traffic shaper for the path between two
+// sites, creating it on first use.
+func (f *Fabric) shaperFor(siteA, siteB string) *shaper {
+	p := f.Link(siteA, siteB)
+	k := orderedLinkKey(siteA, siteB)
+	if siteA == siteB {
+		k = linkKey{siteA, siteA + "/lan"}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if sh, ok := f.shapers[k]; ok {
+		return sh
+	}
+	sh := newShaper(p, f.timeScale)
+	f.shapers[k] = sh
+	return sh
+}
+
+// Close shuts the fabric down; all hosts and connections become unusable.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	hosts := make([]*Host, 0, len(f.hosts))
+	for _, h := range f.hosts {
+		hosts = append(hosts, h)
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, h := range hosts {
+		h.Close()
+	}
+}
+
+// Name returns the site's name.
+func (s *Site) Name() string { return s.name }
+
+// PublicAddress returns the site's externally visible gateway address.
+func (s *Site) PublicAddress() Address { return s.public }
+
+// Config returns the site's configuration.
+func (s *Site) Config() SiteConfig { return s.cfg }
+
+// Hosts returns all hosts added to the site.
+func (s *Site) Hosts() []*Host {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Host(nil), s.hosts...)
+}
+
+// OpenPort configures explicit port forwarding: incoming connections to
+// the site's public address at extPort are forwarded to the internal
+// endpoint. This models the manual "selectively open some TCP ports"
+// practice the paper argues against; it exists so tests can contrast the
+// approaches.
+func (s *Site) OpenPort(extPort int, internal Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.openPorts[extPort] = internal
+}
+
+// AllowEgress adds an address to the set reachable through a Strict
+// firewall.
+func (s *Site) AllowEgress(addr Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.AllowedEgress = append(s.cfg.AllowedEgress, addr)
+}
+
+// hostsArePrivate reports whether this site's hosts carry non-routable
+// addresses.
+func (s *Site) hostsArePrivate() bool {
+	return s.cfg.NAT != NoNAT || s.cfg.PrivateAddresses
+}
+
+// AddHost adds a host to the site. Host addresses are assigned
+// automatically: public sites hand out routable addresses, NAT'ed or
+// private sites hand out 10.x addresses.
+func (s *Site) AddHost(name string) *Host {
+	s.mu.Lock()
+	s.nextHost++
+	var addr Address
+	if s.hostsArePrivate() {
+		addr = Address(fmt.Sprintf("10.%d.0.%d", siteNumber(s), s.nextHost))
+	} else {
+		addr = Address(fmt.Sprintf("198.51.%d.%d", siteNumber(s), s.nextHost+1))
+	}
+	h := &Host{
+		site:      s,
+		fabric:    s.fabric,
+		name:      name,
+		addr:      addr,
+		listeners: make(map[int]*Listener),
+		nextPort:  10000,
+	}
+	s.hosts = append(s.hosts, h)
+	s.mu.Unlock()
+
+	s.fabric.mu.Lock()
+	s.fabric.hosts[addr] = h
+	s.fabric.mu.Unlock()
+	return h
+}
+
+// siteNumber derives a stable small integer from the site's public
+// address (which embeds the allocation counter).
+func siteNumber(s *Site) int {
+	var n int
+	fmt.Sscanf(string(s.public), "198.51.%d.1", &n)
+	return n
+}
+
+// canEgress reports whether a host in this site may open an outgoing
+// connection to the given destination address.
+func (s *Site) canEgress(dst Address) error {
+	if s.cfg.Firewall != Strict {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.cfg.AllowedEgress {
+		if a == dst {
+			return nil
+		}
+	}
+	return ErrEgressDenied
+}
+
+// allowInbound decides whether an unsolicited incoming connection request
+// (a SYN that is not part of an already recorded outgoing flow) to the
+// given internal endpoint is admitted by the site's firewall.
+func (s *Site) allowInbound(from Endpoint, to Endpoint) bool {
+	switch s.cfg.Firewall {
+	case Open:
+		return true
+	default:
+		// Stateful and Strict: only flows previously initiated from the
+		// inside, or explicitly opened ports, are admitted.
+		if s.fw.established(to, from) {
+			return true
+		}
+		s.mu.Lock()
+		_, open := s.openPorts[to.Port]
+		s.mu.Unlock()
+		return open
+	}
+}
+
+// forwardedEndpoint resolves an explicitly opened external port to its
+// configured internal endpoint, if any.
+func (s *Site) forwardedEndpoint(extPort int) (Endpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.openPorts[extPort]
+	return ep, ok
+}
+
+// --- firewall state ---------------------------------------------------------
+
+// flowKey identifies a bidirectional flow by its two endpoints as seen on
+// the external side of the site.
+type flowKey struct {
+	local, remote Endpoint
+}
+
+// firewallState records the flows initiated from inside a site, so that
+// return traffic (and the peer's SYN during TCP splicing) is admitted.
+type firewallState struct {
+	mu    sync.Mutex
+	flows map[flowKey]time.Time
+}
+
+func newFirewallState() *firewallState {
+	return &firewallState{flows: make(map[flowKey]time.Time)}
+}
+
+// recordOutgoing notes that an internal endpoint sent a connection
+// request to a remote endpoint. local must be the externally visible
+// (post-NAT) endpoint.
+func (fw *firewallState) recordOutgoing(local, remote Endpoint) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.flows[flowKey{local, remote}] = time.Now()
+}
+
+// established reports whether an incoming packet addressed to local from
+// remote belongs to a flow previously initiated from the inside.
+func (fw *firewallState) established(local, remote Endpoint) bool {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	_, ok := fw.flows[flowKey{local, remote}]
+	return ok
+}
+
+// flowCount returns the number of recorded flows (for tests).
+func (fw *firewallState) flowCount() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return len(fw.flows)
+}
+
+// --- NAT state ---------------------------------------------------------------
+
+// natMapping records the translation of one internal endpoint.
+type natMapping struct {
+	external int
+}
+
+// natState models the site's NAT device. CompliantNAT is
+// endpoint-independent and port-preserving where possible, so its
+// mappings are predictable; BrokenNAT picks a fresh random external port
+// for every new destination, which is what defeats TCP splicing in the
+// paper's experiments.
+type natState struct {
+	mu       sync.Mutex
+	mode     NATMode
+	rng      *rand.Rand
+	mappings map[Endpoint]natMapping // internal endpoint -> external port (compliant)
+	perDest  map[string]int          // internal+dest -> external port (broken)
+	reverse  map[int]Endpoint        // external port -> internal endpoint
+	used     map[int]bool            // external ports in use
+}
+
+func newNATState(rng *rand.Rand, mode NATMode) *natState {
+	return &natState{
+		mode:     mode,
+		rng:      rng,
+		mappings: make(map[Endpoint]natMapping),
+		perDest:  make(map[string]int),
+		reverse:  make(map[int]Endpoint),
+		used:     make(map[int]bool),
+	}
+}
+
+// translate maps an internal source endpoint to the external port used
+// for traffic towards dst, creating a mapping if needed.
+func (n *natState) translate(internal Endpoint, dst Endpoint) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.mode {
+	case NoNAT:
+		return internal.Port
+	case CompliantNAT:
+		if m, ok := n.mappings[internal]; ok {
+			return m.external
+		}
+		ext := internal.Port
+		for n.used[ext] {
+			ext++
+		}
+		n.mappings[internal] = natMapping{external: ext}
+		n.reverse[ext] = internal
+		n.used[ext] = true
+		return ext
+	default: // BrokenNAT
+		key := internal.String() + "->" + dst.String()
+		if ext, ok := n.perDest[key]; ok {
+			return ext
+		}
+		ext := 20000 + n.rng.Intn(40000)
+		for n.used[ext] {
+			ext = 20000 + n.rng.Intn(40000)
+		}
+		n.perDest[key] = ext
+		n.reverse[ext] = internal
+		n.used[ext] = true
+		return ext
+	}
+}
+
+// predict returns the external port an internal endpoint would expect to
+// be mapped to, as advertised during splice brokering. For a compliant
+// NAT the prediction matches reality; for a broken NAT it does not.
+func (n *natState) predict(internal Endpoint) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.mode {
+	case NoNAT:
+		return internal.Port
+	case CompliantNAT:
+		if m, ok := n.mappings[internal]; ok {
+			return m.external
+		}
+		ext := internal.Port
+		for n.used[ext] {
+			ext++
+		}
+		return ext
+	default:
+		// The broken NAT also advertises the port-preserving prediction;
+		// the actual mapping will differ, which is exactly the failure
+		// mode observed in the paper.
+		return internal.Port
+	}
+}
+
+// lookup resolves an external port back to the internal endpoint, for
+// inbound traffic on an established mapping.
+func (n *natState) lookup(extPort int) (Endpoint, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.reverse[extPort]
+	return ep, ok
+}

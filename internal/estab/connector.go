@@ -1,0 +1,473 @@
+package estab
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"netibis/internal/emunet"
+	"netibis/internal/relay"
+	"netibis/internal/socks"
+	"netibis/internal/wire"
+)
+
+// Brokering protocol message types, carried in wire.KindHandshake frames
+// over the service link.
+const (
+	msgProfile byte = iota + 1
+	msgListen       // "I am listening at this endpoint, dial me"
+	msgSplice       // "my predicted external endpoint for the splice is ..."
+	msgRouted       // "open a routed link to my relay ID"
+	msgAbort        // establishment failed on my side
+)
+
+// DefaultSpliceTimeout bounds how long a simultaneous open waits for the
+// peer's connection request.
+const DefaultSpliceTimeout = 2 * time.Second
+
+// DefaultAcceptTimeout bounds how long the listening side of a brokered
+// client/server or proxy establishment waits for the peer to arrive.
+const DefaultAcceptTimeout = 10 * time.Second
+
+// Errors.
+var (
+	// ErrAborted is returned when the peer reported a failure during
+	// brokering.
+	ErrAborted = errors.New("estab: peer aborted connection establishment")
+	// ErrProtocol is returned on an unexpected brokering message.
+	ErrProtocol = errors.New("estab: brokering protocol error")
+	// ErrNoRelay is returned when the routed method is selected but no
+	// relay client is configured.
+	ErrNoRelay = errors.New("estab: routed method selected but no relay attached")
+	// ErrNoProxy is returned when the proxy method is selected but no
+	// SOCKS proxy is configured.
+	ErrNoProxy = errors.New("estab: proxy method selected but no SOCKS proxy configured")
+)
+
+// Connector is the socket-factory side of one endpoint: it knows the
+// endpoint's host, its optional relay attachment and its optional SOCKS
+// proxy, and it can establish data links to peers either directly
+// (bootstrap factory) or by negotiating over a service link (brokered
+// factory).
+type Connector struct {
+	// Host is the endpoint's machine in the emulated internetwork.
+	Host *emunet.Host
+	// Relay is the endpoint's attachment to the routed-messages relay
+	// (may be nil when no relay is deployed).
+	Relay *relay.Client
+	// ProxyAddr is the endpoint's SOCKS proxy, if any.
+	ProxyAddr emunet.Endpoint
+	// ProxyCreds are optional SOCKS credentials.
+	ProxyCreds *socks.Credentials
+	// SpliceTimeout overrides DefaultSpliceTimeout when positive.
+	SpliceTimeout time.Duration
+	// AcceptTimeout overrides DefaultAcceptTimeout when positive.
+	AcceptTimeout time.Duration
+	// AcceptRouted, when set, is used instead of Relay.Accept to obtain
+	// the incoming routed link during a routed establishment (the
+	// integration layer multiplexes a single relay attachment between
+	// many concurrent establishments).
+	AcceptRouted func(peerID string, timeout time.Duration) (net.Conn, error)
+	// DialRouted, when set, is used instead of Relay.Dial to open the
+	// outgoing routed link; the integration layer uses it to stamp the
+	// link with a purpose header before the driver stack takes over.
+	DialRouted func(peerID string, timeout time.Duration) (net.Conn, error)
+	// ForcedMethod, when non-zero, skips the decision tree and forces a
+	// specific method; used by benchmarks and ablation experiments.
+	ForcedMethod Method
+}
+
+// Profile reports this endpoint's connectivity profile.
+func (c *Connector) Profile() Profile {
+	topo := c.Host.Topology()
+	p := Profile{
+		SiteName:    topo.SiteName,
+		Firewalled:  topo.Firewalled,
+		Strict:      topo.StrictFirewall,
+		NAT:         topo.NAT,
+		PrivateAddr: topo.PrivateAddr,
+		Addr:        c.Host.Address(),
+		PublicAddr:  topo.PublicAddr,
+		HasProxy:    !c.ProxyAddr.IsZero(),
+	}
+	if c.Relay != nil {
+		p.HasRelay = true
+		p.RelayID = c.Relay.ID()
+	}
+	return p
+}
+
+func (c *Connector) spliceTimeout() time.Duration {
+	if c.SpliceTimeout > 0 {
+		return c.SpliceTimeout
+	}
+	return DefaultSpliceTimeout
+}
+
+func (c *Connector) acceptTimeout() time.Duration {
+	if c.AcceptTimeout > 0 {
+		return c.AcceptTimeout
+	}
+	return DefaultAcceptTimeout
+}
+
+// --- bootstrap factory -------------------------------------------------------------
+
+// Bootstrap establishes a connection without any pre-existing peer link,
+// as needed for name-service and relay connections: direct client/server
+// if the destination is dialable, nothing otherwise (the caller falls
+// back to attaching to a relay, which is itself a bootstrap dial to a
+// public gateway).
+func (c *Connector) Bootstrap(dst emunet.Endpoint) (net.Conn, error) {
+	return c.Host.Dial(dst)
+}
+
+// --- brokered factory ---------------------------------------------------------------
+
+// broker wraps the service link with the frame protocol used during
+// establishment negotiation.
+type broker struct {
+	r *wire.Reader
+	w *wire.Writer
+}
+
+func newBroker(service io.ReadWriter) *broker {
+	return &broker{r: wire.NewReader(service), w: wire.NewWriter(service)}
+}
+
+func (b *broker) send(msgType byte, body []byte) error {
+	return b.w.WriteFrame(wire.KindHandshake, msgType, body)
+}
+
+func (b *broker) recv() (byte, []byte, error) {
+	for {
+		f, err := b.r.ReadFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		if f.Kind != wire.KindHandshake {
+			continue // skip unrelated traffic (keep-alives)
+		}
+		return f.Flags, append([]byte(nil), f.Payload...), nil
+	}
+}
+
+// EstablishInitiator negotiates and establishes a data link with the
+// peer at the other end of the service link. The initiator is the side
+// that wants the new link (in IPL terms: the send port connecting to a
+// receive port). It returns the established link and the method used.
+func (c *Connector) EstablishInitiator(service io.ReadWriter) (net.Conn, Method, error) {
+	return c.establish(service, true)
+}
+
+// EstablishAcceptor is the passive counterpart of EstablishInitiator; it
+// must be called on the peer for every EstablishInitiator call.
+func (c *Connector) EstablishAcceptor(service io.ReadWriter) (net.Conn, Method, error) {
+	return c.establish(service, false)
+}
+
+func (c *Connector) establish(service io.ReadWriter, initiator bool) (net.Conn, Method, error) {
+	b := newBroker(service)
+
+	// Phase 1: exchange connectivity profiles. The exchange is ordered
+	// (initiator first, acceptor in response) so that it also works over
+	// strictly synchronous service links.
+	local := c.Profile()
+	var remote Profile
+	recvProfile := func() error {
+		t, body, err := b.recv()
+		if err != nil {
+			return err
+		}
+		if t == msgAbort {
+			return ErrAborted
+		}
+		if t != msgProfile {
+			return fmt.Errorf("%w: expected profile, got message %d", ErrProtocol, t)
+		}
+		remote, err = DecodeProfile(body)
+		return err
+	}
+	if initiator {
+		if err := b.send(msgProfile, local.Encode()); err != nil {
+			return nil, MethodNone, err
+		}
+		if err := recvProfile(); err != nil {
+			return nil, MethodNone, err
+		}
+	} else {
+		if err := recvProfile(); err != nil {
+			return nil, MethodNone, err
+		}
+		if err := b.send(msgProfile, local.Encode()); err != nil {
+			return nil, MethodNone, err
+		}
+	}
+
+	// Phase 2: both sides run the same decision tree on the same inputs,
+	// so they agree on the method without a further round trip.
+	var initiatorProfile, acceptorProfile Profile
+	if initiator {
+		initiatorProfile, acceptorProfile = local, remote
+	} else {
+		initiatorProfile, acceptorProfile = remote, local
+	}
+	method := c.ForcedMethod
+	if method == MethodNone {
+		var derr error
+		method, derr = Decide(initiatorProfile, acceptorProfile, false)
+		if derr != nil {
+			// The peer runs the same decision on the same inputs and
+			// reaches the same conclusion; no abort message is needed
+			// (and sending one could block on synchronous service links).
+			return nil, MethodNone, derr
+		}
+	}
+
+	// Phase 3: run the selected method.
+	var conn net.Conn
+	var err error
+	switch method {
+	case ClientServer:
+		conn, err = c.establishClientServer(b, local, remote, initiator)
+	case Splicing:
+		conn, err = c.establishSplicing(b, initiator)
+	case Proxy:
+		conn, err = c.establishProxy(b, local, remote)
+	case Routed:
+		conn, err = c.establishRouted(b, remote, initiator)
+	default:
+		err = ErrNoMethod
+	}
+	if err != nil {
+		return nil, method, err
+	}
+	return conn, method, nil
+}
+
+// establishClientServer: the dialable side listens on a fresh port and
+// advertises it; the other side dials. Which side listens is decided
+// deterministically from the two profiles, so no extra negotiation is
+// needed.
+func (c *Connector) establishClientServer(b *broker, local, remote Profile, initiator bool) (net.Conn, error) {
+	// Prefer the acceptor as the listening side (matching the IPL's
+	// receive-port-listens convention) but fall back to whichever
+	// direction is dialable.
+	var localListens bool
+	var initiatorDials bool
+	if initiator {
+		initiatorDials = canDialDirect(local, remote)
+		localListens = !initiatorDials
+	} else {
+		initiatorDials = canDialDirect(remote, local)
+		localListens = initiatorDials
+	}
+
+	if localListens {
+		l, err := c.Host.Listen(0)
+		if err != nil {
+			b.send(msgAbort, nil)
+			return nil, err
+		}
+		ep := emunet.Endpoint{Addr: c.Host.Address(), Port: l.Port()}
+		body := wire.AppendString(nil, string(ep.Addr))
+		body = wire.AppendUvarint(body, uint64(ep.Port))
+		if err := b.send(msgListen, body); err != nil {
+			l.Close()
+			return nil, err
+		}
+		conn, err := acceptWithTimeout(l, c.acceptTimeout())
+		l.Close()
+		return conn, err
+	}
+
+	// Dialing side: wait for the peer's listen announcement.
+	t, body, err := b.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t == msgAbort {
+		return nil, ErrAborted
+	}
+	if t != msgListen {
+		return nil, fmt.Errorf("%w: expected listen, got message %d", ErrProtocol, t)
+	}
+	d := wire.NewDecoder(body)
+	addr := d.String()
+	port := int(d.Uvarint())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return c.Host.Dial(emunet.Endpoint{Addr: emunet.Address(addr), Port: port})
+}
+
+// establishSplicing: both sides reserve a local port, advertise the
+// predicted external endpoint, and issue simultaneous connection
+// requests towards each other's prediction. The exchange is ordered
+// (initiator advertises first) so it works over synchronous service
+// links; the connection requests themselves are simultaneous.
+func (c *Connector) establishSplicing(b *broker, initiator bool) (net.Conn, error) {
+	localPort := c.Host.AllocatePort()
+	predicted := c.Host.PredictExternalEndpoint(localPort)
+	body := wire.AppendString(nil, string(predicted.Addr))
+	body = wire.AppendUvarint(body, uint64(predicted.Port))
+
+	recvSplice := func() (emunet.Endpoint, error) {
+		t, peerBody, err := b.recv()
+		if err != nil {
+			return emunet.Endpoint{}, err
+		}
+		if t == msgAbort {
+			return emunet.Endpoint{}, ErrAborted
+		}
+		if t != msgSplice {
+			return emunet.Endpoint{}, fmt.Errorf("%w: expected splice, got message %d", ErrProtocol, t)
+		}
+		d := wire.NewDecoder(peerBody)
+		addr := d.String()
+		port := int(d.Uvarint())
+		if d.Err() != nil {
+			return emunet.Endpoint{}, d.Err()
+		}
+		return emunet.Endpoint{Addr: emunet.Address(addr), Port: port}, nil
+	}
+
+	var target emunet.Endpoint
+	var err error
+	if initiator {
+		if serr := b.send(msgSplice, body); serr != nil {
+			return nil, serr
+		}
+		target, err = recvSplice()
+	} else {
+		target, err = recvSplice()
+		if err == nil {
+			err = b.send(msgSplice, body)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.Host.SpliceDial(localPort, target, c.spliceTimeout())
+}
+
+// establishProxy: the side with a SOCKS proxy dials out through it; the
+// reachable side listens and advertises its endpoint.
+func (c *Connector) establishProxy(b *broker, local, remote Profile) (net.Conn, error) {
+	proxySide := local.HasProxy && remote.Reachable()
+	if proxySide {
+		// Wait for the peer's listener endpoint, then CONNECT through the
+		// proxy.
+		t, body, err := b.recv()
+		if err != nil {
+			return nil, err
+		}
+		if t == msgAbort {
+			return nil, ErrAborted
+		}
+		if t != msgListen {
+			return nil, fmt.Errorf("%w: expected listen, got message %d", ErrProtocol, t)
+		}
+		d := wire.NewDecoder(body)
+		addr := d.String()
+		port := int(d.Uvarint())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if c.ProxyAddr.IsZero() {
+			b.send(msgAbort, nil)
+			return nil, ErrNoProxy
+		}
+		proxyConn, err := c.Host.Dial(c.ProxyAddr)
+		if err != nil {
+			b.send(msgAbort, nil)
+			return nil, err
+		}
+		if err := socks.Connect(proxyConn, addr, port, c.ProxyCreds); err != nil {
+			proxyConn.Close()
+			return nil, err
+		}
+		return proxyConn, nil
+	}
+
+	// Listening side.
+	l, err := c.Host.Listen(0)
+	if err != nil {
+		b.send(msgAbort, nil)
+		return nil, err
+	}
+	ep := emunet.Endpoint{Addr: c.Host.Address(), Port: l.Port()}
+	body := wire.AppendString(nil, string(ep.Addr))
+	body = wire.AppendUvarint(body, uint64(ep.Port))
+	if err := b.send(msgListen, body); err != nil {
+		l.Close()
+		return nil, err
+	}
+	conn, err := acceptWithTimeout(l, c.acceptTimeout())
+	l.Close()
+	return conn, err
+}
+
+// establishRouted: the initiator opens a routed virtual link through the
+// relay; the acceptor waits for it.
+func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (net.Conn, error) {
+	if c.Relay == nil {
+		b.send(msgAbort, nil)
+		return nil, ErrNoRelay
+	}
+	if initiator {
+		// Let the acceptor know we are coming (and under which relay ID).
+		if err := b.send(msgRouted, wire.AppendString(nil, c.Relay.ID())); err != nil {
+			return nil, err
+		}
+		if c.DialRouted != nil {
+			return c.DialRouted(remote.RelayID, c.acceptTimeout())
+		}
+		return c.Relay.Dial(remote.RelayID, c.acceptTimeout())
+	}
+	t, body, err := b.recv()
+	if err != nil {
+		return nil, err
+	}
+	if t == msgAbort {
+		return nil, ErrAborted
+	}
+	if t != msgRouted {
+		return nil, fmt.Errorf("%w: expected routed, got message %d", ErrProtocol, t)
+	}
+	d := wire.NewDecoder(body)
+	peerID := d.String()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if c.AcceptRouted != nil {
+		return c.AcceptRouted(peerID, c.acceptTimeout())
+	}
+	return c.Relay.Accept()
+}
+
+// acceptWithTimeout waits for one connection on l or gives up.
+func acceptWithTimeout(l *emunet.Listener, timeout time.Duration) (net.Conn, error) {
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- result{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-time.After(timeout):
+		l.Close()
+		r := <-ch
+		if r.err == nil {
+			return r.c, nil
+		}
+		return nil, fmt.Errorf("estab: timed out waiting for peer connection: %w", r.err)
+	}
+}

@@ -1,0 +1,43 @@
+package ipl
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Small encoding helpers for the typed message serialization. They wrap
+// the standard library primitives so the serialization format is
+// self-contained in this package.
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func decodeUvarint(b []byte) (uint64, int) {
+	return binary.Uvarint(b)
+}
+
+func appendZigZag(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func decodeZigZag(b []byte) (int64, int) {
+	return binary.Varint(b)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func readUint64(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,215 @@
+package ipl
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// captureSink remembers the last delivered payload.
+type captureSink struct {
+	payloads [][]byte
+	err      error
+}
+
+func (s *captureSink) Deliver(p []byte) error {
+	cp := append([]byte(nil), p...)
+	s.payloads = append(s.payloads, cp)
+	return s.err
+}
+
+func TestIdentifierAndPortID(t *testing.T) {
+	id := Identifier{Name: "node-3", Pool: "run-42"}
+	if id.String() != "run-42/node-3" {
+		t.Fatalf("Identifier.String = %q", id.String())
+	}
+	if id.IsZero() {
+		t.Fatal("non-zero identifier reported zero")
+	}
+	if !(Identifier{}).IsZero() {
+		t.Fatal("zero identifier not reported zero")
+	}
+	pid := PortID{Owner: id, Port: "results"}
+	if pid.String() != "run-42/node-3:results" {
+		t.Fatalf("PortID.String = %q", pid.String())
+	}
+}
+
+func TestPortTypeStackAndCompatibility(t *testing.T) {
+	pt := PortType{Name: "bulk", Stack: "zip:level=1/tcpblk"}
+	st, err := pt.ParseStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 || st[0].Name != "zip" {
+		t.Fatalf("parsed stack %+v", st)
+	}
+	// Empty stack defaults to plain TCP_Block.
+	def, err := PortType{Name: "x"}.ParseStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 1 || def[0].Name != "tcpblk" {
+		t.Fatalf("default stack %+v", def)
+	}
+	if !pt.Compatible(PortType{Name: "bulk", Stack: "zip:level=1/tcpblk"}) {
+		t.Fatal("identical port types should be compatible")
+	}
+	if pt.Compatible(PortType{Name: "bulk", Stack: "tcpblk"}) {
+		t.Fatal("different stacks should be incompatible")
+	}
+	if pt.Compatible(PortType{Name: "bulk", Stack: "zip:level=1/tcpblk", Secure: true}) {
+		t.Fatal("different security requirements should be incompatible")
+	}
+}
+
+func TestWriteReadMessageRoundTrip(t *testing.T) {
+	sink := &captureSink{}
+	done := 0
+	m := NewWriteMessage(sink, func() { done++ })
+	m.WriteBool(true).
+		WriteInt(-123456789).
+		WriteFloat(math.Pi).
+		WriteString("wide-area communication").
+		WriteBytes([]byte{1, 2, 3, 4, 5}).
+		WriteInt(0)
+	if m.Size() == 0 {
+		t.Fatal("message size should be non-zero")
+	}
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Fatal("onDone not invoked")
+	}
+	if err := m.Finish(); err == nil {
+		t.Fatal("double finish should fail")
+	}
+	if len(sink.payloads) != 1 {
+		t.Fatalf("sink got %d payloads", len(sink.payloads))
+	}
+
+	r := NewReadMessage(Identifier{Name: "a", Pool: "p"}, sink.payloads[0])
+	if b, err := r.ReadBool(); err != nil || !b {
+		t.Fatalf("ReadBool = %v %v", b, err)
+	}
+	if v, err := r.ReadInt(); err != nil || v != -123456789 {
+		t.Fatalf("ReadInt = %v %v", v, err)
+	}
+	if f, err := r.ReadFloat(); err != nil || f != math.Pi {
+		t.Fatalf("ReadFloat = %v %v", f, err)
+	}
+	if s, err := r.ReadString(); err != nil || s != "wide-area communication" {
+		t.Fatalf("ReadString = %q %v", s, err)
+	}
+	if b, err := r.ReadBytes(); err != nil || len(b) != 5 || b[4] != 5 {
+		t.Fatalf("ReadBytes = %v %v", b, err)
+	}
+	if v, err := r.ReadInt(); err != nil || v != 0 {
+		t.Fatalf("ReadInt = %v %v", v, err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if r.Origin.Name != "a" {
+		t.Fatal("origin lost")
+	}
+}
+
+func TestReadMessageTypeMismatch(t *testing.T) {
+	sink := &captureSink{}
+	m := NewWriteMessage(sink, nil)
+	m.WriteInt(7)
+	m.Finish()
+	r := NewReadMessage(Identifier{}, sink.payloads[0])
+	if _, err := r.ReadString(); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("expected ErrTypeMismatch, got %v", err)
+	}
+}
+
+func TestReadMessageShort(t *testing.T) {
+	r := NewReadMessage(Identifier{}, nil)
+	if _, err := r.ReadInt(); err != ErrShortMessage {
+		t.Fatalf("expected ErrShortMessage, got %v", err)
+	}
+	// Truncated payload: tag present, body missing.
+	r2 := NewReadMessage(Identifier{}, []byte{tagBool})
+	if _, err := r2.ReadBool(); err != ErrShortMessage {
+		t.Fatalf("expected ErrShortMessage, got %v", err)
+	}
+	r3 := NewReadMessage(Identifier{}, []byte{tagBytes, 200})
+	if _, err := r3.ReadBytes(); err == nil {
+		t.Fatal("truncated bytes should fail")
+	}
+}
+
+func TestReadMessageLeftoverDetected(t *testing.T) {
+	sink := &captureSink{}
+	m := NewWriteMessage(sink, nil)
+	m.WriteInt(1).WriteInt(2)
+	m.Finish()
+	r := NewReadMessage(Identifier{}, sink.payloads[0])
+	r.ReadInt()
+	if err := r.Finish(); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("expected leftover detection, got %v", err)
+	}
+}
+
+func TestDeliverErrorPropagates(t *testing.T) {
+	sink := &captureSink{err: errors.New("link broken")}
+	m := NewWriteMessage(sink, nil)
+	m.WriteBool(false)
+	if err := m.Finish(); err == nil {
+		t.Fatal("sink error should propagate from Finish")
+	}
+}
+
+func TestSerializationQuick(t *testing.T) {
+	f := func(b bool, i int64, fl float64, s string, raw []byte) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN would fail the comparison below
+		}
+		sink := &captureSink{}
+		m := NewWriteMessage(sink, nil)
+		m.WriteBool(b).WriteInt(i).WriteFloat(fl).WriteString(s).WriteBytes(raw)
+		if err := m.Finish(); err != nil {
+			return false
+		}
+		r := NewReadMessage(Identifier{}, sink.payloads[0])
+		gb, e1 := r.ReadBool()
+		gi, e2 := r.ReadInt()
+		gf, e3 := r.ReadFloat()
+		gs, e4 := r.ReadString()
+		graw, e5 := r.ReadBytes()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil {
+			return false
+		}
+		if gb != b || gi != i || gf != fl || gs != s {
+			return false
+		}
+		if len(graw) != len(raw) {
+			return false
+		}
+		for k := range raw {
+			if graw[k] != raw[k] {
+				return false
+			}
+		}
+		return r.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsDistinct(t *testing.T) {
+	errs := []error{ErrClosed, ErrIncompatiblePortTypes, ErrNoSuchPort, ErrMessageActive, ErrTypeMismatch, ErrShortMessage}
+	for i := range errs {
+		for j := range errs {
+			if i != j && errors.Is(errs[i], errs[j]) {
+				t.Fatalf("errors %d and %d overlap", i, j)
+			}
+		}
+	}
+}

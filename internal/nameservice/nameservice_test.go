@@ -1,0 +1,272 @@
+package nameservice
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+)
+
+// testRegistry starts a registry on a host in an open site and returns a
+// function that produces connected clients from another (firewalled)
+// site, modelling the usual deployment: the name server runs on a
+// publicly reachable machine, clients dial out to it.
+func testRegistry(t *testing.T) (*Server, func() *Client, func()) {
+	t.Helper()
+	f := emunet.NewFabric()
+	srvHost := f.AddSite("registry", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("ns")
+	cliSite := f.AddSite("clients", emunet.SiteConfig{Firewall: emunet.Stateful})
+
+	l, err := srvHost.Listen(4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	go srv.Serve(l)
+
+	n := 0
+	newClient := func() *Client {
+		n++
+		h := cliSite.AddHost(fmt.Sprintf("c%d", n))
+		conn, err := h.Dial(emunet.Endpoint{Addr: srvHost.Address(), Port: 4321})
+		if err != nil {
+			t.Fatalf("dial registry: %v", err)
+		}
+		return NewClient(conn)
+	}
+	cleanup := func() {
+		srv.Close()
+		f.Close()
+	}
+	return srv, newClient, cleanup
+}
+
+func TestRegisterLookup(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+
+	if err := c.Register("ibis/node-1/port/data", []byte("198.51.1.2:7000")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Lookup("ibis/node-1/port/data", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("198.51.1.2:7000")) {
+		t.Fatalf("lookup value = %q", v)
+	}
+}
+
+func TestLookupMissingNoWait(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	if _, err := c.Lookup("no/such/key", 0); err != ErrNotFound {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestLookupTimesOut(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Lookup("no/such/key", 50*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("lookup took far longer than the requested wait")
+	}
+}
+
+// TestLookupWaitsForRegistration is the bootstrap pattern: a process
+// looks up a peer that has not started yet and blocks until it appears.
+func TestLookupWaitsForRegistration(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	waiter := newClient()
+	defer waiter.Close()
+	registrar := newClient()
+	defer registrar.Close()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		registrar.Register("late/arrival", []byte("contact"))
+	}()
+	v, err := waiter.Lookup("late/arrival", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "contact" {
+		t.Fatalf("lookup value = %q", v)
+	}
+}
+
+func TestRegisterOverwriteAndUnregister(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	c.Register("key", []byte("v1"))
+	c.Register("key", []byte("v2"))
+	v, err := c.Lookup("key", 0)
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("overwrite failed: %q %v", v, err)
+	}
+	if err := c.Unregister("key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("key", 0); err != ErrNotFound {
+		t.Fatalf("expected ErrNotFound after unregister, got %v", err)
+	}
+	// Unregistering an absent key is not an error.
+	if err := c.Unregister("key"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListByPrefix(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	c.Register("ibis/node-1/port/a", []byte("1"))
+	c.Register("ibis/node-1/port/b", []byte("2"))
+	c.Register("ibis/node-2/port/a", []byte("3"))
+	recs, err := c.List("ibis/node-1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	all, err := c.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d records, want 3", len(all))
+	}
+}
+
+func TestElectFirstWins(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	a := newClient()
+	defer a.Close()
+	b := newClient()
+	defer b.Close()
+	w1, err := a.Elect("master", "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := b.Elect("master", "node-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != "node-a" || w2 != "node-a" {
+		t.Fatalf("election not stable: %q %q", w1, w2)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c := newClient()
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			defer c.Close()
+			key := fmt.Sprintf("node/%d", i)
+			if err := c.Register(key, []byte{byte(i)}); err != nil {
+				t.Errorf("register %d: %v", i, err)
+				return
+			}
+			// Every client waits for every other client's record.
+			for j := 0; j < n; j++ {
+				v, err := c.Lookup(fmt.Sprintf("node/%d", j), 5*time.Second)
+				if err != nil {
+					t.Errorf("lookup %d->%d: %v", i, j, err)
+					return
+				}
+				if len(v) != 1 || v[0] != byte(j) {
+					t.Errorf("lookup %d->%d wrong value %v", i, j, v)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if got := len(srv.Snapshot()); got != n {
+		t.Fatalf("registry holds %d records, want %d", got, n)
+	}
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	c.Close()
+	if err := c.Register("x", nil); err != ErrClosed {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestServerCloseWakesWaiters(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	c := newClient()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Lookup("never/registered", time.Minute)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cleanup()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("lookup should fail when the registry shuts down")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiting lookup not released by server shutdown")
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	_, newClient, cleanup := testRegistry(t)
+	defer cleanup()
+	c := newClient()
+	defer c.Close()
+	if err := c.Register("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Lookup("empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("expected empty value, got %v", v)
+	}
+}

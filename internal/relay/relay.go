@@ -1,0 +1,684 @@
+// Package relay implements the "routed messages" connection method of
+// the paper (Section 3.3, Figure 3).
+//
+// A relay runs on a gateway machine that every node can reach with an
+// ordinary outgoing connection — even nodes behind firewalls, NAT or
+// SOCKS proxies. Each node keeps a single persistent connection to the
+// relay. On top of that connection the relay offers virtual links: a
+// node asks the relay to open a link to another node (identified by a
+// location-independent node ID), the relay forwards the request over
+// the target's persistent connection, and from then on relays data
+// frames in both directions.
+//
+// Routed links have modest performance (every byte crosses the relay,
+// which adds a receive/forward hop and makes the relay a shared
+// bottleneck), so NetIbis uses them for bootstrap and service links and
+// for data only as a last resort — exactly as the paper prescribes.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netibis/internal/wire"
+)
+
+// Frame kinds of the relay protocol (in the driver-private range).
+const (
+	kindAttach   = wire.KindUser + iota // node -> relay: register node ID
+	kindAttachOK                        // relay -> node
+	kindOpen                            // open a virtual link: src, dst, channel
+	kindOpenOK                          // accept of a virtual link
+	kindOpenFail                        // open failed (unknown node, refused)
+	kindData                            // data on a virtual link
+	kindShut                            // half-close of a virtual link
+)
+
+// Errors.
+var (
+	// ErrUnknownPeer is returned when dialing a node ID that is not
+	// attached to the relay.
+	ErrUnknownPeer = errors.New("relay: unknown peer")
+	// ErrClosed is returned after the client or server shut down.
+	ErrClosed = errors.New("relay: closed")
+	// ErrRefused is returned when the peer is attached but did not
+	// accept the virtual link.
+	ErrRefused = errors.New("relay: connection refused by peer")
+	// ErrDuplicateID is returned when attaching with an ID already in use.
+	ErrDuplicateID = errors.New("relay: node ID already attached")
+)
+
+// maxDataFrame bounds the payload of a single routed data frame; larger
+// writes are split. Keeping frames moderate prevents one virtual link
+// from hogging the relay connection.
+const maxDataFrame = 32 * 1024
+
+// --- server --------------------------------------------------------------------
+
+// Server is the relay process.
+type Server struct {
+	mu     sync.Mutex
+	nodes  map[string]*serverPeer
+	closed bool
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+
+	// Stats, updated atomically under mu.
+	framesRouted int64
+	bytesRouted  int64
+}
+
+type serverPeer struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *wire.Writer
+}
+
+// send writes one frame to the peer, serialising concurrent senders.
+func (p *serverPeer) send(kind byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.w.WriteFrame(kind, 0, payload)
+}
+
+// NewServer creates a relay with no attached nodes.
+func NewServer() *Server {
+	return &Server{nodes: make(map[string]*serverPeer)}
+}
+
+// Serve accepts relay clients on l until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.lnMu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.lnMu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close shuts the relay down, disconnecting all nodes.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	peers := make([]*serverPeer, 0, len(s.nodes))
+	for _, p := range s.nodes {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	s.lnMu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats reports how many frames and payload bytes the relay has routed.
+func (s *Server) Stats() (frames, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.framesRouted, s.bytesRouted
+}
+
+// AttachedNodes returns the IDs of the currently attached nodes.
+func (s *Server) AttachedNodes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (s *Server) lookup(id string) *serverPeer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[id]
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	r := wire.NewReader(c)
+	peer := &serverPeer{conn: c, w: wire.NewWriter(c)}
+
+	// The first frame must be an attach.
+	f, err := r.ReadFrame()
+	if err != nil || f.Kind != kindAttach {
+		return
+	}
+	d := wire.NewDecoder(f.Payload)
+	id := d.String()
+	if d.Err() != nil || id == "" {
+		return
+	}
+	peer.id = id
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.nodes[id]; dup {
+		s.mu.Unlock()
+		peer.send(kindOpenFail, wire.AppendString(nil, "duplicate node id"))
+		return
+	}
+	s.nodes[id] = peer
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.nodes[id] == peer {
+			delete(s.nodes, id)
+		}
+		s.mu.Unlock()
+	}()
+
+	if err := peer.send(kindAttachOK, nil); err != nil {
+		return
+	}
+
+	// Route frames until the node disconnects. The relay never inspects
+	// payload data: it forwards based on the (src, dst, channel) header
+	// prefix of every routed frame.
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case kindOpen, kindOpenOK, kindOpenFail, kindData, kindShut:
+			hdr, _, ok := parseRouted(f.Payload)
+			if !ok {
+				continue
+			}
+			target := s.lookup(hdr.dst)
+			if target == nil {
+				if f.Kind == kindOpen {
+					// Tell the originator the peer is unknown.
+					peer.send(kindOpenFail, appendRouted(nil, peer.id, hdr.channel, nil))
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.framesRouted++
+			s.bytesRouted += int64(len(f.Payload))
+			s.mu.Unlock()
+			if err := target.send(f.Kind, f.Payload); err != nil {
+				target.conn.Close()
+			}
+		case wire.KindKeepAlive:
+			peer.send(wire.KindKeepAlive, nil)
+		case wire.KindClose:
+			return
+		}
+	}
+}
+
+// routedHeader is the routing prefix of every routed frame: the
+// destination node ID and the channel number within that pair of nodes.
+type routedHeader struct {
+	dst     string
+	channel uint64
+}
+
+// appendRouted builds a routed frame payload addressed to dst.
+func appendRouted(buf []byte, dst string, channel uint64, body []byte) []byte {
+	buf = wire.AppendString(buf, dst)
+	buf = wire.AppendUvarint(buf, channel)
+	buf = append(buf, body...)
+	return buf
+}
+
+// parseRouted splits a routed payload into its header and body.
+func parseRouted(p []byte) (routedHeader, []byte, bool) {
+	d := wire.NewDecoder(p)
+	dst := d.String()
+	ch := d.Uvarint()
+	if d.Err() != nil {
+		return routedHeader{}, nil, false
+	}
+	body := p[len(p)-d.Remaining():]
+	return routedHeader{dst: dst, channel: ch}, body, true
+}
+
+// --- client --------------------------------------------------------------------
+
+// Client is a node's persistent attachment to a relay. It multiplexes
+// any number of virtual links over the single underlying connection.
+type Client struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *wire.Writer
+
+	mu       sync.Mutex
+	links    map[linkID]*routedConn
+	accepts  chan *routedConn
+	pending  map[linkID]chan *routedConn
+	nextChan uint64
+	closed   bool
+	err      error
+}
+
+// linkID identifies one virtual link from the local node's point of
+// view. Channel numbers are allocated by the initiating (dialing) side,
+// so two peers dialing each other may pick the same number; the outbound
+// flag (true on the side that initiated) disambiguates.
+type linkID struct {
+	peer     string
+	channel  uint64
+	outbound bool
+}
+
+// Frame body role values: who sent this frame relative to the channel.
+const (
+	roleInitiator byte = 1
+	roleAcceptor  byte = 0
+)
+
+// Attach connects this node (with the given location-independent node
+// ID) to the relay over an already established connection.
+func Attach(conn net.Conn, nodeID string) (*Client, error) {
+	c := &Client{
+		id:      nodeID,
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		links:   make(map[linkID]*routedConn),
+		accepts: make(chan *routedConn, 64),
+		pending: make(map[linkID]chan *routedConn),
+	}
+	if err := c.send(kindAttach, wire.AppendString(nil, nodeID)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Kind != kindAttachOK {
+		conn.Close()
+		if f.Kind == kindOpenFail {
+			return nil, ErrDuplicateID
+		}
+		return nil, fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+// ID returns the node ID this client attached under.
+func (c *Client) ID() string { return c.id }
+
+func (c *Client) send(kind byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteFrame(kind, 0, payload)
+}
+
+// Close detaches from the relay; all virtual links are torn down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	links := make([]*routedConn, 0, len(c.links))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	c.mu.Unlock()
+	for _, l := range links {
+		l.closeWithError(ErrClosed)
+	}
+	c.send(wire.KindClose, nil)
+	close(c.accepts)
+	return c.conn.Close()
+}
+
+// Dial opens a routed virtual link to the node attached under peerID.
+func (c *Client) Dial(peerID string, timeout time.Duration) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextChan++
+	ch := c.nextChan
+	key := linkID{peer: peerID, channel: ch, outbound: true}
+	wait := make(chan *routedConn, 1)
+	c.pending[key] = wait
+	c.mu.Unlock()
+
+	body := wire.AppendString(nil, c.id) // tell the peer who we are
+	if err := c.send(kindOpen, appendRouted(nil, peerID, ch, body)); err != nil {
+		return nil, err
+	}
+	select {
+	case rc := <-wait:
+		if rc == nil {
+			return nil, ErrRefused
+		}
+		return rc, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return nil, ErrUnknownPeer
+	}
+}
+
+// Accept returns the next incoming routed virtual link.
+func (c *Client) Accept() (net.Conn, error) {
+	rc, ok := <-c.accepts
+	if !ok {
+		return nil, ErrClosed
+	}
+	return rc, nil
+}
+
+// readLoop demultiplexes frames arriving from the relay.
+func (c *Client) readLoop(r *wire.Reader) {
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		hdr, body, ok := parseRouted(f.Payload)
+		if !ok {
+			continue
+		}
+		switch f.Kind {
+		case kindOpen:
+			// body carries the originator's node ID.
+			d := wire.NewDecoder(body)
+			from := d.String()
+			if d.Err() != nil {
+				continue
+			}
+			key := linkID{peer: from, channel: hdr.channel, outbound: false}
+			rc := newRoutedConn(c, from, hdr.channel, false)
+			c.mu.Lock()
+			closed := c.closed
+			if !closed {
+				c.links[key] = rc
+			}
+			c.mu.Unlock()
+			if closed {
+				continue
+			}
+			// Acknowledge and deliver to Accept.
+			ack := wire.AppendString(nil, c.id)
+			c.send(kindOpenOK, appendRouted(nil, from, hdr.channel, ack))
+			select {
+			case c.accepts <- rc:
+			default:
+				// Backlog full: refuse.
+				c.send(kindOpenFail, appendRouted(nil, from, hdr.channel, nil))
+				c.dropLink(key)
+			}
+		case kindOpenOK:
+			d := wire.NewDecoder(body)
+			from := d.String()
+			if d.Err() != nil {
+				continue
+			}
+			key := linkID{peer: from, channel: hdr.channel, outbound: true}
+			c.mu.Lock()
+			wait := c.pending[key]
+			delete(c.pending, key)
+			var rc *routedConn
+			if wait != nil {
+				rc = newRoutedConn(c, from, hdr.channel, true)
+				c.links[key] = rc
+			}
+			c.mu.Unlock()
+			if wait != nil {
+				wait <- rc
+			}
+		case kindOpenFail:
+			// Either a dial failure (pending) or a refused accept.
+			c.mu.Lock()
+			var failed []chan *routedConn
+			for key, wait := range c.pending {
+				if key.channel == hdr.channel {
+					failed = append(failed, wait)
+					delete(c.pending, key)
+				}
+			}
+			c.mu.Unlock()
+			for _, wait := range failed {
+				wait <- nil
+			}
+		case kindData:
+			d := wire.NewDecoder(body)
+			from := d.String()
+			role := byte(d.Uvarint())
+			payload := d.Bytes()
+			if d.Err() != nil {
+				continue
+			}
+			// A frame sent by the channel's initiator belongs to a link
+			// we accepted, and vice versa.
+			key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+			c.mu.Lock()
+			rc := c.links[key]
+			c.mu.Unlock()
+			if rc != nil {
+				rc.deliver(payload)
+			}
+		case kindShut:
+			d := wire.NewDecoder(body)
+			from := d.String()
+			role := byte(d.Uvarint())
+			if d.Err() != nil {
+				continue
+			}
+			key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+			c.mu.Lock()
+			rc := c.links[key]
+			c.mu.Unlock()
+			if rc != nil {
+				rc.peerClosed()
+			}
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	links := make([]*routedConn, 0, len(c.links))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	pend := c.pending
+	c.pending = make(map[linkID]chan *routedConn)
+	c.mu.Unlock()
+	for _, l := range links {
+		l.closeWithError(err)
+	}
+	for _, wait := range pend {
+		wait <- nil
+	}
+	close(c.accepts)
+}
+
+func (c *Client) dropLink(key linkID) {
+	c.mu.Lock()
+	delete(c.links, key)
+	c.mu.Unlock()
+}
+
+// --- routed virtual connection ----------------------------------------------------
+
+// routedConn is one virtual link routed through the relay. It implements
+// net.Conn so the rest of NetIbis treats it like any other link.
+type routedConn struct {
+	client   *Client
+	peer     string
+	channel  uint64
+	outbound bool // true on the side that dialed
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	rerr   error
+	closed bool
+}
+
+func newRoutedConn(c *Client, peer string, channel uint64, outbound bool) *routedConn {
+	rc := &routedConn{client: c, peer: peer, channel: channel, outbound: outbound}
+	rc.cond = sync.NewCond(&rc.mu)
+	return rc
+}
+
+// role returns the role byte stamped on frames sent over this link.
+func (rc *routedConn) role() byte {
+	if rc.outbound {
+		return roleInitiator
+	}
+	return roleAcceptor
+}
+
+func (rc *routedConn) deliver(p []byte) {
+	rc.mu.Lock()
+	rc.buf = append(rc.buf, p...)
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+func (rc *routedConn) peerClosed() {
+	rc.mu.Lock()
+	if rc.rerr == nil {
+		rc.rerr = io.EOF
+	}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+func (rc *routedConn) closeWithError(err error) {
+	rc.mu.Lock()
+	rc.closed = true
+	if rc.rerr == nil {
+		rc.rerr = err
+	}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+// Read implements net.Conn.
+func (rc *routedConn) Read(p []byte) (int, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for {
+		if len(rc.buf) > 0 {
+			n := copy(p, rc.buf)
+			rc.buf = rc.buf[n:]
+			return n, nil
+		}
+		if rc.rerr != nil {
+			return 0, rc.rerr
+		}
+		if rc.closed {
+			return 0, ErrClosed
+		}
+		rc.cond.Wait()
+	}
+}
+
+// Write implements net.Conn. Large writes are split into moderate relay
+// frames so that concurrent virtual links share the relay connection
+// fairly.
+func (rc *routedConn) Write(p []byte) (int, error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return 0, ErrClosed
+	}
+	rc.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxDataFrame {
+			n = maxDataFrame
+		}
+		body := wire.AppendString(nil, rc.client.id)
+		body = wire.AppendUvarint(body, uint64(rc.role()))
+		body = wire.AppendBytes(body, p[:n])
+		if err := rc.client.send(kindData, appendRouted(nil, rc.peer, rc.channel, body)); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close implements net.Conn.
+func (rc *routedConn) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	body := wire.AppendString(nil, rc.client.id)
+	body = wire.AppendUvarint(body, uint64(rc.role()))
+	rc.client.send(kindShut, appendRouted(nil, rc.peer, rc.channel, body))
+	rc.client.dropLink(linkID{peer: rc.peer, channel: rc.channel, outbound: rc.outbound})
+	return nil
+}
+
+// routedAddr is the net.Addr of a relay-routed endpoint.
+type routedAddr struct{ id string }
+
+func (a routedAddr) Network() string { return "relay" }
+func (a routedAddr) String() string  { return a.id }
+
+// LocalAddr implements net.Conn.
+func (rc *routedConn) LocalAddr() net.Addr { return routedAddr{id: rc.client.id} }
+
+// RemoteAddr implements net.Conn.
+func (rc *routedConn) RemoteAddr() net.Addr { return routedAddr{id: rc.peer} }
+
+// SetDeadline implements net.Conn (not supported on routed links).
+func (rc *routedConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn (not supported on routed links).
+func (rc *routedConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn (not supported on routed links).
+func (rc *routedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// Peer returns the node ID of the remote end of the routed link.
+func (rc *routedConn) Peer() string { return rc.peer }

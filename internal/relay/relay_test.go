@@ -1,0 +1,367 @@
+package relay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+)
+
+// relayWorld models the deployment of paper Figure 3: a relay on a
+// public gateway, and nodes in firewalled (and NAT'ed) sites that can
+// only open outgoing connections.
+type relayWorld struct {
+	fabric *emunet.Fabric
+	server *Server
+	relay  *emunet.Host
+	nextID int
+}
+
+func newRelayWorld(t *testing.T) *relayWorld {
+	t.Helper()
+	f := emunet.NewFabric()
+	relayHost := f.AddSite("gateway", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("relay")
+	l, err := relayHost.Listen(4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	go srv.Serve(l)
+	w := &relayWorld{fabric: f, server: srv, relay: relayHost}
+	t.Cleanup(func() {
+		srv.Close()
+		f.Close()
+	})
+	return w
+}
+
+// attach creates a node in a fresh firewalled (optionally NAT'ed) site
+// and attaches it to the relay.
+func (w *relayWorld) attach(t *testing.T, id string, nat emunet.NATMode) *Client {
+	t.Helper()
+	w.nextID++
+	site := w.fabric.AddSite(fmt.Sprintf("site-%d-%s", w.nextID, id),
+		emunet.SiteConfig{Firewall: emunet.Stateful, NAT: nat})
+	h := site.AddHost(id)
+	conn, err := h.Dial(emunet.Endpoint{Addr: w.relay.Address(), Port: 4500})
+	if err != nil {
+		t.Fatalf("dial relay: %v", err)
+	}
+	c, err := Attach(conn, id)
+	if err != nil {
+		t.Fatalf("attach %s: %v", id, err)
+	}
+	return c
+}
+
+func TestRelayRoutingBetweenFirewalledNodes(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "node-a", emunet.NoNAT)
+	b := w.attach(t, "node-b", emunet.CompliantNAT)
+	defer a.Close()
+	defer b.Close()
+
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := b.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		got, _ = io.ReadAll(c)
+	}()
+
+	c, err := a.Dial("node-b", 2*time.Second)
+	if err != nil {
+		t.Fatalf("routed dial: %v", err)
+	}
+	msg := bytes.Repeat([]byte("routed message "), 10000) // > one relay frame
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("routed payload mismatch: got %d bytes want %d", len(got), len(msg))
+	}
+	frames, bytesRouted := w.server.Stats()
+	if frames == 0 || bytesRouted == 0 {
+		t.Fatal("relay reports no routed traffic")
+	}
+}
+
+func TestRelayBidirectionalTraffic(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "ping", emunet.NoNAT)
+	b := w.attach(t, "pong", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		for {
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			c.Write(bytes.ToUpper(buf))
+		}
+	}()
+	c, err := a.Dial("pong", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != "PING" {
+			t.Fatalf("iteration %d: got %q", i, buf)
+		}
+	}
+}
+
+func TestRelayDialUnknownPeer(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "lonely", emunet.NoNAT)
+	defer a.Close()
+	if _, err := a.Dial("ghost", 200*time.Millisecond); err == nil {
+		t.Fatal("dialing an unattached peer should fail")
+	}
+}
+
+func TestRelayDuplicateNodeID(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "twin", emunet.NoNAT)
+	defer a.Close()
+
+	site := w.fabric.AddSite("dup-site", emunet.SiteConfig{Firewall: emunet.Stateful})
+	h := site.AddHost("twin2")
+	conn, err := h.Dial(emunet.Endpoint{Addr: w.relay.Address(), Port: 4500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(conn, "twin"); err == nil {
+		t.Fatal("attaching a duplicate node ID should fail")
+	}
+}
+
+func TestRelayMultipleChannelsBetweenSamePair(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "multi-a", emunet.NoNAT)
+	b := w.attach(t, "multi-b", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+
+	const channels = 5
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < channels; i++ {
+			c, err := b.Accept()
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+
+	var cwg sync.WaitGroup
+	for i := 0; i < channels; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := a.Dial("multi-b", 2*time.Second)
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{byte(i + 1)}, 10_000)
+			go c.Write(msg)
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("channel %d payload mismatch", i)
+			}
+		}(i)
+	}
+	cwg.Wait()
+	wg.Wait()
+}
+
+// TestRelayCrossDialSameChannelNumbers exercises the case where both
+// peers dial each other and their locally allocated channel numbers
+// collide; the direction flag must keep the links separate.
+func TestRelayCrossDialSameChannelNumbers(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "cross-a", emunet.NoNAT)
+	b := w.attach(t, "cross-b", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+
+	// Each side echoes whatever arrives on accepted links.
+	for _, cl := range []*Client{a, b} {
+		go func(cl *Client) {
+			for {
+				c, err := cl.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					io.Copy(c, c)
+				}(c)
+			}
+		}(cl)
+	}
+
+	ca, err := a.Dial("cross-b", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := b.Dial("cross-a", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	// Both dialed links use channel number 1 on their respective sides.
+	ca.Write([]byte("from-a"))
+	cb.Write([]byte("from-b"))
+	bufA := make([]byte, 6)
+	if _, err := io.ReadFull(ca, bufA); err != nil || string(bufA) != "from-a" {
+		t.Fatalf("echo to a corrupted: %q %v", bufA, err)
+	}
+	bufB := make([]byte, 6)
+	if _, err := io.ReadFull(cb, bufB); err != nil || string(bufB) != "from-b" {
+		t.Fatalf("echo to b corrupted: %q %v", bufB, err)
+	}
+}
+
+func TestRelayPeerCloseGivesEOF(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "eof-a", emunet.NoNAT)
+	b := w.attach(t, "eof-b", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("bye"))
+		c.Close()
+	}()
+	c, err := a.Dial("eof-b", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bye" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRelayClientCloseUnblocksAccept(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "closer", emunet.NoNAT)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Accept()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Accept after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept not unblocked by Close")
+	}
+}
+
+func TestRelayAttachedNodes(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "n1", emunet.NoNAT)
+	b := w.attach(t, "n2", emunet.BrokenNAT)
+	defer a.Close()
+	defer b.Close()
+	ids := w.server.AttachedNodes()
+	if len(ids) != 2 {
+		t.Fatalf("attached nodes = %v", ids)
+	}
+	if a.ID() != "n1" || b.ID() != "n2" {
+		t.Fatalf("client IDs wrong: %q %q", a.ID(), b.ID())
+	}
+}
+
+func TestRoutedConnAddrs(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "addr-a", emunet.NoNAT)
+	b := w.attach(t, "addr-b", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		c, err := b.Accept()
+		if err == nil {
+			defer c.Close()
+			io.Copy(io.Discard, c)
+		}
+	}()
+	c, err := a.Dial("addr-b", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.LocalAddr().String() != "addr-a" || c.RemoteAddr().String() != "addr-b" {
+		t.Fatalf("addrs = %v -> %v", c.LocalAddr(), c.RemoteAddr())
+	}
+	if c.LocalAddr().Network() != "relay" {
+		t.Fatalf("network = %q", c.LocalAddr().Network())
+	}
+}
+
+func TestRoutedFrameParsing(t *testing.T) {
+	payload := appendRouted(nil, "destination-node", 42, []byte("body"))
+	hdr, body, ok := parseRouted(payload)
+	if !ok || hdr.dst != "destination-node" || hdr.channel != 42 || string(body) != "body" {
+		t.Fatalf("parseRouted = %+v %q %v", hdr, body, ok)
+	}
+	if _, _, ok := parseRouted([]byte{0xFF}); ok {
+		t.Fatal("corrupt routed frame should not parse")
+	}
+}

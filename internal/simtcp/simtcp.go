@@ -1,0 +1,308 @@
+// Package simtcp models the throughput behaviour of TCP connections on
+// wide-area links.
+//
+// The paper's quantitative evaluation (Figures 9 and 10) was run on real
+// WAN links between Amsterdam–Rennes and Delft–Sophia. What makes those
+// figures interesting is not the absolute numbers but TCP's behaviour:
+// a single vanilla TCP stream cannot fill a high bandwidth-delay-product
+// path because its send window is clamped by the operating system and
+// because congestion-control recovery after a loss is slow at high RTT,
+// while multiple parallel streams aggregate their windows and recover
+// independently, approaching the link capacity.
+//
+// simtcp reproduces this behaviour with a per-round (one round-trip time
+// per step) fluid model of TCP Reno-style congestion control: slow
+// start, additive increase, multiplicative decrease on loss, a receiver
+// /OS window clamp, random packet loss, and loss caused by overflowing
+// the bottleneck buffer when the aggregate of all parallel streams
+// exceeds the link capacity. The model is deliberately simple — it is a
+// substrate for regenerating the *shape* of the paper's results, not a
+// packet-level network simulator.
+package simtcp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DefaultMSS is the segment size assumed by the model (Ethernet-style).
+const DefaultMSS = 1460
+
+// DefaultMaxWindow is the per-connection send/receive window clamp in
+// bytes. 64 KiB is the classic limit without window scaling, which is
+// the situation the paper describes ("the necessary window size often
+// lies beyond the limits imposed by the operating system").
+const DefaultMaxWindow = 64 * 1024
+
+// Params configures one simulated logical connection.
+type Params struct {
+	// CapacityBps is the bottleneck link capacity in bytes per second.
+	CapacityBps float64
+	// RTT is the round-trip time of the path.
+	RTT time.Duration
+	// LossRate is the random per-segment loss probability (in addition
+	// to congestion losses caused by overflowing the bottleneck).
+	LossRate float64
+	// MSS is the segment size in bytes; DefaultMSS if zero.
+	MSS int
+	// MaxWindow is the per-stream window clamp in bytes; DefaultMaxWindow
+	// if zero. Set it large to model window scaling.
+	MaxWindow int
+	// Streams is the number of parallel TCP streams carrying the
+	// logical connection; 1 if zero.
+	Streams int
+	// BufferSegments is the bottleneck router buffer size in segments;
+	// if zero a buffer of one bandwidth-delay product is assumed.
+	BufferSegments int
+	// Seed makes the random loss process deterministic.
+	Seed int64
+	// WarmStart starts streams at their steady-state window instead of
+	// performing slow start, modelling a long-lived connection that has
+	// already ramped up (as is the case for all but the first message
+	// on a NetIbis data link).
+	WarmStart bool
+}
+
+func (p *Params) setDefaults() {
+	if p.MSS == 0 {
+		p.MSS = DefaultMSS
+	}
+	if p.MaxWindow == 0 {
+		p.MaxWindow = DefaultMaxWindow
+	}
+	if p.Streams == 0 {
+		p.Streams = 1
+	}
+	if p.RTT <= 0 {
+		p.RTT = time.Millisecond
+	}
+}
+
+// Result reports the outcome of a simulated transfer.
+type Result struct {
+	// BytesDelivered is the total application payload delivered.
+	BytesDelivered int64
+	// Elapsed is the simulated time the transfer took.
+	Elapsed time.Duration
+	// ThroughputBps is BytesDelivered / Elapsed in bytes per second.
+	ThroughputBps float64
+	// Utilization is ThroughputBps / CapacityBps.
+	Utilization float64
+	// LossEvents counts window reductions (random or congestion).
+	LossEvents int
+	// Rounds is the number of simulated RTT rounds.
+	Rounds int
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%.2f MB/s (%.0f%% of capacity, %d loss events, %v)",
+		r.ThroughputBps/1e6, r.Utilization*100, r.LossEvents, r.Elapsed.Round(time.Millisecond))
+}
+
+// stream is the per-TCP-connection congestion state.
+type stream struct {
+	cwnd     float64 // congestion window in segments
+	ssthresh float64 // slow-start threshold in segments
+	maxWnd   float64 // clamp in segments
+}
+
+// Transfer simulates moving totalBytes of payload over the configured
+// logical connection and reports the achieved throughput.
+func Transfer(p Params, totalBytes int64) Result {
+	p.setDefaults()
+	if totalBytes <= 0 {
+		return Result{}
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+
+	maxWndSeg := float64(p.MaxWindow) / float64(p.MSS)
+	if maxWndSeg < 1 {
+		maxWndSeg = 1
+	}
+	// Capacity of the bottleneck per RTT round, in segments.
+	perRoundCap := p.CapacityBps * p.RTT.Seconds() / float64(p.MSS)
+	if perRoundCap < 1 {
+		perRoundCap = 1
+	}
+	buffer := float64(p.BufferSegments)
+	if buffer == 0 {
+		buffer = perRoundCap // one BDP of buffering
+	}
+
+	streams := make([]*stream, p.Streams)
+	for i := range streams {
+		s := &stream{cwnd: 2, ssthresh: maxWndSeg, maxWnd: maxWndSeg}
+		if p.WarmStart {
+			s.cwnd = maxWndSeg
+			fair := (perRoundCap + buffer) / float64(p.Streams)
+			if s.cwnd > fair {
+				s.cwnd = fair
+			}
+			if s.cwnd < 2 {
+				s.cwnd = 2
+			}
+			s.ssthresh = s.cwnd
+		}
+		streams[i] = s
+	}
+
+	var delivered int64
+	rounds := 0
+	losses := 0
+	need := totalBytes
+
+	for need > 0 {
+		rounds++
+		if rounds > 10_000_000 {
+			break // safety net; unreachable for sane parameters
+		}
+		// Offered load this round.
+		offered := 0.0
+		for _, s := range streams {
+			w := s.cwnd
+			if w > s.maxWnd {
+				w = s.maxWnd
+			}
+			offered += w
+		}
+		// The bottleneck drains perRoundCap segments per round and can
+		// absorb `buffer` additional segments; anything beyond that is
+		// dropped (congestion loss).
+		congested := offered > perRoundCap+buffer
+		// Delivered this round is limited by both the offered load and
+		// the drain rate of the bottleneck.
+		roundDelivered := offered
+		if roundDelivered > perRoundCap {
+			roundDelivered = perRoundCap
+		}
+		deliveredBytes := int64(roundDelivered * float64(p.MSS))
+		if deliveredBytes > need {
+			deliveredBytes = need
+		}
+		delivered += deliveredBytes
+		need -= deliveredBytes
+
+		// Update each stream's window.
+		for _, s := range streams {
+			w := s.cwnd
+			if w > s.maxWnd {
+				w = s.maxWnd
+			}
+			// Random loss: probability that at least one of the w
+			// segments sent this round was lost.
+			randomLoss := false
+			if p.LossRate > 0 {
+				pNoLoss := math.Pow(1-p.LossRate, w)
+				randomLoss = rng.Float64() > pNoLoss
+			}
+			// Congestion loss hits streams proportionally to their share
+			// of the overload; model it as each stream being hit with a
+			// probability equal to the overload fraction.
+			congLoss := false
+			if congested {
+				overload := (offered - (perRoundCap + buffer)) / offered
+				congLoss = rng.Float64() < overload*float64(p.Streams)
+			}
+			if randomLoss || congLoss {
+				losses++
+				s.ssthresh = math.Max(2, w/2)
+				// Fast recovery (triple duplicate ACK): halve the window.
+				s.cwnd = s.ssthresh
+			} else if s.cwnd < s.ssthresh {
+				// Slow start: double per RTT.
+				s.cwnd = math.Min(s.cwnd*2, s.maxWnd)
+			} else {
+				// Congestion avoidance: one segment per RTT.
+				s.cwnd = math.Min(s.cwnd+1, s.maxWnd)
+			}
+		}
+	}
+
+	elapsed := time.Duration(rounds) * p.RTT
+	tput := 0.0
+	if elapsed > 0 {
+		tput = float64(delivered) / elapsed.Seconds()
+	}
+	util := 0.0
+	if p.CapacityBps > 0 {
+		util = tput / p.CapacityBps
+	}
+	return Result{
+		BytesDelivered: delivered,
+		Elapsed:        elapsed,
+		ThroughputBps:  tput,
+		Utilization:    util,
+		LossEvents:     losses,
+		Rounds:         rounds,
+	}
+}
+
+// SteadyState simulates a long-running transfer (many round trips) and
+// reports the sustained throughput of the logical connection. It is the
+// model used for the per-method bandwidth numbers in the evaluation.
+func SteadyState(p Params) Result {
+	p.setDefaults()
+	// Simulate enough data for several hundred round trips at capacity,
+	// so transient slow start does not dominate the average.
+	bytes := int64(p.CapacityBps*p.RTT.Seconds()) * 800
+	if bytes < 1<<22 {
+		bytes = 1 << 22
+	}
+	p.WarmStart = true
+	return Transfer(p, bytes)
+}
+
+// WindowLimitBps returns the throughput ceiling imposed by the window
+// clamp alone: window / RTT per stream, summed over streams, and capped
+// by the link capacity.
+func WindowLimitBps(p Params) float64 {
+	p.setDefaults()
+	perStream := float64(p.MaxWindow) / p.RTT.Seconds()
+	total := perStream * float64(p.Streams)
+	if p.CapacityBps > 0 && total > p.CapacityBps {
+		return p.CapacityBps
+	}
+	return total
+}
+
+// MathisBps returns the classic Mathis et al. steady-state estimate for
+// a single TCP flow under random loss: MSS/RTT * C/sqrt(p), capped by
+// the window clamp and the link capacity. It is exposed as a sanity
+// check on the simulation, and used by tests as an independent oracle.
+func MathisBps(p Params) float64 {
+	p.setDefaults()
+	if p.LossRate <= 0 {
+		return WindowLimitBps(p)
+	}
+	const c = 1.22
+	perFlow := float64(p.MSS) / p.RTT.Seconds() * c / math.Sqrt(p.LossRate)
+	clamp := float64(p.MaxWindow) / p.RTT.Seconds()
+	if perFlow > clamp {
+		perFlow = clamp
+	}
+	total := perFlow * float64(p.Streams)
+	if p.CapacityBps > 0 && total > p.CapacityBps {
+		return p.CapacityBps
+	}
+	return total
+}
+
+// MessageThroughput models the effective application-level bandwidth for
+// sending messages of msgSize bytes back-to-back over an already
+// established logical connection: each message costs the wire time at
+// the sustained rate plus one extra round trip of synchronisation
+// (the explicit flush / receipt handshake the IPL performs per message).
+// This is what produces the characteristic rising curve of Figures 9
+// and 10, where small messages cannot amortise the WAN latency.
+func MessageThroughput(p Params, msgSize int64, sustainedBps float64) float64 {
+	p.setDefaults()
+	if msgSize <= 0 || sustainedBps <= 0 {
+		return 0
+	}
+	wire := float64(msgSize) / sustainedBps
+	perMessageOverhead := p.RTT.Seconds() / 2
+	return float64(msgSize) / (wire + perMessageOverhead)
+}

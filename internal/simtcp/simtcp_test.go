@@ -1,0 +1,258 @@
+package simtcp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// The two WAN links of the paper's evaluation, with loss rates chosen so
+// the simulated behaviour matches the qualitative regime described in
+// Section 6 (see EXPERIMENTS.md for the calibration discussion).
+var (
+	amsRennes   = Params{CapacityBps: 1.6e6, RTT: 30 * time.Millisecond, LossRate: 0.003, Seed: 1}
+	delftSophia = Params{CapacityBps: 9e6, RTT: 43 * time.Millisecond, LossRate: 0.0005, Seed: 1}
+)
+
+func withStreams(p Params, n int) Params {
+	p.Streams = n
+	return p
+}
+
+func TestZeroBytesTransfer(t *testing.T) {
+	r := Transfer(amsRennes, 0)
+	if r.BytesDelivered != 0 || r.Rounds != 0 {
+		t.Fatalf("zero transfer should be empty: %+v", r)
+	}
+}
+
+func TestTransferDeliversExactly(t *testing.T) {
+	for _, size := range []int64{1, 1460, 100_000, 5_000_000} {
+		r := Transfer(amsRennes, size)
+		if r.BytesDelivered != size {
+			t.Fatalf("size %d: delivered %d", size, r.BytesDelivered)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("size %d: non-positive elapsed time", size)
+		}
+	}
+}
+
+func TestUtilizationNeverExceedsCapacity(t *testing.T) {
+	for streams := 1; streams <= 16; streams *= 2 {
+		r := SteadyState(withStreams(delftSophia, streams))
+		if r.Utilization > 1.000001 {
+			t.Fatalf("streams=%d: utilization %f > 1", streams, r.Utilization)
+		}
+		if r.ThroughputBps <= 0 {
+			t.Fatalf("streams=%d: non-positive throughput", streams)
+		}
+	}
+}
+
+// TestSingleStreamWindowLimited checks the core phenomenon behind
+// Figure 10: on a high bandwidth-delay-product link, a single stream
+// with a 64 KiB window cannot come close to the link capacity.
+func TestSingleStreamWindowLimited(t *testing.T) {
+	r := SteadyState(delftSophia)
+	if r.Utilization > 0.4 {
+		t.Fatalf("single stream on 9 MB/s / 43 ms link should be window limited, got %.0f%%",
+			r.Utilization*100)
+	}
+	limit := WindowLimitBps(delftSophia)
+	if r.ThroughputBps > limit*1.05 {
+		t.Fatalf("throughput %.2f MB/s exceeds window limit %.2f MB/s",
+			r.ThroughputBps/1e6, limit/1e6)
+	}
+}
+
+// TestParallelStreamsImproveUtilization checks the headline result of
+// the paper's performance evaluation: more streams, more of the
+// capacity, approaching it with 8 streams.
+func TestParallelStreamsImproveUtilization(t *testing.T) {
+	u1 := SteadyState(withStreams(delftSophia, 1)).Utilization
+	u4 := SteadyState(withStreams(delftSophia, 4)).Utilization
+	u8 := SteadyState(withStreams(delftSophia, 8)).Utilization
+	if !(u1 < u4 && u4 < u8) {
+		t.Fatalf("utilization should increase with streams: 1->%.2f 4->%.2f 8->%.2f", u1, u4, u8)
+	}
+	if u8 < 0.6 {
+		t.Fatalf("8 streams should recover most of the capacity, got %.0f%%", u8*100)
+	}
+	if u1 > 0.35 {
+		t.Fatalf("1 stream should be far from capacity on this link, got %.0f%%", u1*100)
+	}
+}
+
+func TestParallelStreamsOnSlowLossyLink(t *testing.T) {
+	// Figure 9 regime: the link is slow enough that 4 streams reach
+	// nearly full utilization while a single stream is loss limited.
+	u1 := SteadyState(withStreams(amsRennes, 1)).Utilization
+	u4 := SteadyState(withStreams(amsRennes, 4)).Utilization
+	if u1 > 0.85 {
+		t.Fatalf("single lossy stream should not reach capacity, got %.0f%%", u1*100)
+	}
+	if u4 < u1 {
+		t.Fatalf("4 streams should not be slower than 1: %.2f vs %.2f", u4, u1)
+	}
+	if u4 < 0.7 {
+		t.Fatalf("4 streams should fill most of a 1.6 MB/s link, got %.0f%%", u4*100)
+	}
+}
+
+func TestLossReducesThroughput(t *testing.T) {
+	clean := delftSophia
+	clean.LossRate = 0
+	lossy := delftSophia
+	lossy.LossRate = 0.01
+	rc := SteadyState(clean)
+	rl := SteadyState(lossy)
+	if rl.ThroughputBps >= rc.ThroughputBps {
+		t.Fatalf("loss should reduce throughput: %.2f >= %.2f", rl.ThroughputBps/1e6, rc.ThroughputBps/1e6)
+	}
+	if rl.LossEvents == 0 {
+		t.Fatal("lossy run recorded no loss events")
+	}
+}
+
+func TestLargerWindowRemovesClamp(t *testing.T) {
+	clamped := delftSophia
+	clamped.LossRate = 0
+	scaled := clamped
+	scaled.MaxWindow = 4 << 20 // window scaling enabled
+	rc := SteadyState(clamped)
+	rs := SteadyState(scaled)
+	if rs.ThroughputBps <= rc.ThroughputBps*1.5 {
+		t.Fatalf("window scaling should unlock the link: %.2f vs %.2f MB/s",
+			rs.ThroughputBps/1e6, rc.ThroughputBps/1e6)
+	}
+	if rs.Utilization < 0.9 {
+		t.Fatalf("scaled window with no loss should fill the link, got %.0f%%", rs.Utilization*100)
+	}
+}
+
+func TestLANFullUtilization(t *testing.T) {
+	// 100 Mbit/s LAN with 0.2 ms RTT: BDP is tiny, so plain TCP fills it
+	// (the Section 4.1 scenario).
+	lan := Params{CapacityBps: 12.5e6, RTT: 200 * time.Microsecond, Seed: 1}
+	r := SteadyState(lan)
+	if r.Utilization < 0.95 {
+		t.Fatalf("LAN should be fully utilized, got %.0f%%", r.Utilization*100)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := SteadyState(withStreams(delftSophia, 4))
+	b := SteadyState(withStreams(delftSophia, 4))
+	if a.ThroughputBps != b.ThroughputBps || a.LossEvents != b.LossEvents {
+		t.Fatalf("same seed should give identical results: %+v vs %+v", a, b)
+	}
+	c := delftSophia
+	c.Streams = 4
+	c.Seed = 42
+	if SteadyState(c).ThroughputBps == a.ThroughputBps {
+		t.Log("different seed gave identical throughput (possible but unlikely); not failing")
+	}
+}
+
+func TestWindowLimitBps(t *testing.T) {
+	p := Params{CapacityBps: 9e6, RTT: 43 * time.Millisecond, Streams: 1}
+	got := WindowLimitBps(p)
+	want := 65536.0 / 0.043
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("window limit = %f, want %f", got, want)
+	}
+	p.Streams = 16
+	if WindowLimitBps(p) != 9e6 {
+		t.Fatalf("window limit should be capped by capacity")
+	}
+}
+
+func TestMathisOracle(t *testing.T) {
+	// With no random loss the Mathis estimate degenerates to the window
+	// limit.
+	p := Params{CapacityBps: 9e6, RTT: 43 * time.Millisecond}
+	if MathisBps(p) != WindowLimitBps(p) {
+		t.Fatal("lossless Mathis should equal the window limit")
+	}
+	// Higher loss, lower estimate.
+	low := p
+	low.LossRate = 0.0001
+	high := p
+	high.LossRate = 0.01
+	if MathisBps(high) >= MathisBps(low) {
+		t.Fatal("Mathis estimate should decrease with loss")
+	}
+	// The simulation should agree with Mathis within a factor of ~2 in
+	// the loss-limited regime (it is a coarse fluid model, but must not
+	// be wildly off).
+	lossLimited := Params{CapacityBps: 100e6, RTT: 50 * time.Millisecond, LossRate: 0.004, Seed: 3}
+	sim := SteadyState(lossLimited).ThroughputBps
+	oracle := MathisBps(lossLimited)
+	if sim > oracle*2.5 || sim < oracle/2.5 {
+		t.Fatalf("simulation %.2f MB/s disagrees with Mathis %.2f MB/s by more than 2.5x",
+			sim/1e6, oracle/1e6)
+	}
+}
+
+func TestMessageThroughputShape(t *testing.T) {
+	p := amsRennes
+	sustained := 1.4e6
+	var prev float64
+	for _, size := range []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		got := MessageThroughput(p, size, sustained)
+		if got <= prev {
+			t.Fatalf("message throughput should increase with message size (size=%d: %.2f <= %.2f)",
+				size, got/1e6, prev/1e6)
+		}
+		if got > sustained {
+			t.Fatalf("message throughput cannot exceed the sustained rate")
+		}
+		prev = got
+	}
+	// Large messages should approach the sustained rate.
+	if got := MessageThroughput(p, 64<<20, sustained); got < sustained*0.95 {
+		t.Fatalf("64 MiB messages should amortise the latency, got %.2f of %.2f", got/1e6, sustained/1e6)
+	}
+	if MessageThroughput(p, 0, sustained) != 0 {
+		t.Fatal("zero-size message should have zero throughput")
+	}
+	if MessageThroughput(p, 100, 0) != 0 {
+		t.Fatal("zero sustained rate should give zero throughput")
+	}
+}
+
+func TestMoreStreamsNeverHurtQuick(t *testing.T) {
+	// Property: adding streams never reduces steady-state throughput by
+	// more than a small tolerance (they can contend, but aggregation
+	// should dominate on an uncongested link).
+	f := func(seed int64, extra uint8) bool {
+		base := Params{CapacityBps: 8e6, RTT: 40 * time.Millisecond, LossRate: 0.001, Seed: seed % 1000}
+		one := SteadyState(withStreams(base, 1)).ThroughputBps
+		n := int(extra%7) + 2
+		many := SteadyState(withStreams(base, n)).ThroughputBps
+		return many >= one*0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := SteadyState(amsRennes)
+	if r.String() == "" {
+		t.Fatal("empty Result string")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := Params{}
+	p.setDefaults()
+	if p.MSS != DefaultMSS || p.MaxWindow != DefaultMaxWindow || p.Streams != 1 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.RTT <= 0 {
+		t.Fatal("default RTT must be positive")
+	}
+}

@@ -1,0 +1,432 @@
+// Package socks implements the subset of the SOCKS5 protocol (RFC 1928)
+// that NetIbis needs: the CONNECT command with "no authentication" and
+// "username/password" (RFC 1929) methods, both as a client and as a
+// proxy server.
+//
+// The paper lists SOCKS as the main general-purpose TCP proxy: it lets a
+// host behind a firewall or NAT open an *outgoing* connection to a
+// destination outside, via a gateway that is connected on both sides.
+// NetIbis falls back to a SOCKS proxy when TCP splicing is impossible
+// (strict firewalls, broken NAT implementations).
+//
+// The server's dial function is pluggable, so the same proxy code serves
+// real TCP sockets (cmd/netibis-socks) and the emulated internetwork.
+package socks
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// Version is the SOCKS protocol version implemented.
+const Version = 5
+
+// Authentication method identifiers (RFC 1928 section 3).
+const (
+	MethodNoAuth       = 0x00
+	MethodUserPass     = 0x02
+	MethodNoAcceptable = 0xFF
+)
+
+// Command codes.
+const (
+	cmdConnect = 0x01
+)
+
+// Address types.
+const (
+	atypIPv4   = 0x01
+	atypDomain = 0x03
+	atypIPv6   = 0x04
+)
+
+// Reply codes (RFC 1928 section 6).
+const (
+	replySucceeded          = 0x00
+	replyGeneralFailure     = 0x01
+	replyNotAllowed         = 0x02
+	replyNetworkUnreachable = 0x03
+	replyHostUnreachable    = 0x04
+	replyConnRefused        = 0x05
+	replyCmdNotSupported    = 0x07
+	replyAtypNotSupported   = 0x08
+)
+
+// Errors returned by the client.
+var (
+	// ErrAuthFailed indicates the proxy rejected the credentials.
+	ErrAuthFailed = errors.New("socks: authentication failed")
+	// ErrNoAcceptableAuth indicates the proxy accepts none of our methods.
+	ErrNoAcceptableAuth = errors.New("socks: no acceptable authentication method")
+	// ErrRequestRejected indicates the proxy refused the CONNECT request.
+	ErrRequestRejected = errors.New("socks: request rejected by proxy")
+)
+
+// replyError maps a SOCKS reply code to a descriptive error.
+func replyError(code byte) error {
+	switch code {
+	case replySucceeded:
+		return nil
+	case replyNotAllowed:
+		return fmt.Errorf("%w: connection not allowed by ruleset", ErrRequestRejected)
+	case replyNetworkUnreachable:
+		return fmt.Errorf("%w: network unreachable", ErrRequestRejected)
+	case replyHostUnreachable:
+		return fmt.Errorf("%w: host unreachable", ErrRequestRejected)
+	case replyConnRefused:
+		return fmt.Errorf("%w: connection refused", ErrRequestRejected)
+	case replyCmdNotSupported:
+		return fmt.Errorf("%w: command not supported", ErrRequestRejected)
+	case replyAtypNotSupported:
+		return fmt.Errorf("%w: address type not supported", ErrRequestRejected)
+	default:
+		return fmt.Errorf("%w: general failure (code %d)", ErrRequestRejected, code)
+	}
+}
+
+// Credentials carries optional RFC 1929 username/password authentication.
+type Credentials struct {
+	Username string
+	Password string
+}
+
+// --- client --------------------------------------------------------------------
+
+// Connect performs the SOCKS5 handshake over an already established
+// connection to the proxy and asks it to connect to host:port. On
+// success the same connection carries the proxied byte stream.
+func Connect(proxy net.Conn, host string, port int, creds *Credentials) error {
+	// Method negotiation.
+	methods := []byte{MethodNoAuth}
+	if creds != nil {
+		methods = append(methods, MethodUserPass)
+	}
+	greeting := append([]byte{Version, byte(len(methods))}, methods...)
+	if _, err := proxy.Write(greeting); err != nil {
+		return err
+	}
+	var sel [2]byte
+	if _, err := io.ReadFull(proxy, sel[:]); err != nil {
+		return err
+	}
+	if sel[0] != Version {
+		return fmt.Errorf("socks: unexpected version %d from proxy", sel[0])
+	}
+	switch sel[1] {
+	case MethodNoAuth:
+		// Nothing to do.
+	case MethodUserPass:
+		if creds == nil {
+			return ErrNoAcceptableAuth
+		}
+		if err := clientUserPass(proxy, *creds); err != nil {
+			return err
+		}
+	case MethodNoAcceptable:
+		return ErrNoAcceptableAuth
+	default:
+		return fmt.Errorf("socks: proxy selected unsupported method %d", sel[1])
+	}
+
+	// CONNECT request. Addresses are always sent as domain names: the
+	// emulated internetwork uses string addresses and real deployments
+	// are happy to resolve them proxy-side.
+	if len(host) > 255 {
+		return fmt.Errorf("socks: host name too long")
+	}
+	req := []byte{Version, cmdConnect, 0x00, atypDomain, byte(len(host))}
+	req = append(req, host...)
+	req = append(req, byte(port>>8), byte(port))
+	if _, err := proxy.Write(req); err != nil {
+		return err
+	}
+
+	// Reply: VER REP RSV ATYP BND.ADDR BND.PORT.
+	var hdr [4]byte
+	if _, err := io.ReadFull(proxy, hdr[:]); err != nil {
+		return err
+	}
+	if hdr[0] != Version {
+		return fmt.Errorf("socks: unexpected reply version %d", hdr[0])
+	}
+	// Consume the bound address even on failure, to leave the stream in
+	// a well-defined state.
+	var bndLen int
+	switch hdr[3] {
+	case atypIPv4:
+		bndLen = 4
+	case atypIPv6:
+		bndLen = 16
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(proxy, l[:]); err != nil {
+			return err
+		}
+		bndLen = int(l[0])
+	default:
+		return fmt.Errorf("socks: unknown bound address type %d", hdr[3])
+	}
+	discard := make([]byte, bndLen+2)
+	if _, err := io.ReadFull(proxy, discard); err != nil {
+		return err
+	}
+	return replyError(hdr[1])
+}
+
+func clientUserPass(proxy net.Conn, creds Credentials) error {
+	if len(creds.Username) > 255 || len(creds.Password) > 255 {
+		return fmt.Errorf("socks: credentials too long")
+	}
+	req := []byte{0x01, byte(len(creds.Username))}
+	req = append(req, creds.Username...)
+	req = append(req, byte(len(creds.Password)))
+	req = append(req, creds.Password...)
+	if _, err := proxy.Write(req); err != nil {
+		return err
+	}
+	var resp [2]byte
+	if _, err := io.ReadFull(proxy, resp[:]); err != nil {
+		return err
+	}
+	if resp[1] != 0x00 {
+		return ErrAuthFailed
+	}
+	return nil
+}
+
+// --- server --------------------------------------------------------------------
+
+// Dialer is the function a Server uses to open outbound connections on
+// behalf of its clients.
+type Dialer func(host string, port int) (net.Conn, error)
+
+// Auth validates RFC 1929 credentials; returning false rejects the client.
+type Auth func(username, password string) bool
+
+// Server is a SOCKS5 proxy.
+type Server struct {
+	dial Dialer
+	auth Auth // nil means "no authentication required"
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	// connections counts successfully proxied CONNECT requests.
+	connections int64
+}
+
+// NewServer creates a proxy that uses dial for outbound connections.
+// If auth is non-nil, clients must authenticate with username/password.
+func NewServer(dial Dialer, auth Auth) *Server {
+	return &Server{dial: dial, auth: auth}
+}
+
+// Connections reports how many CONNECT requests have been served.
+func (s *Server) Connections() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connections
+}
+
+// Serve accepts proxy clients on l until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops all listeners and waits for in-flight handshakes.
+func (s *Server) Close() {
+	s.mu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(client net.Conn) {
+	defer client.Close()
+
+	// Method negotiation.
+	var hdr [2]byte
+	if _, err := io.ReadFull(client, hdr[:]); err != nil || hdr[0] != Version {
+		return
+	}
+	methods := make([]byte, hdr[1])
+	if _, err := io.ReadFull(client, methods); err != nil {
+		return
+	}
+	want := byte(MethodNoAuth)
+	if s.auth != nil {
+		want = MethodUserPass
+	}
+	offered := false
+	for _, m := range methods {
+		if m == want {
+			offered = true
+			break
+		}
+	}
+	if !offered {
+		client.Write([]byte{Version, MethodNoAcceptable})
+		return
+	}
+	if _, err := client.Write([]byte{Version, want}); err != nil {
+		return
+	}
+	if s.auth != nil {
+		if !s.serverUserPass(client) {
+			return
+		}
+	}
+
+	// Request.
+	var req [4]byte
+	if _, err := io.ReadFull(client, req[:]); err != nil || req[0] != Version {
+		return
+	}
+	var host string
+	switch req[3] {
+	case atypIPv4:
+		var a [4]byte
+		if _, err := io.ReadFull(client, a[:]); err != nil {
+			return
+		}
+		host = net.IP(a[:]).String()
+	case atypIPv6:
+		var a [16]byte
+		if _, err := io.ReadFull(client, a[:]); err != nil {
+			return
+		}
+		host = net.IP(a[:]).String()
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(client, l[:]); err != nil {
+			return
+		}
+		name := make([]byte, l[0])
+		if _, err := io.ReadFull(client, name); err != nil {
+			return
+		}
+		host = string(name)
+	default:
+		s.reply(client, replyAtypNotSupported)
+		return
+	}
+	var portBytes [2]byte
+	if _, err := io.ReadFull(client, portBytes[:]); err != nil {
+		return
+	}
+	port := int(portBytes[0])<<8 | int(portBytes[1])
+
+	if req[1] != cmdConnect {
+		s.reply(client, replyCmdNotSupported)
+		return
+	}
+
+	target, err := s.dial(host, port)
+	if err != nil {
+		s.reply(client, replyCodeForError(err))
+		return
+	}
+	defer target.Close()
+	if err := s.reply(client, replySucceeded); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.connections++
+	s.mu.Unlock()
+
+	// Relay bytes in both directions until either side closes.
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(target, client)
+		target.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, target)
+		client.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func (s *Server) serverUserPass(client net.Conn) bool {
+	var hdr [2]byte
+	if _, err := io.ReadFull(client, hdr[:]); err != nil || hdr[0] != 0x01 {
+		return false
+	}
+	user := make([]byte, hdr[1])
+	if _, err := io.ReadFull(client, user); err != nil {
+		return false
+	}
+	var plen [1]byte
+	if _, err := io.ReadFull(client, plen[:]); err != nil {
+		return false
+	}
+	pass := make([]byte, plen[0])
+	if _, err := io.ReadFull(client, pass); err != nil {
+		return false
+	}
+	if s.auth(string(user), string(pass)) {
+		client.Write([]byte{0x01, 0x00})
+		return true
+	}
+	client.Write([]byte{0x01, 0x01})
+	return false
+}
+
+// reply sends a minimal reply with a zero IPv4 bound address.
+func (s *Server) reply(client net.Conn, code byte) error {
+	_, err := client.Write([]byte{Version, code, 0x00, atypIPv4, 0, 0, 0, 0, 0, 0})
+	return err
+}
+
+// replyCodeForError maps dialer errors onto SOCKS reply codes, keeping
+// the distinction between "refused" and "unreachable" that the
+// establishment logic upstream cares about.
+func replyCodeForError(err error) byte {
+	msg := err.Error()
+	switch {
+	case contains(msg, "refused"):
+		return replyConnRefused
+	case contains(msg, "unreachable"):
+		return replyHostUnreachable
+	case contains(msg, "blocked"), contains(msg, "denied"):
+		return replyNotAllowed
+	default:
+		return replyGeneralFailure
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// HostPort formats an address for logging.
+func HostPort(host string, port int) string {
+	return net.JoinHostPort(host, strconv.Itoa(port))
+}

@@ -1,0 +1,270 @@
+package socks
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+)
+
+// socksWorld models the paper's SOCKS deployment: a proxy on a gateway
+// machine that is reachable from a site whose NAT implementation breaks
+// TCP splicing, forwarding connections to servers on the open Internet.
+type socksWorld struct {
+	fabric *emunet.Fabric
+	proxy  *emunet.Host
+	inside *emunet.Host
+	server *emunet.Host
+	socks  *Server
+}
+
+func newSocksWorld(t *testing.T, auth Auth) *socksWorld {
+	t.Helper()
+	f := emunet.NewFabric()
+	gw := f.AddSite("gateway", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("proxy")
+	inside := f.AddSite("natted", emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}).AddHost("worker")
+	server := f.AddSite("public", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("server")
+
+	l, err := gw.Listen(1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxy dials within the emulated internet on behalf of clients.
+	dial := func(host string, port int) (net.Conn, error) {
+		return gw.Dial(emunet.Endpoint{Addr: emunet.Address(host), Port: port})
+	}
+	srv := NewServer(dial, auth)
+	go srv.Serve(l)
+
+	w := &socksWorld{fabric: f, proxy: gw, inside: inside, server: server, socks: srv}
+	t.Cleanup(func() {
+		srv.Close()
+		f.Close()
+	})
+	return w
+}
+
+func (w *socksWorld) echoServer(t *testing.T, port int) {
+	t.Helper()
+	l, err := w.server.Listen(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+}
+
+func (w *socksWorld) dialProxy(t *testing.T) net.Conn {
+	t.Helper()
+	c, err := w.inside.Dial(emunet.Endpoint{Addr: w.proxy.Address(), Port: 1080})
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	return c
+}
+
+func TestConnectNoAuth(t *testing.T) {
+	w := newSocksWorld(t, nil)
+	w.echoServer(t, 7000)
+
+	c := w.dialProxy(t)
+	defer c.Close()
+	if err := Connect(c, string(w.server.Address()), 7000, nil); err != nil {
+		t.Fatalf("CONNECT: %v", err)
+	}
+	msg := bytes.Repeat([]byte("through the proxy "), 1000)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted through SOCKS proxy")
+	}
+	if w.socks.Connections() != 1 {
+		t.Fatalf("proxy should count 1 connection, got %d", w.socks.Connections())
+	}
+}
+
+func TestConnectWithUserPass(t *testing.T) {
+	auth := func(u, p string) bool { return u == "grid" && p == "ibis" }
+	w := newSocksWorld(t, auth)
+	w.echoServer(t, 7100)
+
+	// Correct credentials succeed.
+	c := w.dialProxy(t)
+	defer c.Close()
+	if err := Connect(c, string(w.server.Address()), 7100, &Credentials{Username: "grid", Password: "ibis"}); err != nil {
+		t.Fatalf("authenticated CONNECT: %v", err)
+	}
+	c.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong credentials are rejected.
+	c2 := w.dialProxy(t)
+	defer c2.Close()
+	err := Connect(c2, string(w.server.Address()), 7100, &Credentials{Username: "grid", Password: "wrong"})
+	if !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("expected ErrAuthFailed, got %v", err)
+	}
+
+	// A client that cannot authenticate at all is turned away during
+	// method negotiation.
+	c3 := w.dialProxy(t)
+	defer c3.Close()
+	if err := Connect(c3, string(w.server.Address()), 7100, nil); !errors.Is(err, ErrNoAcceptableAuth) {
+		t.Fatalf("expected ErrNoAcceptableAuth, got %v", err)
+	}
+}
+
+func TestConnectRefusedTarget(t *testing.T) {
+	w := newSocksWorld(t, nil)
+	// No listener at the target port.
+	c := w.dialProxy(t)
+	defer c.Close()
+	err := Connect(c, string(w.server.Address()), 9999, nil)
+	if !errors.Is(err, ErrRequestRejected) {
+		t.Fatalf("expected ErrRequestRejected, got %v", err)
+	}
+}
+
+func TestConnectUnreachableTarget(t *testing.T) {
+	w := newSocksWorld(t, nil)
+	c := w.dialProxy(t)
+	defer c.Close()
+	err := Connect(c, "203.0.113.99", 80, nil)
+	if !errors.Is(err, ErrRequestRejected) {
+		t.Fatalf("expected ErrRequestRejected, got %v", err)
+	}
+}
+
+// TestProxyCrossesFirewallForNATHost is the scenario that matters to the
+// paper: a host behind a broken NAT cannot splice, but it can still
+// reach arbitrary public servers through the SOCKS proxy.
+func TestProxyCrossesFirewallForNATHost(t *testing.T) {
+	w := newSocksWorld(t, nil)
+	w.echoServer(t, 7200)
+	// Direct client/server from the NAT'ed host works for outgoing
+	// traffic, but the reverse direction (dialing the NAT'ed host) is
+	// impossible; the SOCKS path must still work for the outgoing leg.
+	c := w.dialProxy(t)
+	defer c.Close()
+	if err := Connect(c, string(w.server.Address()), 7200, nil); err != nil {
+		t.Fatalf("CONNECT from NAT'ed host: %v", err)
+	}
+	c.Write([]byte("nat"))
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "nat" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestManyConcurrentProxiedConnections(t *testing.T) {
+	w := newSocksWorld(t, nil)
+	w.echoServer(t, 7300)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := w.dialProxy(t)
+			defer c.Close()
+			if err := Connect(c, string(w.server.Address()), 7300, nil); err != nil {
+				t.Errorf("conn %d: %v", i, err)
+				return
+			}
+			msg := bytes.Repeat([]byte{byte(i + 1)}, 20_000)
+			go c.Write(msg)
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Errorf("conn %d read: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("conn %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := w.socks.Connections(); got != n {
+		t.Fatalf("proxy counted %d connections, want %d", got, n)
+	}
+}
+
+func TestReplyCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code byte
+	}{
+		{emunet.ErrConnRefused, replyConnRefused},
+		{emunet.ErrUnreachable, replyHostUnreachable},
+		{emunet.ErrBlocked, replyNotAllowed},
+		{emunet.ErrEgressDenied, replyNotAllowed},
+		{errors.New("something else"), replyGeneralFailure},
+	}
+	for _, c := range cases {
+		if got := replyCodeForError(c.err); got != c.code {
+			t.Errorf("replyCodeForError(%v) = %d, want %d", c.err, got, c.code)
+		}
+	}
+}
+
+func TestReplyErrorMessages(t *testing.T) {
+	if replyError(replySucceeded) != nil {
+		t.Fatal("success reply should not be an error")
+	}
+	for _, code := range []byte{replyGeneralFailure, replyNotAllowed, replyNetworkUnreachable,
+		replyHostUnreachable, replyConnRefused, replyCmdNotSupported, replyAtypNotSupported} {
+		err := replyError(code)
+		if !errors.Is(err, ErrRequestRejected) {
+			t.Fatalf("reply %d should wrap ErrRequestRejected, got %v", code, err)
+		}
+	}
+}
+
+func TestHostPort(t *testing.T) {
+	if HostPort("10.0.0.1", 1080) != "10.0.0.1:1080" {
+		t.Fatal("HostPort formatting wrong")
+	}
+}
+
+func TestMalformedClientGreetingIgnored(t *testing.T) {
+	// A garbage client must not wedge the proxy.
+	w := newSocksWorld(t, nil)
+	c := w.dialProxy(t)
+	c.Write([]byte{0x04, 0x01}) // SOCKS4, unsupported
+	c.Close()
+	// The proxy should still serve well-formed clients afterwards.
+	w.echoServer(t, 7400)
+	c2 := w.dialProxy(t)
+	defer c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	c2.SetDeadline(deadline)
+	if err := Connect(c2, string(w.server.Address()), 7400, nil); err != nil {
+		t.Fatalf("proxy unusable after malformed client: %v", err)
+	}
+}

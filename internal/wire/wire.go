@@ -1,0 +1,338 @@
+// Package wire provides the low-level framing, encoding and buffer
+// management shared by every NetIbis protocol and driver.
+//
+// All NetIbis links are byte streams (TCP sockets, emulated connections,
+// relay-routed virtual links). Drivers and control protocols exchange
+// discrete frames over those streams. A frame is a small header followed
+// by a payload:
+//
+//	+--------+--------+----------------+
+//	| kind   | flags  | length (uvar)  |  payload bytes ...
+//	+--------+--------+----------------+
+//
+// The header is deliberately tiny: the paper's TCP_Block driver sends
+// many small application messages and the per-frame overhead directly
+// eats into the achievable bandwidth on slow WAN links.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame kinds used across NetIbis protocols. Drivers are free to define
+// additional kinds above KindUser.
+const (
+	// KindData carries application payload.
+	KindData byte = iota
+	// KindFlush marks an explicit flush boundary (end of message).
+	KindFlush
+	// KindControl carries driver or factory control information.
+	KindControl
+	// KindClose announces an orderly shutdown of the link.
+	KindClose
+	// KindHandshake carries establishment/negotiation payloads.
+	KindHandshake
+	// KindKeepAlive keeps relay-routed links warm.
+	KindKeepAlive
+	// KindUser is the first kind available for driver-private use.
+	KindUser byte = 0x20
+)
+
+// MaxFrameLen bounds the payload length of a single frame. Larger
+// application messages are fragmented by the drivers above this layer.
+const MaxFrameLen = 1 << 26 // 64 MiB
+
+// Common errors.
+var (
+	// ErrFrameTooLarge is returned when an encoded or decoded frame
+	// exceeds MaxFrameLen.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum length")
+	// ErrCorruptFrame is returned when a frame header cannot be parsed.
+	ErrCorruptFrame = errors.New("wire: corrupt frame header")
+)
+
+// Frame is a decoded frame. The payload slice is only valid until the
+// next call to the Reader that produced it unless the caller copies it.
+type Frame struct {
+	Kind    byte
+	Flags   byte
+	Payload []byte
+}
+
+// String implements fmt.Stringer for debugging and log output.
+func (f Frame) String() string {
+	return fmt.Sprintf("frame{kind=%d flags=%#x len=%d}", f.Kind, f.Flags, len(f.Payload))
+}
+
+// Writer encodes frames onto an io.Writer. It is not safe for concurrent
+// use; callers serialise access (the drivers hold a per-link mutex).
+type Writer struct {
+	w       io.Writer
+	hdr     [2 + binary.MaxVarintLen64]byte
+	scratch []byte
+}
+
+// NewWriter returns a frame Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// WriteFrame encodes and writes a single frame.
+func (fw *Writer) WriteFrame(kind, flags byte, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	fw.hdr[0] = kind
+	fw.hdr[1] = flags
+	n := binary.PutUvarint(fw.hdr[2:], uint64(len(payload)))
+	// Coalesce header+payload into one Write where it is cheap to do so:
+	// small payloads dominate in parallel applications and issuing two
+	// Writes per frame doubles syscall (or emulated-link) cost.
+	if len(payload) <= 4096 {
+		need := 2 + n + len(payload)
+		if cap(fw.scratch) < need {
+			fw.scratch = make([]byte, 0, need+1024)
+		}
+		buf := fw.scratch[:0]
+		buf = append(buf, fw.hdr[:2+n]...)
+		buf = append(buf, payload...)
+		_, err := fw.w.Write(buf)
+		return err
+	}
+	if _, err := fw.w.Write(fw.hdr[:2+n]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(payload)
+	return err
+}
+
+// Reader decodes frames from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	br  *byteReader
+	buf []byte
+}
+
+// NewReader returns a frame Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, br: &byteReader{r: r}}
+}
+
+// ReadFrame reads the next frame. The returned payload is owned by the
+// Reader and reused by subsequent calls.
+func (fr *Reader) ReadFrame() (Frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	length, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if length > MaxFrameLen {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length, length+length/4)
+	}
+	payload := fr.buf[:length]
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Kind: hdr[0], Flags: hdr[1], Payload: payload}, nil
+}
+
+// byteReader adapts an io.Reader to io.ByteReader without losing
+// buffered data (it reads one byte at a time only for the varint).
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// --- buffer pooling -------------------------------------------------------
+
+// bufPool recycles payload buffers between drivers to keep allocation out
+// of the per-message fast path.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled byte slice with length n. The slice must be
+// returned with PutBuffer when no longer needed.
+func GetBuffer(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// --- primitive encoding helpers -------------------------------------------
+
+// AppendUvarint appends the unsigned varint encoding of v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// AppendString appends a length-prefixed UTF-8 string to dst.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice to dst.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendUint32 appends v in big-endian order.
+func AppendUint32(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// AppendUint64 appends v in big-endian order.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// Decoder consumes the primitives appended by the Append helpers.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf. The Decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorruptFrame
+	}
+}
+
+// Uvarint decodes an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() string {
+	b := d.Bytes()
+	return string(b)
+}
+
+// Bytes decodes a length-prefixed byte slice. The returned slice aliases
+// the Decoder's buffer.
+func (d *Decoder) Bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// Byte decodes a single raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Uint32 decodes a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// Uint64 decodes a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 5000),
+		bytes.Repeat([]byte("netibis"), 100000),
+	}
+	for i, p := range payloads {
+		if err := w.WriteFrame(KindData, byte(i), p); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, p := range payloads {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if f.Kind != KindData || f.Flags != byte(i) {
+			t.Fatalf("frame %d header mismatch: %v", i, f)
+		}
+		if !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d payload mismatch: got %d bytes want %d", i, len(f.Payload), len(p))
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestFrameKindsDistinct(t *testing.T) {
+	kinds := []byte{KindData, KindFlush, KindControl, KindClose, KindHandshake, KindKeepAlive, KindUser}
+	seen := map[byte]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate frame kind %d", k)
+		}
+		seen[k] = true
+	}
+	if KindUser <= KindKeepAlive {
+		t.Fatalf("KindUser must be above all built-in kinds")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	w := NewWriter(io.Discard)
+	big := make([]byte, MaxFrameLen+1)
+	if err := w.WriteFrame(KindData, 0, big); err != ErrFrameTooLarge {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestFrameTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(KindData, 0, []byte("truncated payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.ReadFrame(); err == nil {
+			t.Fatalf("cut=%d: expected error on truncated frame", cut)
+		}
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{Kind: KindFlush, Flags: 0x7, Payload: []byte("abc")}
+	s := f.String()
+	if s == "" {
+		t.Fatal("String() returned empty")
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(kind, flags byte, payload []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(kind, flags, payload); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, err := r.ReadFrame()
+		if err != nil {
+			return false
+		}
+		return got.Kind == kind && got.Flags == flags && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyFramesInterleavedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var sizes []int
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(9000)
+		sizes = append(sizes, n)
+		p := make([]byte, n)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		if err := w.WriteFrame(KindData, 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, n := range sizes {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(f.Payload) != n {
+			t.Fatalf("frame %d: got %d bytes want %d", i, len(f.Payload), n)
+		}
+		for j, b := range f.Payload {
+			if b != byte(i+j) {
+				t.Fatalf("frame %d byte %d corrupted", i, j)
+			}
+		}
+	}
+}
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 300)
+	b = AppendString(b, "amsterdam")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendUint32(b, 0xDEADBEEF)
+	b = AppendUint64(b, 1<<40)
+	d := NewDecoder(b)
+	if v := d.Uvarint(); v != 300 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if s := d.String(); s != "amsterdam" {
+		t.Fatalf("String = %q", s)
+	}
+	if bs := d.Bytes(); !bytes.Equal(bs, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", bs)
+	}
+	if v := d.Uint32(); v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %#x", v)
+	}
+	if v := d.Uint64(); v != 1<<40 {
+		t.Fatalf("Uint64 = %d", v)
+	}
+	if d.Err() != nil {
+		t.Fatalf("unexpected decode error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderCorrupt(t *testing.T) {
+	// Declared string longer than the buffer.
+	b := AppendUvarint(nil, 100)
+	d := NewDecoder(b)
+	if s := d.Bytes(); s != nil {
+		t.Fatalf("expected nil bytes on corrupt input, got %v", s)
+	}
+	if d.Err() == nil {
+		t.Fatal("expected error on corrupt input")
+	}
+	// Further reads keep failing without panicking.
+	_ = d.Uvarint()
+	_ = d.Uint32()
+	_ = d.Uint64()
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("error should be sticky")
+	}
+}
+
+func TestDecoderEmpty(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uvarint()
+	if d.Err() == nil {
+		t.Fatal("expected error decoding from empty buffer")
+	}
+}
+
+func TestPrimitiveQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, s string, raw []byte, v32 uint32, v64 uint64) bool {
+		var b []byte
+		b = AppendUvarint(b, u)
+		b = AppendString(b, s)
+		b = AppendBytes(b, raw)
+		b = AppendUint32(b, v32)
+		b = AppendUint64(b, v64)
+		d := NewDecoder(b)
+		if d.Uvarint() != u {
+			return false
+		}
+		if d.String() != s {
+			return false
+		}
+		got := d.Bytes()
+		if len(got) != len(raw) || (len(raw) > 0 && !bytes.Equal(got, raw)) {
+			return false
+		}
+		if d.Uint32() != v32 || d.Uint64() != v64 {
+			return false
+		}
+		return d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPool(t *testing.T) {
+	b := GetBuffer(1234)
+	if len(b) != 1234 {
+		t.Fatalf("GetBuffer length = %d", len(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	PutBuffer(b)
+	b2 := GetBuffer(10)
+	if len(b2) != 10 {
+		t.Fatalf("GetBuffer length = %d", len(b2))
+	}
+	PutBuffer(b2)
+	PutBuffer(nil) // must not panic
+}
+
+func BenchmarkFrameWrite4K(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	w := NewWriter(io.Discard)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteFrame(KindData, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip64K(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 64*1024)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	r := NewReader(&buf)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteFrame(KindData, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

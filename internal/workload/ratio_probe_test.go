@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+)
+
+func level1Ratio(t *testing.T, data []byte) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	w.Close()
+	return float64(len(data)) / float64(buf.Len())
+}
+
+// TestGridWorkloadRatioRegime pins the evaluation workload to the
+// compression regime of the paper's measurements: roughly 3-4:1 at
+// DEFLATE level 1. If the generator drifts out of this range, the
+// figure reproductions change character, so this is checked explicitly.
+func TestGridWorkloadRatioRegime(t *testing.T) {
+	r := level1Ratio(t, Generate(Grid, 4<<20, 1))
+	if r < 2.8 || r > 4.5 {
+		t.Fatalf("grid workload level-1 ratio %.2f outside the 2.8-4.5 regime", r)
+	}
+	text := level1Ratio(t, Generate(TextLike, 4<<20, 1))
+	if text <= r {
+		t.Fatalf("pure text (%.2f) should compress better than the grid workload (%.2f)", text, r)
+	}
+}
