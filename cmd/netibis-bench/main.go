@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|all]
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|all]
 package main
 
 import (
@@ -40,6 +40,10 @@ func main() {
 		streams()
 	case "zlib":
 		zlib()
+	case "multirelay":
+		multirelay()
+	case "failover":
+		failover()
 	case "all":
 		table1()
 		lan()
@@ -50,9 +54,11 @@ func main() {
 		zlib()
 		matrix()
 		delays()
+		multirelay()
+		failover()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover all")
 		os.Exit(2)
 	}
 }
@@ -138,4 +144,26 @@ func zlib() {
 		fmt.Printf("  level %d: ratio %4.2f, compressor %7.1f MB/s (this machine), effective on Amsterdam-Rennes %5.2f MB/s\n",
 			r.Level, r.Ratio, r.CompressMBps, r.EffectiveMBps)
 	}
+}
+
+func multirelay() {
+	header("Multi-relay mesh: one relay vs a three-relay overlay (routed traffic)")
+	results, err := bench.CompareRelayScaling(6, 4<<20)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multirelay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatMultiRelay(results))
+	fmt.Println()
+}
+
+func failover() {
+	header("Relay failover: kill one relay of a three-relay mesh mid-stream")
+	res, err := bench.RelayFailover()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatFailover(res))
+	fmt.Println()
 }

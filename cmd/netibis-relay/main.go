@@ -2,6 +2,19 @@
 // 3.3, Figure 3) as a stand-alone daemon on a real TCP socket, for
 // deployments where a gateway machine relays traffic for nodes that have
 // no other way to communicate.
+//
+// With --nameserver (and/or --join) the relay federates into a mesh
+// (package overlay): it registers itself in the Ibis Name Service,
+// discovers the other relays, forms peer links and forwards routed
+// frames to nodes attached elsewhere in the mesh. For example:
+//
+//	netibis-relay -listen :4500 -id relay-a -nameserver ns.example.org:4000
+//	netibis-relay -listen :4501 -id relay-b -nameserver ns.example.org:4000
+//
+// or, without a name service, a static mesh:
+//
+//	netibis-relay -listen :4500 -id relay-a
+//	netibis-relay -listen :4501 -id relay-b -join gw-a.example.org:4500
 package main
 
 import (
@@ -10,13 +23,21 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
+	"netibis/internal/nameservice"
+	"netibis/internal/overlay"
 	"netibis/internal/relay"
 )
 
 func main() {
 	addr := flag.String("listen", ":4500", "TCP address to listen on")
+	id := flag.String("id", "", "relay mesh ID (defaults to the listen address)")
+	nameserver := flag.String("nameserver", "", "Ibis Name Service address for mesh registration and discovery")
+	join := flag.String("join", "", "comma-separated peer relay addresses to join statically")
+	advertise := flag.String("advertise", "", "address peers and nodes dial to reach this relay (defaults to the listen address)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -26,13 +47,71 @@ func main() {
 	srv := relay.NewServer()
 	log.Printf("netibis-relay: listening on %s", l.Addr())
 
+	var mesh *overlay.Relay
+	// Any federation flag enables the overlay. A bare -id is enough: such
+	// a relay accepts peer links and forwards, and other relays reach it
+	// via their own -join or -nameserver configuration (the file-header
+	// static-mesh example relies on exactly that).
+	if *nameserver != "" || *join != "" || *id != "" {
+		meshID := *id
+		if meshID == "" {
+			meshID = l.Addr().String()
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = l.Addr().String()
+		}
+		// A wildcard listen address is not dialable; registering it in
+		// the name service would silently break discovery for the whole
+		// mesh, so demand an explicit -advertise instead.
+		if *nameserver != "" {
+			if host, _, err := net.SplitHostPort(adv); err == nil {
+				if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+					log.Fatalf("netibis-relay: advertise address %q is not dialable; pass -advertise host:port when listening on a wildcard address", adv)
+				}
+			}
+		}
+		var registry *nameservice.Client
+		if *nameserver != "" {
+			nsConn, err := net.Dial("tcp", *nameserver)
+			if err != nil {
+				log.Fatalf("netibis-relay: nameserver %s: %v", *nameserver, err)
+			}
+			registry = nameservice.NewClient(nsConn)
+		}
+		mesh, err = overlay.New(overlay.Config{
+			ID:        meshID,
+			Server:    srv,
+			Advertise: adv,
+			Registry:  registry,
+			Dial: func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 10*time.Second)
+			},
+		})
+		if err != nil {
+			log.Fatalf("netibis-relay: overlay: %v", err)
+		}
+		for _, peer := range strings.Split(*join, ",") {
+			if peer = strings.TrimSpace(peer); peer == "" {
+				continue
+			}
+			if err := mesh.AddPeer(peer); err != nil {
+				log.Printf("netibis-relay: join %s: %v (will keep serving)", peer, err)
+			}
+		}
+		log.Printf("netibis-relay: federated as %q (peers: %v)", meshID, mesh.Peers())
+	}
+
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		frames, bytes := srv.Stats()
-		log.Printf("netibis-relay: shutting down (%d frames, %d bytes routed, %d nodes attached)",
-			frames, bytes, len(srv.AttachedNodes()))
+		st := srv.Stats()
+		log.Printf("netibis-relay: shutting down (%d frames, %d bytes routed, %d forwarded to mesh, %d nodes attached)",
+			st.FramesRouted, st.BytesRouted, st.FramesForwarded, len(srv.AttachedNodes()))
+		if mesh != nil {
+			mesh.Close()
+		}
 		srv.Close()
 		os.Exit(0)
 	}()

@@ -1,0 +1,3 @@
+module netibis
+
+go 1.24

@@ -25,12 +25,25 @@ type SiteArchetype struct {
 // stateful firewalls, one behind a standards-compliant NAT and one
 // behind a broken NAT implementation ("most of the sites are protected
 // by stateful firewalls, and some use NAT and private IP addresses").
+// The "multi-relay" row goes beyond the paper: its node is pinned to a
+// second, federated relay of the mesh, so every service link it brokers
+// over (and any routed data link it falls back to) crosses a
+// relay-to-relay peer link.
 var Archetypes = []SiteArchetype{
 	{Name: "open", Config: emunet.SiteConfig{Firewall: emunet.Open}},
 	{Name: "firewalled-nl", Config: emunet.SiteConfig{Firewall: emunet.Stateful}},
 	{Name: "firewalled-fr", Config: emunet.SiteConfig{Firewall: emunet.Stateful}},
 	{Name: "nat", Config: emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.CompliantNAT}},
 	{Name: "broken-nat", Config: emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}},
+	MultiRelayArchetype,
+}
+
+// MultiRelayArchetype is the federated-relay row of the matrix: an
+// ordinary stateful-firewalled site whose node attaches to the mesh's
+// second relay instead of the first.
+var MultiRelayArchetype = SiteArchetype{
+	Name:   "multi-relay",
+	Config: emunet.SiteConfig{Firewall: emunet.Stateful},
 }
 
 // StrictArchetype is the additional "severe firewall" site kind of the
@@ -66,7 +79,10 @@ func ConnectivityMatrix(archetypes []SiteArchetype) ([]MatrixEntry, error) {
 	}
 	f := emunet.NewFabric(emunet.WithSeed(17))
 	defer f.Close()
-	dep, err := core.NewDeployment(f)
+	// Two federated relays: the "multi-relay" archetype is pinned to the
+	// second one, everything else to the first, so the matrix also
+	// proves full connectivity across the relay mesh.
+	dep, err := core.NewFederatedDeployment(f, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +94,11 @@ func ConnectivityMatrix(archetypes []SiteArchetype) ([]MatrixEntry, error) {
 	for _, a := range archetypes {
 		site := dep.AddSite(a.Name, a.Config)
 		host := site.AddHost(a.Name + "-node")
-		cfg := dep.NodeConfig(host, "matrix", a.Name)
+		relayIdx := 0
+		if a.Name == MultiRelayArchetype.Name {
+			relayIdx = 1
+		}
+		cfg := dep.NodeConfigOnRelay(host, "matrix", a.Name, relayIdx)
 		cfg.SpliceTimeout = 500 * time.Millisecond
 		cfg.AcceptTimeout = 5 * time.Second
 		n, err := core.Join(cfg)

@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"netibis/internal/core"
+	"netibis/internal/emunet"
+	"netibis/internal/ipl"
+)
+
+// This file is the multi-relay evaluation: the paper's routed-messages
+// relay as a federated mesh (package overlay) instead of a single
+// process. Two scenarios matter on the road to scale:
+//
+//   - throughput: N node pairs pushing routed traffic concurrently,
+//     once through one relay (the star topology of the paper) and once
+//     through a three-relay mesh where each site attaches to a nearby
+//     relay and frames hop relay-to-relay;
+//   - failover: a relay is killed mid-stream and its nodes must resume
+//     on the survivors.
+
+// relayBenchChunk is the message size used by the throughput scenario.
+const relayBenchChunk = 64 * 1024
+
+// MultiRelayResult is one throughput measurement.
+type MultiRelayResult struct {
+	// Relays is the mesh size.
+	Relays int
+	// Pairs is the number of concurrent sender/receiver pairs.
+	Pairs int
+	// BytesPerPair is the payload volume each pair transferred.
+	BytesPerPair int64
+	// Elapsed is the wall-clock time for all pairs to finish.
+	Elapsed time.Duration
+	// AggregateMBps is the total application-level rate across pairs.
+	AggregateMBps float64
+	// ForwardedFrames counts frames that crossed a relay-to-relay peer
+	// link (zero in the single-relay run, by definition).
+	ForwardedFrames int64
+}
+
+// MultiRelayThroughput runs the emunet multi-site scenario: pairs of
+// nodes in firewalled sites (one side behind a broken NAT with no
+// proxy, so every data link falls back to routed messages) transfer
+// bytesPerPair each, all concurrently. Senders and receivers are pinned
+// round-robin to different mesh members, so with more than one relay
+// the traffic crosses peer links.
+func MultiRelayThroughput(relayCount, pairs int, bytesPerPair int64) (MultiRelayResult, error) {
+	f := emunet.NewFabric(emunet.WithSeed(23))
+	defer f.Close()
+	dep, err := core.NewFederatedDeployment(f, relayCount)
+	if err != nil {
+		return MultiRelayResult{}, err
+	}
+	defer dep.Close()
+
+	pt := ipl.PortType{Name: "relaybench", Stack: "tcpblk"}
+	type benchPair struct {
+		sp ipl.SendPort
+		rp ipl.ReceivePort
+	}
+	var nodes []*core.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	join := func(cfg core.Config) (*core.Node, error) {
+		n, err := core.Join(cfg)
+		if err == nil {
+			nodes = append(nodes, n)
+		}
+		return n, err
+	}
+
+	benchPairs := make([]benchPair, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		srcHost := dep.AddSite(fmt.Sprintf("src-%d", i),
+			emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}).AddHost(fmt.Sprintf("sender-%d", i))
+		dstHost := dep.AddSite(fmt.Sprintf("dst-%d", i),
+			emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost(fmt.Sprintf("receiver-%d", i))
+
+		srcCfg := dep.NodeConfigOnRelay(srcHost, "relaybench", fmt.Sprintf("sender-%d", i), i%relayCount)
+		srcCfg.Proxy = emunet.Endpoint{} // no proxy: force routed data links
+		dstCfg := dep.NodeConfigOnRelay(dstHost, "relaybench", fmt.Sprintf("receiver-%d", i), (i+1)%relayCount)
+
+		src, err := join(srcCfg)
+		if err != nil {
+			return MultiRelayResult{}, err
+		}
+		dst, err := join(dstCfg)
+		if err != nil {
+			return MultiRelayResult{}, err
+		}
+		rp, err := dst.CreateReceivePort(pt, fmt.Sprintf("sink-%d", i))
+		if err != nil {
+			return MultiRelayResult{}, err
+		}
+		sp, err := src.CreateSendPort(pt)
+		if err != nil {
+			return MultiRelayResult{}, err
+		}
+		if err := sp.Connect(rp.ID()); err != nil {
+			return MultiRelayResult{}, fmt.Errorf("pair %d connect: %w", i, err)
+		}
+		benchPairs = append(benchPairs, benchPair{sp: sp, rp: rp})
+	}
+
+	chunk := bytes.Repeat([]byte{0x5a}, relayBenchChunk)
+	messages := int(bytesPerPair / relayBenchChunk)
+	if messages < 1 {
+		messages = 1
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*pairs)
+	// A failing side closes both ports of its pair so the counterpart
+	// unblocks instead of waiting forever on messages that will never
+	// come — the error must reach the caller, not deadlock the run.
+	fail := func(p benchPair, err error) {
+		errs <- err
+		p.sp.Close()
+		p.rp.Close()
+	}
+	start := time.Now()
+	for _, p := range benchPairs {
+		wg.Add(2)
+		go func(p benchPair) {
+			defer wg.Done()
+			for m := 0; m < messages; m++ {
+				wm, err := p.sp.NewMessage()
+				if err != nil {
+					fail(p, err)
+					return
+				}
+				wm.WriteBytes(chunk)
+				if err := wm.Finish(); err != nil {
+					fail(p, err)
+					return
+				}
+			}
+		}(p)
+		go func(p benchPair) {
+			defer wg.Done()
+			for m := 0; m < messages; m++ {
+				msg, err := p.rp.Receive()
+				if err != nil {
+					fail(p, err)
+					return
+				}
+				if _, err := msg.ReadBytes(); err != nil {
+					fail(p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return MultiRelayResult{}, fmt.Errorf("relay bench pair failed: %w", err)
+	}
+
+	res := MultiRelayResult{
+		Relays:       relayCount,
+		Pairs:        pairs,
+		BytesPerPair: int64(messages) * relayBenchChunk,
+		Elapsed:      elapsed,
+	}
+	res.AggregateMBps = float64(res.BytesPerPair) * float64(pairs) / elapsed.Seconds() / 1e6
+	for _, ri := range dep.Relays {
+		res.ForwardedFrames += ri.Server.Stats().FramesForwarded
+	}
+	return res, nil
+}
+
+// CompareRelayScaling runs the throughput scenario once through a single
+// relay and once through a three-relay mesh.
+func CompareRelayScaling(pairs int, bytesPerPair int64) ([]MultiRelayResult, error) {
+	var out []MultiRelayResult
+	for _, relays := range []int{1, 3} {
+		res, err := MultiRelayThroughput(relays, pairs, bytesPerPair)
+		if err != nil {
+			return nil, fmt.Errorf("%d relays: %w", relays, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatMultiRelay renders throughput results as a text table.
+func FormatMultiRelay(results []MultiRelayResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-7s %-14s %-12s %-16s %s\n",
+		"relays", "pairs", "bytes/pair", "elapsed", "aggregate MB/s", "forwarded frames")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8d %-7d %-14d %-12v %-16.2f %d\n",
+			r.Relays, r.Pairs, r.BytesPerPair, r.Elapsed.Round(time.Millisecond), r.AggregateMBps, r.ForwardedFrames)
+	}
+	return b.String()
+}
+
+// FailoverResult describes one kill-one-relay run.
+type FailoverResult struct {
+	// Relays is the mesh size.
+	Relays int
+	// Killed is the mesh ID of the relay that was killed.
+	Killed string
+	// ReattachedTo is where the orphaned node ended up.
+	ReattachedTo string
+	// MessagesBeforeKill is how many streamed messages landed before
+	// the crash.
+	MessagesBeforeKill int
+	// Recovery is the time from the kill until a message sent over a
+	// freshly dialed data link arrived.
+	Recovery time.Duration
+}
+
+// RelayFailover runs the kill-one-relay scenario: a sender streams
+// routed messages through its relay, the relay is killed mid-stream,
+// the sender's node reattaches to a survivor and a fresh Dial completes
+// a new transfer.
+func RelayFailover() (FailoverResult, error) {
+	f := emunet.NewFabric(emunet.WithSeed(29))
+	defer f.Close()
+	dep, err := core.NewFederatedDeployment(f, 3)
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	defer dep.Close()
+
+	srcHost := dep.AddSite("fo-src",
+		emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}).AddHost("fo-sender")
+	dstHost := dep.AddSite("fo-dst",
+		emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost("fo-receiver")
+	srcCfg := dep.NodeConfigOnRelay(srcHost, "failover", "fo-sender", 0)
+	srcCfg.Proxy = emunet.Endpoint{}
+	src, err := core.Join(srcCfg)
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	defer src.Close()
+	dst, err := core.Join(dep.NodeConfigOnRelay(dstHost, "failover", "fo-receiver", 1))
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	defer dst.Close()
+
+	pt := ipl.PortType{Name: "failover", Stack: "tcpblk"}
+	rp, err := dst.CreateReceivePort(pt, "fo-sink")
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	sp, err := src.CreateSendPort(pt)
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	if err := sp.Connect(rp.ID()); err != nil {
+		return FailoverResult{}, err
+	}
+
+	// Stream through the doomed relay. The stream may die with it or —
+	// because resumed attachments keep established links alive — survive
+	// the failover; either way it is stopped once the node has moved.
+	chunk := bytes.Repeat([]byte{0x33}, 16*1024)
+	stop := make(chan struct{})
+	streamed := make(chan int, 1)
+	go func() {
+		sent := 0
+		defer func() { streamed <- sent }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wm, err := sp.NewMessage()
+			if err != nil {
+				return
+			}
+			wm.WriteBytes(chunk)
+			if err := wm.Finish(); err != nil {
+				return
+			}
+			sent++
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	killAt := time.Now()
+	dep.Relays[0].Kill()
+	res := FailoverResult{Relays: 3, Killed: dep.Relays[0].Name}
+
+	// Wait for the automatic reattach, then prove a fresh Dial works.
+	deadline := time.Now().Add(10 * time.Second)
+	for src.HomeRelay() == res.Killed || src.HomeRelay() == "" {
+		if time.Now().After(deadline) {
+			close(stop)
+			return res, fmt.Errorf("relay failover: node never reattached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.ReattachedTo = src.HomeRelay()
+	close(stop)
+	res.MessagesBeforeKill = <-streamed
+
+	sp2, err := src.CreateSendPort(pt)
+	if err != nil {
+		return res, err
+	}
+	if err := sp2.Connect(rp.ID()); err != nil {
+		return res, fmt.Errorf("relay failover: dial after reattach: %w", err)
+	}
+	wm, err := sp2.NewMessage()
+	if err != nil {
+		return res, err
+	}
+	wm.WriteString("recovered")
+	if err := wm.Finish(); err != nil {
+		return res, err
+	}
+	for {
+		msg, err := rp.Receive()
+		if err != nil {
+			return res, fmt.Errorf("relay failover: receive after reattach: %w", err)
+		}
+		if msg.Remaining() < 1024 {
+			if s, err := msg.ReadString(); err == nil && s == "recovered" {
+				break
+			}
+		}
+	}
+	res.Recovery = time.Since(killAt)
+	return res, nil
+}
+
+// FormatFailover renders a failover run.
+func FormatFailover(r FailoverResult) string {
+	return fmt.Sprintf("relays=%d killed=%s reattached-to=%s streamed-before-kill=%d recovery=%v\n",
+		r.Relays, r.Killed, r.ReattachedTo, r.MessagesBeforeKill, r.Recovery.Round(time.Millisecond))
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"netibis/internal/emunet"
 	"netibis/internal/nameservice"
+	"netibis/internal/overlay"
 	"netibis/internal/relay"
 	"netibis/internal/socks"
 )
@@ -17,22 +19,79 @@ const (
 	SocksPort    = 1080
 )
 
+// meshRescanInterval is the overlay discovery interval used on emulated
+// deployments; the real default is far too slow for tests.
+const meshRescanInterval = 25 * time.Millisecond
+
+// RelayInstance is one member of a deployment's relay mesh.
+type RelayInstance struct {
+	// Name is the relay's mesh ID ("relay-0", "relay-1", ...).
+	Name string
+	// Host is the gateway machine the relay runs on.
+	Host *emunet.Host
+	// Server is the relay process itself.
+	Server *relay.Server
+	// Overlay federates the server into the mesh.
+	Overlay *overlay.Relay
+
+	registry *nameservice.Client
+}
+
+// Endpoint returns the address nodes dial to attach to this relay.
+func (ri *RelayInstance) Endpoint() emunet.Endpoint {
+	return emunet.Endpoint{Addr: ri.Host.Address(), Port: RelayPort}
+}
+
+// Close stops the relay gracefully: it leaves the mesh and unregisters
+// from the name service.
+func (ri *RelayInstance) Close() {
+	ri.Overlay.Close()
+	ri.Server.Close()
+	ri.registry.Close()
+}
+
+// Kill simulates a crash: the relay stops without unregistering, so its
+// stale registry record lingers — exactly the situation surviving relays
+// and reattaching nodes must cope with.
+func (ri *RelayInstance) Kill() {
+	ri.Overlay.Kill()
+	ri.Server.Close()
+	ri.registry.Close()
+}
+
 // Deployment bundles the shared grid infrastructure of a NetIbis run on
 // an emulated internetwork: a public gateway site hosting the Ibis Name
-// Service, the routed-messages relay and a SOCKS proxy. Examples, tests
-// and benchmarks build their multi-site worlds around one Deployment.
+// Service, a mesh of one or more routed-messages relays and a SOCKS
+// proxy. Examples, tests and benchmarks build their multi-site worlds
+// around one Deployment.
 type Deployment struct {
 	Fabric  *emunet.Fabric
 	Gateway *emunet.Host
 
 	Registry *nameservice.Server
-	Relay    *relay.Server
-	Socks    *socks.Server
+	// Relay is the first relay's server, kept for the single-relay
+	// callers that predate the mesh.
+	Relay  *relay.Server
+	Relays []*RelayInstance
+	Socks  *socks.Server
 }
 
-// NewDeployment creates the gateway site and starts the three shared
-// services on it.
+// NewDeployment creates the gateway site and starts the shared services
+// with a single relay.
 func NewDeployment(f *emunet.Fabric) (*Deployment, error) {
+	return NewFederatedDeployment(f, 1)
+}
+
+// NewFederatedDeployment creates the gateway site and starts the shared
+// services with a mesh of relayCount federated relays. The first relay
+// runs on the gateway host itself (so RelayEndpoint keeps meaning what
+// it always did); additional relays get their own public gateway hosts.
+// The function returns once every relay holds a peer link to every
+// other, so callers can rely on the mesh being formed.
+func NewFederatedDeployment(f *emunet.Fabric, relayCount int) (*Deployment, error) {
+	if relayCount < 1 {
+		relayCount = 1
+	}
 	gwSite := f.AddSite("gateway", emunet.SiteConfig{Firewall: emunet.Open})
 	gw := gwSite.AddHost("gateway")
 
@@ -45,12 +104,19 @@ func NewDeployment(f *emunet.Fabric) (*Deployment, error) {
 	d.Registry = nameservice.NewServer()
 	go d.Registry.Serve(regL)
 
-	relL, err := gw.Listen(RelayPort)
-	if err != nil {
-		return nil, fmt.Errorf("deployment: relay listener: %w", err)
+	for i := 0; i < relayCount; i++ {
+		name := fmt.Sprintf("relay-%d", i)
+		host := gw
+		if i > 0 {
+			host = gwSite.AddHost(name)
+		}
+		ri, err := startRelay(d, name, host)
+		if err != nil {
+			return nil, err
+		}
+		d.Relays = append(d.Relays, ri)
 	}
-	d.Relay = relay.NewServer()
-	go d.Relay.Serve(relL)
+	d.Relay = d.Relays[0].Server
 
 	socksL, err := gw.Listen(SocksPort)
 	if err != nil {
@@ -61,7 +127,71 @@ func NewDeployment(f *emunet.Fabric) (*Deployment, error) {
 	}, nil)
 	go d.Socks.Serve(socksL)
 
+	if err := d.waitForMesh(5 * time.Second); err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// startRelay launches one relay server plus its overlay membership on
+// the given gateway host.
+func startRelay(d *Deployment, name string, host *emunet.Host) (*RelayInstance, error) {
+	l, err := host.Listen(RelayPort)
+	if err != nil {
+		return nil, fmt.Errorf("deployment: relay %s listener: %w", name, err)
+	}
+	srv := relay.NewServer()
+	go srv.Serve(l)
+
+	regConn, err := host.Dial(d.RegistryEndpoint())
+	if err != nil {
+		return nil, fmt.Errorf("deployment: relay %s registry link: %w", name, err)
+	}
+	regCli := nameservice.NewClient(regConn)
+	ov, err := overlay.New(overlay.Config{
+		ID:        name,
+		Server:    srv,
+		Advertise: emunet.Endpoint{Addr: host.Address(), Port: RelayPort}.String(),
+		Registry:  regCli,
+		Dial: func(addr string) (net.Conn, error) {
+			ep, ok := parseEndpoint(addr)
+			if !ok {
+				return nil, fmt.Errorf("deployment: bad relay address %q", addr)
+			}
+			return host.Dial(ep)
+		},
+		RescanInterval: meshRescanInterval,
+	})
+	if err != nil {
+		regCli.Close()
+		return nil, fmt.Errorf("deployment: relay %s overlay: %w", name, err)
+	}
+	return &RelayInstance{Name: name, Host: host, Server: srv, Overlay: ov, registry: regCli}, nil
+}
+
+// waitForMesh blocks until every relay is peered with every other.
+func (d *Deployment) waitForMesh(timeout time.Duration) error {
+	want := len(d.Relays) - 1
+	if want <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		formed := true
+		for _, ri := range d.Relays {
+			if len(ri.Overlay.Peers()) < want {
+				formed = false
+				break
+			}
+		}
+		if formed {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("deployment: relay mesh did not form within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // RegistryEndpoint returns the name service endpoint.
@@ -69,7 +199,7 @@ func (d *Deployment) RegistryEndpoint() emunet.Endpoint {
 	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RegistryPort}
 }
 
-// RelayEndpoint returns the relay endpoint.
+// RelayEndpoint returns the first relay's endpoint.
 func (d *Deployment) RelayEndpoint() emunet.Endpoint {
 	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RelayPort}
 }
@@ -82,7 +212,9 @@ func (d *Deployment) SocksEndpoint() emunet.Endpoint {
 // NodeConfig returns a ready-to-use Config for an instance on the given
 // host. Sites whose NAT or firewall defeats splicing get the gateway's
 // SOCKS proxy configured automatically, mirroring how the paper's
-// deployments fell back to site proxies.
+// deployments fell back to site proxies. The instance discovers the
+// full relay mesh through the registry and attaches to the nearest
+// member.
 func (d *Deployment) NodeConfig(host *emunet.Host, pool, name string) Config {
 	cfg := Config{
 		Name:     name,
@@ -98,19 +230,37 @@ func (d *Deployment) NodeConfig(host *emunet.Host, pool, name string) Config {
 	return cfg
 }
 
+// NodeConfigOnRelay is NodeConfig with the instance pinned to the i'th
+// relay of the mesh, for scenarios (benchmarks, failover tests) that
+// need a deterministic attachment layout.
+func (d *Deployment) NodeConfigOnRelay(host *emunet.Host, pool, name string, relayIdx int) Config {
+	cfg := d.NodeConfig(host, pool, name)
+	cfg.Relays = []emunet.Endpoint{d.Relays[relayIdx].Endpoint()}
+	return cfg
+}
+
 // AddSite is a convenience wrapper that creates a site and, for strict
-// firewalls, whitelists the gateway so the site can still reach the
-// shared services.
+// firewalls, whitelists the gateway and relay hosts so the site can
+// still reach the shared services.
 func (d *Deployment) AddSite(name string, cfg emunet.SiteConfig) *emunet.Site {
 	if cfg.Firewall == emunet.Strict {
 		cfg.AllowedEgress = append(cfg.AllowedEgress, d.Gateway.Address())
+		for _, ri := range d.Relays {
+			if ri.Host != d.Gateway {
+				cfg.AllowedEgress = append(cfg.AllowedEgress, ri.Host.Address())
+			}
+		}
 	}
 	return d.Fabric.AddSite(name, cfg)
 }
 
 // Close stops the shared services.
 func (d *Deployment) Close() {
+	// Relays first: leaving the mesh unregisters from the registry,
+	// which must still be running.
+	for _, ri := range d.Relays {
+		ri.Close()
+	}
 	d.Registry.Close()
-	d.Relay.Close()
 	d.Socks.Close()
 }

@@ -26,7 +26,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +41,7 @@ import (
 	"netibis/internal/estab"
 	"netibis/internal/ipl"
 	"netibis/internal/nameservice"
+	"netibis/internal/overlay"
 	"netibis/internal/relay"
 	"netibis/internal/socks"
 	"netibis/internal/wire"
@@ -88,8 +93,15 @@ type Config struct {
 	// reachable gateway).
 	Registry emunet.Endpoint
 	// Relay is the routed-messages relay endpoint (on a publicly
-	// reachable gateway).
+	// reachable gateway). When the registry advertises a federated
+	// relay mesh (see package overlay) it serves as a fallback
+	// candidate; it may be left zero in that case.
 	Relay emunet.Endpoint
+	// Relays, when non-empty, pins the instance to this candidate set
+	// instead of discovering relays through the registry. The node
+	// still picks the lowest-RTT member and still falls back to the
+	// full discovered set when its relay fails.
+	Relays []emunet.Endpoint
 	// Proxy is an optional SOCKS proxy usable by this instance.
 	Proxy emunet.Endpoint
 	// ProxyCreds are optional SOCKS credentials.
@@ -118,9 +130,9 @@ func (c Config) validate() error {
 	if c.Registry.IsZero() {
 		return errors.New("core: config needs a Registry endpoint")
 	}
-	if c.Relay.IsZero() {
-		return errors.New("core: config needs a Relay endpoint")
-	}
+	// A Relay endpoint is no longer mandatory: relays can be discovered
+	// through the registry (overlay.RegistryPrefix records). Join fails
+	// with ErrPeerUnavailable when no candidate relay is reachable.
 	return nil
 }
 
@@ -133,6 +145,8 @@ type Node struct {
 	connector *estab.Connector
 
 	mu           sync.Mutex
+	relayEP      emunet.Endpoint // endpoint of the relay currently attached to
+	detachTimes  []time.Time     // recent relay detachments (storm detection)
 	serviceLinks map[string]*serviceLink
 	recvPorts    map[string]*receivePort
 	pendingData  map[string]chan net.Conn
@@ -167,14 +181,16 @@ func Join(cfg Config) (*Node, error) {
 	}
 	registry := nameservice.NewClient(regConn)
 
-	// Attach to the routed-messages relay under the node name; this is
+	// Attach to a routed-messages relay under the node name; this is
 	// the service path that works regardless of firewalls and NAT.
-	relayConn, err := cfg.Host.Dial(cfg.Relay)
-	if err != nil {
-		registry.Close()
-		return nil, fmt.Errorf("core: bootstrap to relay: %w", err)
+	// Candidates come from the pinned cfg.Relays set or from the
+	// registry's overlay records (plus the static cfg.Relay fallback);
+	// the node probes them all and attaches to the lowest-RTT one.
+	cands := cfg.Relays
+	if len(cands) == 0 {
+		cands = append(discoverRelayEndpoints(registry), cfg.Relay)
 	}
-	relayCli, err := relay.Attach(relayConn, cfg.Pool+"/"+cfg.Name)
+	relayCli, relayEP, err := attachBestRelay(cfg.Host, cfg.Pool+"/"+cfg.Name, cands)
 	if err != nil {
 		registry.Close()
 		return nil, fmt.Errorf("core: attach to relay: %w", err)
@@ -185,11 +201,16 @@ func Join(cfg Config) (*Node, error) {
 		id:           ipl.Identifier{Name: cfg.Name, Pool: cfg.Pool},
 		registry:     registry,
 		relayCli:     relayCli,
+		relayEP:      relayEP,
 		serviceLinks: make(map[string]*serviceLink),
 		recvPorts:    make(map[string]*receivePort),
 		pendingData:  make(map[string]chan net.Conn),
 		done:         make(chan struct{}),
 	}
+	// Arm transparent failover: when the relay connection dies the node
+	// reattaches to a surviving relay of the mesh, keeping its virtual
+	// links and node identity.
+	relayCli.SetDetachHandler(n.onRelayDetach)
 	n.connector = &estab.Connector{
 		Host:          cfg.Host,
 		Relay:         relayCli,
@@ -226,6 +247,202 @@ func (n *Node) Profile() estab.Profile { return n.connector.Profile() }
 
 // relayID is the node's identity at the relay.
 func (n *Node) relayID() string { return n.cfg.Pool + "/" + n.cfg.Name }
+
+// HomeRelay returns the mesh ID of the relay the node is currently
+// attached to (empty for unnamed stand-alone relays).
+func (n *Node) HomeRelay() string { return n.relayCli.ServerID() }
+
+// RelayEndpoint returns the endpoint of the relay the node is currently
+// attached to.
+func (n *Node) RelayEndpoint() emunet.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.relayEP
+}
+
+// --- relay discovery and failover ----------------------------------------------------
+
+// rttBucket quantises probe round-trip times: relays whose RTTs fall in
+// the same bucket are considered equally near, and the choice between
+// them is spread pseudo-randomly by node name so a pool's nodes
+// load-balance across the mesh instead of piling onto one member.
+const rttBucket = 2 * time.Millisecond
+
+// Reattach policy after a relay failure.
+const (
+	reattachAttempts = 5
+	reattachDelay    = 100 * time.Millisecond
+	// A healthy failover detaches once; detachStormLimit detaches within
+	// detachStormWindow mean something is repeatedly killing our
+	// attachment — most likely another live node joined under the same
+	// identity and relays are applying latest-attachment-wins to the two
+	// of us in turn. Give up instead of fighting forever.
+	detachStormLimit  = 5
+	detachStormWindow = 10 * time.Second
+)
+
+// parseEndpoint parses the "addr:port" form used by overlay relay
+// advertisements on the emulated internetwork.
+func parseEndpoint(s string) (emunet.Endpoint, bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 {
+		return emunet.Endpoint{}, false
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port <= 0 {
+		return emunet.Endpoint{}, false
+	}
+	return emunet.Endpoint{Addr: emunet.Address(s[:i]), Port: port}, true
+}
+
+// discoverRelayEndpoints lists the relay mesh members registered in the
+// name service.
+func discoverRelayEndpoints(registry *nameservice.Client) []emunet.Endpoint {
+	recs, err := registry.List(overlay.RegistryPrefix)
+	if err != nil {
+		return nil
+	}
+	eps := make([]emunet.Endpoint, 0, len(recs))
+	for _, rec := range recs {
+		if ep, ok := parseEndpoint(string(rec.Value)); ok {
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
+// relayProbe is one probed candidate: an open, not yet attached
+// connection plus its measured round-trip time.
+type relayProbe struct {
+	ep   emunet.Endpoint
+	conn net.Conn
+	rtt  time.Duration
+}
+
+// probeRelays dials every distinct candidate, measures the pre-attach
+// round-trip time and returns the reachable ones ordered best-first
+// (lowest RTT bucket, ties spread by a hash of the node ID). The caller
+// owns the returned connections.
+func probeRelays(host *emunet.Host, nodeID string, cands []emunet.Endpoint) []relayProbe {
+	seen := make(map[emunet.Endpoint]bool)
+	var probes []relayProbe
+	for _, ep := range cands {
+		if ep.IsZero() || seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		conn, err := host.Dial(ep)
+		if err != nil {
+			continue // unreachable or dead relay: skip
+		}
+		rtt, err := relay.ProbeRTT(conn)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		probes = append(probes, relayProbe{ep: ep, conn: conn, rtt: rtt})
+	}
+	spread := func(ep emunet.Endpoint) uint32 {
+		h := fnv.New32a()
+		h.Write([]byte(nodeID))
+		h.Write([]byte{'|'})
+		h.Write([]byte(ep.String()))
+		return h.Sum32()
+	}
+	sort.Slice(probes, func(i, j int) bool {
+		bi, bj := probes[i].rtt/rttBucket, probes[j].rtt/rttBucket
+		if bi != bj {
+			return bi < bj
+		}
+		return spread(probes[i].ep) < spread(probes[j].ep)
+	})
+	return probes
+}
+
+// attachBestRelay probes the candidates and attaches to the nearest
+// relay that accepts the node.
+func attachBestRelay(host *emunet.Host, nodeID string, cands []emunet.Endpoint) (*relay.Client, emunet.Endpoint, error) {
+	probes := probeRelays(host, nodeID, cands)
+	if len(probes) == 0 {
+		return nil, emunet.Endpoint{}, ErrPeerUnavailable
+	}
+	var firstErr error
+	for i, p := range probes {
+		cli, err := relay.Attach(p.conn, nodeID) // closes p.conn on error
+		if err == nil {
+			for _, rest := range probes[i+1:] {
+				rest.conn.Close()
+			}
+			return cli, p.ep, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, emunet.Endpoint{}, firstErr
+}
+
+// reattachCandidates is the search set after a relay failure: the full
+// union of pinned, static and discovered relays (the failed relay's
+// record may still linger in the registry — probing skips dead ones).
+func (n *Node) reattachCandidates() []emunet.Endpoint {
+	cands := append([]emunet.Endpoint(nil), n.cfg.Relays...)
+	cands = append(cands, n.cfg.Relay)
+	return append(cands, discoverRelayEndpoints(n.registry)...)
+}
+
+// onRelayDetach runs when the relay connection dies: the node probes the
+// surviving relays and resumes its attachment — node identity and open
+// routed links included — on the nearest one. Frames sent while detached
+// are lost, as they would be on a real TCP failure; once the mesh's
+// directory gossip announces the new home relay, traffic flows again.
+func (n *Node) onRelayDetach(err error) {
+	n.mu.Lock()
+	now := time.Now()
+	keep := n.detachTimes[:0]
+	for _, t := range n.detachTimes {
+		if now.Sub(t) < detachStormWindow {
+			keep = append(keep, t)
+		}
+	}
+	n.detachTimes = append(keep, now)
+	storm := len(n.detachTimes) > detachStormLimit
+	n.mu.Unlock()
+	if storm {
+		n.relayCli.Abandon(fmt.Errorf("core: attachment repeatedly revoked (duplicate node identity %q in the pool?): %w", n.relayID(), err))
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		probes := probeRelays(n.cfg.Host, n.relayID(), n.reattachCandidates())
+		for i, p := range probes {
+			if rerr := n.relayCli.Resume(p.conn); rerr == nil {
+				for _, rest := range probes[i+1:] {
+					rest.conn.Close()
+				}
+				n.mu.Lock()
+				n.relayEP = p.ep
+				n.mu.Unlock()
+				return
+			}
+		}
+		if attempt+1 >= reattachAttempts {
+			break
+		}
+		select {
+		case <-n.done:
+			return
+		case <-time.After(reattachDelay):
+		}
+	}
+	// No relay left: give up and fail the attachment for good.
+	n.relayCli.Abandon(fmt.Errorf("core: relay failover failed: %w", err))
+}
 
 func (n *Node) nodeKey(name string) string {
 	return n.cfg.Pool + "/" + nodeKeyPrefix + name
@@ -388,7 +605,14 @@ func (n *Node) serviceLinkTo(peerName string) (*serviceLink, error) {
 	}
 	n.mu.Unlock()
 
-	conn, err := n.relayCli.Dial(peerID, n.acceptTimeout())
+	// A routed dial retries refusals to bridge the mesh's gossip window,
+	// which would make dialing a node that never joined slow. The
+	// registry knows instantly whether the peer exists, so check there
+	// first and only pay the retries for peers that are really joining.
+	if _, lerr := n.registry.Lookup(n.nodeKey(peerName), 0); lerr != nil && errors.Is(lerr, nameservice.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lerr)
+	}
+	conn, err := n.dialRouted(peerID)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, err)
 	}
@@ -416,6 +640,13 @@ func (n *Node) acceptTimeout() time.Duration {
 		return n.cfg.AcceptTimeout
 	}
 	return estab.DefaultAcceptTimeout
+}
+
+// dialRouted opens a routed link to a peer node, retrying refusals and
+// detachments (the mesh's gossip window, or our own attachment being
+// resumed after a failover) until the accept timeout expires.
+func (n *Node) dialRouted(peerID string) (net.Conn, error) {
+	return estab.RetryRoutedDial(n.relayCli.Dial, peerID, n.acceptTimeout(), n.done)
 }
 
 // Ping measures the round-trip time to a peer over the (relay-routed)

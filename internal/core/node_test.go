@@ -19,7 +19,24 @@ type testGrid struct {
 	t      *testing.T
 	fabric *emunet.Fabric
 	dep    *Deployment
-	nodes  []*Node
+
+	mu    sync.Mutex // guards nodes: tests join from goroutines
+	nodes []*Node
+}
+
+func (g *testGrid) addNode(n *Node) {
+	g.mu.Lock()
+	g.nodes = append(g.nodes, n)
+	g.mu.Unlock()
+}
+
+func (g *testGrid) closeAll() {
+	g.mu.Lock()
+	nodes := append([]*Node(nil), g.nodes...)
+	g.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
 }
 
 func newTestGrid(t *testing.T) *testGrid {
@@ -31,9 +48,7 @@ func newTestGrid(t *testing.T) *testGrid {
 	}
 	g := &testGrid{t: t, fabric: f, dep: dep}
 	t.Cleanup(func() {
-		for _, n := range g.nodes {
-			n.Close()
-		}
+		g.closeAll()
 		dep.Close()
 		f.Close()
 	})
@@ -59,7 +74,7 @@ func (g *testGrid) node(name, siteName string, cfg emunet.SiteConfig, mutate fun
 	if err != nil {
 		g.t.Fatalf("join %s: %v", name, err)
 	}
-	g.nodes = append(g.nodes, n)
+	g.addNode(n)
 	return n
 }
 

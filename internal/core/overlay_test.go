@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+	"netibis/internal/relay"
+)
+
+// newFederatedGrid is newTestGrid with a multi-relay mesh deployment.
+func newFederatedGrid(t *testing.T, relayCount int) *testGrid {
+	t.Helper()
+	f := emunet.NewFabric(emunet.WithSeed(7))
+	dep, err := NewFederatedDeployment(f, relayCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &testGrid{t: t, fabric: f, dep: dep}
+	t.Cleanup(func() {
+		g.closeAll()
+		dep.Close()
+		f.Close()
+	})
+	return g
+}
+
+// nodeOnRelay joins an instance pinned to the given relay of the mesh.
+func (g *testGrid) nodeOnRelay(name, siteName string, cfg emunet.SiteConfig, relayIdx int, mutate func(*Config)) *Node {
+	g.t.Helper()
+	site := g.fabric.Site(siteName)
+	if site == nil {
+		site = g.dep.AddSite(siteName, cfg)
+	}
+	host := site.AddHost(name)
+	nodeCfg := g.dep.NodeConfigOnRelay(host, "testpool", name, relayIdx)
+	nodeCfg.SpliceTimeout = 500 * time.Millisecond
+	nodeCfg.AcceptTimeout = 5 * time.Second
+	if mutate != nil {
+		mutate(&nodeCfg)
+	}
+	n, err := Join(nodeCfg)
+	if err != nil {
+		g.t.Fatalf("join %s: %v", name, err)
+	}
+	g.addNode(n)
+	return n
+}
+
+func waitForCondition(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// noProxy forces the routed fallback for broken-NAT sites by removing
+// the automatically configured SOCKS proxy.
+func noProxy(c *Config) { c.Proxy = emunet.Endpoint{} }
+
+// TestCrossRelayTransfer is the acceptance scenario: two nodes attached
+// to different relays of the mesh complete a send-port -> receive-port
+// transfer over the full driver stack, with the data link itself routed
+// relay-to-relay.
+func TestCrossRelayTransfer(t *testing.T) {
+	g := newFederatedGrid(t, 3)
+	// Broken NAT without a proxy on one side, a stateful firewall on the
+	// other: the decision tree must fall back to routed messages.
+	a := g.nodeOnRelay("xr-a", "site-xr-a", emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}, 1, noProxy)
+	b := g.nodeOnRelay("xr-b", "site-xr-b", emunet.SiteConfig{Firewall: emunet.Stateful}, 2, nil)
+
+	if got, want := a.HomeRelay(), "relay-1"; got != want {
+		t.Fatalf("a attached to %q, want %q", got, want)
+	}
+	if got, want := b.HomeRelay(), "relay-2"; got != want {
+		t.Fatalf("b attached to %q, want %q", got, want)
+	}
+
+	// Full driver stack: compression over parallel streams, every stream
+	// a routed link crossing the relay mesh.
+	pt := ipl.PortType{Name: "bulk", Stack: "zip:level=1/multi:streams=2/tcpblk"}
+	sp, rp := channel(t, a, b, pt, "xr-inbox")
+
+	payload := bytes.Repeat([]byte("cross-relay grid data "), 20000) // ~430 KiB
+	m, err := sp.NewMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WriteBytes(payload)
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := rp.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := msg.ReadBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("cross-relay payload corrupted: got %d bytes want %d", len(got), len(payload))
+	}
+
+	for _, method := range SendPortMethods(sp) {
+		if method != estab.Routed {
+			t.Fatalf("expected routed data link, got %v", method)
+		}
+	}
+	// The frames really crossed a peer link of the mesh.
+	forwarded := int64(0)
+	for _, ri := range g.dep.Relays {
+		forwarded += ri.Server.Stats().FramesForwarded
+	}
+	if forwarded == 0 {
+		t.Fatal("no frames were forwarded relay-to-relay")
+	}
+}
+
+// TestRelayFailoverMidStream kills a node's relay while a transfer is in
+// flight; the node must reattach to a surviving relay and a subsequent
+// Dial (a fresh send port connecting through the full establishment
+// path) must succeed.
+func TestRelayFailoverMidStream(t *testing.T) {
+	g := newFederatedGrid(t, 2)
+	a := g.nodeOnRelay("fo-a", "site-fo-a", emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}, 0, noProxy)
+	b := g.nodeOnRelay("fo-b", "site-fo-b", emunet.SiteConfig{Firewall: emunet.Stateful}, 1, nil)
+
+	pt := ipl.PortType{Name: "stream", Stack: "tcpblk"}
+	sp, rp := channel(t, a, b, pt, "fo-inbox")
+	sendText(t, sp, "before the crash")
+	if got, _ := recvText(t, rp); got != "before the crash" {
+		t.Fatalf("pre-crash message: %q", got)
+	}
+
+	// Stream messages through the doomed relay. The stream may break
+	// with the crash or — established links survive a resumed
+	// attachment — keep flowing through the new relay; both are fine,
+	// the test only requires that a subsequent Dial succeeds.
+	stop := make(chan struct{})
+	streamDone := make(chan int, 1)
+	go func() {
+		sent := 0
+		defer func() { streamDone <- sent }()
+		chunk := bytes.Repeat([]byte("x"), 32*1024)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m, err := sp.NewMessage()
+			if err != nil {
+				return
+			}
+			m.WriteBytes(chunk)
+			if err := m.Finish(); err != nil {
+				return
+			}
+			sent++
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	g.dep.Relays[0].Kill()
+
+	// The node reattaches to the surviving relay on its own.
+	waitForCondition(t, 5*time.Second, "node did not reattach to the surviving relay", func() bool {
+		return a.HomeRelay() == "relay-1" && !a.relayCli.Detached()
+	})
+	close(stop)
+	sent := <-streamDone
+	t.Logf("streamed %d messages around the relay crash", sent)
+
+	// A subsequent Dial over the full path succeeds: new send port, new
+	// brokering over the (resumed) service link, new routed data link.
+	sp2, err := a.CreateSendPort(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp2.Connect(rp.ID()); err != nil {
+		t.Fatalf("connect after failover: %v", err)
+	}
+	sendText(t, sp2, "after the failover")
+
+	// Drain whatever the interrupted stream delivered until the marker
+	// arrives.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("post-failover message never arrived")
+		}
+		msg, err := rp.Receive()
+		if err != nil {
+			t.Fatalf("receive after failover: %v", err)
+		}
+		if msg.Remaining() < 1024 {
+			s, err := msg.ReadString()
+			if err == nil && s == "after the failover" {
+				break
+			}
+		}
+	}
+
+	// Reverse direction still works too (b's links survived untouched).
+	if _, err := b.Ping("fo-a"); err != nil {
+		t.Fatalf("ping after failover: %v", err)
+	}
+}
+
+// TestLowestRTTRelaySelection checks the probe ordering: with shaped
+// links, the relay behind the low-latency path must be chosen.
+func TestLowestRTTRelaySelection(t *testing.T) {
+	f := emunet.NewFabric(emunet.WithSeed(3), emunet.WithTimeScale(1.0))
+	defer f.Close()
+	near := f.AddSite("near", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("near-relay")
+	far := f.AddSite("far", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("far-relay")
+	nodeHost := f.AddSite("nodes", emunet.SiteConfig{Firewall: emunet.Stateful}).AddHost("picker")
+	f.SetLink("nodes", "near", emunet.LinkParams{CapacityBps: 100e6, RTT: 1 * time.Millisecond})
+	f.SetLink("nodes", "far", emunet.LinkParams{CapacityBps: 100e6, RTT: 60 * time.Millisecond})
+
+	for _, h := range []*emunet.Host{near, far} {
+		l, err := h.Listen(RelayPort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := relay.NewServer()
+		srv.SetID(h.Name())
+		go srv.Serve(l)
+		defer srv.Close()
+	}
+
+	nearEP := emunet.Endpoint{Addr: near.Address(), Port: RelayPort}
+	farEP := emunet.Endpoint{Addr: far.Address(), Port: RelayPort}
+	// Deliberately list the far relay first: the probe must reorder.
+	cli, ep, err := attachBestRelay(nodeHost, "pool/picker", []emunet.Endpoint{farEP, nearEP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if ep != nearEP {
+		t.Fatalf("attached to %v, want the near relay %v", ep, nearEP)
+	}
+	if cli.ServerID() != "near-relay" {
+		t.Fatalf("attached to relay %q, want near-relay", cli.ServerID())
+	}
+}
+
+// TestRegistryOnlyRelayDiscovery joins a node with no static relay
+// endpoint at all: the mesh is found through the name service.
+func TestRegistryOnlyRelayDiscovery(t *testing.T) {
+	g := newFederatedGrid(t, 2)
+	n := g.node("discoverer", "site-disc", emunet.SiteConfig{Firewall: emunet.Stateful}, func(c *Config) {
+		c.Relay = emunet.Endpoint{}
+	})
+	if n.HomeRelay() == "" {
+		t.Fatal("node did not discover a mesh relay")
+	}
+	if _, err := n.CreateReceivePort(ipl.PortType{Name: "p", Stack: "tcpblk"}, "disc-inbox"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeshSpreadsNodes sanity-checks the equal-RTT load spreading: with
+// several relays and many nodes, more than one relay should end up with
+// attachments.
+func TestMeshSpreadsNodes(t *testing.T) {
+	g := newFederatedGrid(t, 3)
+	homes := make(map[string]int)
+	for i := 0; i < 8; i++ {
+		n := g.node(fmt.Sprintf("spread-%d", i), fmt.Sprintf("site-spread-%d", i),
+			emunet.SiteConfig{Firewall: emunet.Stateful}, nil)
+		homes[n.HomeRelay()]++
+	}
+	if len(homes) < 2 {
+		t.Fatalf("all nodes piled onto one relay: %v", homes)
+	}
+}

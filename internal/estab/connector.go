@@ -31,6 +31,37 @@ const DefaultSpliceTimeout = 2 * time.Second
 // client/server or proxy establishment waits for the peer to arrive.
 const DefaultAcceptTimeout = 10 * time.Second
 
+// routedRetryDelay spaces the retries of a refused cross-relay routed
+// open while directory gossip propagates through the relay mesh.
+const routedRetryDelay = 20 * time.Millisecond
+
+// RetryRoutedDial opens a routed link via dial, retrying refusals and
+// detachments until the timeout expires. On a relay mesh a refusal can
+// mean "the directory gossip announcing the peer is still in flight"
+// and a detachment "my relay attachment is being resumed", so both are
+// worth a bounded wait; every other error is final. done, when non-nil,
+// aborts the wait early (e.g. the owning node closing).
+func RetryRoutedDial(dial func(peerID string, timeout time.Duration) (net.Conn, error), peerID string, timeout time.Duration, done <-chan struct{}) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := dial(peerID, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if !errors.Is(err, relay.ErrRefused) && !errors.Is(err, relay.ErrDetached) {
+			return nil, err
+		}
+		if time.Until(deadline) < routedRetryDelay {
+			return nil, err
+		}
+		select {
+		case <-done: // nil done blocks here forever, i.e. never fires
+			return nil, err
+		case <-time.After(routedRetryDelay):
+		}
+	}
+}
+
 // Errors.
 var (
 	// ErrAborted is returned when the peer reported a failure during
@@ -95,6 +126,7 @@ func (c *Connector) Profile() Profile {
 	if c.Relay != nil {
 		p.HasRelay = true
 		p.RelayID = c.Relay.ID()
+		p.HomeRelay = c.Relay.ServerID()
 	}
 	return p
 }
@@ -422,10 +454,16 @@ func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (
 		if err := b.send(msgRouted, wire.AppendString(nil, c.Relay.ID())); err != nil {
 			return nil, err
 		}
+		dial := c.Relay.Dial
 		if c.DialRouted != nil {
-			return c.DialRouted(remote.RelayID, c.acceptTimeout())
+			dial = c.DialRouted
 		}
-		return c.Relay.Dial(remote.RelayID, c.acceptTimeout())
+		// When the endpoints live on different relays of a mesh, the
+		// open is forwarded relay-to-relay and a refusal can mean "the
+		// directory gossip announcing the acceptor has not reached my
+		// relay yet" — the acceptor is already waiting, the retries only
+		// cover the propagation window.
+		return RetryRoutedDial(dial, remote.RelayID, c.acceptTimeout(), nil)
 	}
 	t, body, err := b.recv()
 	if err != nil {

@@ -232,8 +232,7 @@ func TestEstablishRoutedBetweenBrokenNATAndFirewall(t *testing.T) {
 		t.Fatalf("method = %v, want Routed", m)
 	}
 	verifyLink(t, a, b)
-	frames, _ := w.relaySrv.Stats()
-	if frames == 0 {
+	if w.relaySrv.Stats().FramesRouted == 0 {
 		t.Fatal("relay routed no frames for a routed data link")
 	}
 }

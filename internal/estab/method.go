@@ -193,6 +193,14 @@ type Profile struct {
 	HasRelay bool
 	// RelayID is the endpoint's node identity at the relay.
 	RelayID string
+	// HomeRelay names the relay-mesh member the endpoint is attached to
+	// (empty for unnamed single relays). When the two endpoints report
+	// different home relays, a routed link crosses the overlay mesh:
+	// the initiator's relay forwards the frames to the acceptor's home
+	// relay, so the method works unchanged — but the directory gossip
+	// announcing a freshly attached node may still be in flight, which
+	// is why the routed method retries refused opens briefly.
+	HomeRelay string
 }
 
 // Reachable reports whether a peer in another site can open a direct
@@ -243,6 +251,7 @@ func (p Profile) Encode() []byte {
 	b = wire.AppendString(b, string(p.Addr))
 	b = wire.AppendString(b, string(p.PublicAddr))
 	b = wire.AppendString(b, p.RelayID)
+	b = wire.AppendString(b, p.HomeRelay)
 	return b
 }
 
@@ -265,6 +274,7 @@ func DecodeProfile(b []byte) (Profile, error) {
 	p.Addr = emunet.Address(d.String())
 	p.PublicAddr = emunet.Address(d.String())
 	p.RelayID = d.String()
+	p.HomeRelay = d.String()
 	if d.Err() != nil {
 		return Profile{}, d.Err()
 	}

@@ -1,0 +1,581 @@
+// Package overlay federates routed-messages relays (package relay) into
+// a mesh, removing the single relay's bottleneck and single point of
+// failure on the way to wide-area scale.
+//
+// Every relay of the mesh:
+//
+//   - registers itself in the Ibis Name Service under the well-known
+//     prefix RegistryPrefix, so nodes and other relays discover the
+//     full relay set from the registry alone;
+//   - dials the other relays to form peer links (the relay with the
+//     lexicographically smaller ID initiates, so exactly one link per
+//     pair emerges without extra negotiation);
+//   - gossips a versioned attachment directory — node ID → home relay —
+//     over those links: a full snapshot when a peer link comes up,
+//     deltas whenever a node attaches or detaches locally;
+//   - forwards routed frames addressed to nodes attached elsewhere to
+//     the destination's home relay, where they are injected into the
+//     node's ordinary relay connection.
+//
+// Forwarding loops are impossible by construction: a frame is forwarded
+// at most MaxHops times, never back over the link it arrived on, and
+// never to the relay itself. When a forwarded frame reaches a relay
+// that no longer hosts the destination (a stale route), the relay NACKs
+// back to the origin, which repairs its directory and — for link-open
+// frames — fails the open so the dialing node sees an ordinary refusal
+// instead of a hang.
+//
+// The wire formats of the peer-link protocol are documented in
+// DESIGN.md.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"netibis/internal/nameservice"
+	"netibis/internal/relay"
+	"netibis/internal/wire"
+)
+
+// RegistryPrefix is the name-service prefix under which mesh relays
+// register their dialable address.
+const RegistryPrefix = "overlay/relay/"
+
+// Peer-link frame kinds, disjoint from the relay node protocol so that
+// one listener serves both nodes and peer relays.
+const (
+	kindPeerHello   = wire.KindUser + 0x10 + iota // dialer -> acceptor: relay ID
+	kindPeerHelloOK                               // acceptor -> dialer: relay ID
+	kindGossip                                    // directory entries
+	kindForward                                   // forwarded routed frame
+	kindNack                                      // forwarded frame was undeliverable
+)
+
+// DefaultRescanInterval is how often a relay re-lists the registry to
+// discover newly joined relays.
+const DefaultRescanInterval = 2 * time.Second
+
+// DefaultMaxHops bounds how often a frame may be re-forwarded between
+// relays. Two hops suffice in a full mesh even while gossip is in
+// flight; the third is slack for transient disagreement.
+const DefaultMaxHops = 3
+
+// Errors.
+var (
+	// ErrClosed is returned by operations on a closed overlay.
+	ErrClosed = errors.New("overlay: closed")
+	// ErrHandshake is returned when a peer-link handshake goes wrong.
+	ErrHandshake = errors.New("overlay: peer handshake failed")
+)
+
+// Config describes one mesh member.
+type Config struct {
+	// ID is the relay's unique name within the mesh.
+	ID string
+	// Server is the local relay the overlay extends.
+	Server *relay.Server
+	// Advertise is the address peers dial to reach this relay, in
+	// whatever format Dial understands (emunet "addr:port", TCP
+	// "host:port", ...).
+	Advertise string
+	// Registry is the name-service client used for registration and
+	// discovery. It may be nil: the mesh is then formed manually with
+	// AddPeer.
+	Registry *nameservice.Client
+	// Dial opens a connection to another relay's advertised address.
+	Dial func(addr string) (net.Conn, error)
+	// RescanInterval overrides DefaultRescanInterval when positive.
+	RescanInterval time.Duration
+	// MaxHops overrides DefaultMaxHops when positive.
+	MaxHops int
+}
+
+// Relay is one member of the relay mesh. It implements relay.Forwarder.
+type Relay struct {
+	cfg Config
+
+	dir *directory
+
+	mu     sync.Mutex
+	peers  map[string]*peerLink
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// peerLink is an established link to another relay of the mesh.
+type peerLink struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *wire.Writer
+}
+
+func (p *peerLink) send(kind byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.w.WriteFrame(kind, 0, payload)
+}
+
+// New federates the given relay server into the mesh: it installs the
+// forwarding hooks, registers the relay in the name service (when a
+// registry client is configured) and starts discovering peers.
+func New(cfg Config) (*Relay, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("overlay: config needs an ID")
+	}
+	if cfg.Server == nil {
+		return nil, errors.New("overlay: config needs a Server")
+	}
+	if cfg.Dial == nil {
+		return nil, errors.New("overlay: config needs a Dial function")
+	}
+	if cfg.RescanInterval <= 0 {
+		cfg.RescanInterval = DefaultRescanInterval
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
+	}
+	o := &Relay{
+		cfg:   cfg,
+		dir:   newDirectory(),
+		peers: make(map[string]*peerLink),
+		done:  make(chan struct{}),
+	}
+	cfg.Server.SetID(cfg.ID)
+	cfg.Server.SetConnHandler(o.handlePeerConn)
+	cfg.Server.SetForwarder(o)
+	// Nodes that attached before the overlay existed are seeded into the
+	// directory (New is usually called before Serve, so this is empty).
+	for _, id := range cfg.Server.AttachedNodes() {
+		o.dir.localUpdate(id, cfg.ID, true)
+	}
+	if cfg.Registry != nil {
+		if err := cfg.Registry.Register(RegistryPrefix+cfg.ID, []byte(cfg.Advertise)); err != nil {
+			return nil, fmt.Errorf("overlay: register relay: %w", err)
+		}
+		o.scan()
+		o.wg.Add(1)
+		go o.rescanLoop()
+	}
+	return o, nil
+}
+
+// ID returns the relay's mesh ID.
+func (o *Relay) ID() string { return o.cfg.ID }
+
+// Peers returns the IDs of the relays this one holds peer links to.
+func (o *Relay) Peers() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.peers))
+	for id := range o.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Directory returns a snapshot of the attachment directory, mainly for
+// monitoring and tests.
+func (o *Relay) Directory() []Entry { return o.dir.snapshot() }
+
+// Close leaves the mesh gracefully: the relay unregisters from the name
+// service and tears down its peer links.
+func (o *Relay) Close() { o.shutdown(true) }
+
+// Kill tears the overlay down without unregistering, simulating a crash:
+// the stale registry record stays behind, exactly as it would after a
+// real relay failure, and nodes and peers must cope.
+func (o *Relay) Kill() { o.shutdown(false) }
+
+func (o *Relay) shutdown(unregister bool) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	close(o.done)
+	peers := make([]*peerLink, 0, len(o.peers))
+	for _, p := range o.peers {
+		peers = append(peers, p)
+	}
+	o.mu.Unlock()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	if unregister && o.cfg.Registry != nil {
+		o.cfg.Registry.Unregister(RegistryPrefix + o.cfg.ID)
+	}
+	o.wg.Wait()
+}
+
+// --- discovery -------------------------------------------------------------------
+
+func (o *Relay) rescanLoop() {
+	defer o.wg.Done()
+	t := time.NewTicker(o.cfg.RescanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.done:
+			return
+		case <-t.C:
+			o.scan()
+		}
+	}
+}
+
+// scan lists the registry and dials every relay we should initiate a
+// link to. The relay with the smaller ID initiates, so each pair forms
+// exactly one link; the larger side is picked up by the smaller side's
+// next rescan.
+func (o *Relay) scan() {
+	recs, err := o.cfg.Registry.List(RegistryPrefix)
+	if err != nil {
+		return
+	}
+	for _, rec := range recs {
+		id := strings.TrimPrefix(rec.Key, RegistryPrefix)
+		if id == "" || id == o.cfg.ID || o.cfg.ID > id {
+			continue
+		}
+		if o.hasPeer(id) {
+			continue
+		}
+		o.AddPeer(string(rec.Value)) // best effort; retried next rescan
+	}
+}
+
+func (o *Relay) hasPeer(id string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, ok := o.peers[id]
+	return ok
+}
+
+func (o *Relay) peer(id string) *peerLink {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.peers[id]
+}
+
+// AddPeer dials another relay's advertised address and establishes a
+// peer link (used by discovery, and directly for registry-less static
+// meshes).
+func (o *Relay) AddPeer(addr string) error {
+	o.mu.Lock()
+	closed := o.closed
+	o.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	conn, err := o.cfg.Dial(addr)
+	if err != nil {
+		return err
+	}
+	w := wire.NewWriter(conn)
+	if err := w.WriteFrame(kindPeerHello, 0, wire.AppendString(nil, o.cfg.ID)); err != nil {
+		conn.Close()
+		return err
+	}
+	r := wire.NewReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if f.Kind != kindPeerHelloOK {
+		conn.Close()
+		return fmt.Errorf("%w: unexpected response kind %d", ErrHandshake, f.Kind)
+	}
+	d := wire.NewDecoder(f.Payload)
+	peerID := d.String()
+	if d.Err() != nil || peerID == "" || peerID == o.cfg.ID {
+		conn.Close()
+		return fmt.Errorf("%w: bad peer ID", ErrHandshake)
+	}
+	return o.startPeer(peerID, conn, w, r)
+}
+
+// handlePeerConn is the relay.ConnHandler: it accepts the peer-link
+// handshake on a connection whose first frame was not a node attach.
+func (o *Relay) handlePeerConn(first wire.Frame, conn net.Conn, r *wire.Reader) {
+	if first.Kind != kindPeerHello {
+		conn.Close()
+		return
+	}
+	d := wire.NewDecoder(first.Payload)
+	peerID := d.String()
+	if d.Err() != nil || peerID == "" || peerID == o.cfg.ID {
+		conn.Close()
+		return
+	}
+	w := wire.NewWriter(conn)
+	if err := w.WriteFrame(kindPeerHelloOK, 0, wire.AppendString(nil, o.cfg.ID)); err != nil {
+		conn.Close()
+		return
+	}
+	o.startPeer(peerID, conn, w, r)
+}
+
+// startPeer registers an established peer link, pushes our directory
+// snapshot over it and starts its read loop.
+func (o *Relay) startPeer(peerID string, conn net.Conn, w *wire.Writer, r *wire.Reader) error {
+	p := &peerLink{id: peerID, conn: conn, w: w}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	if old := o.peers[peerID]; old != nil {
+		// A reconnect replaces a link whose failure we have not noticed
+		// yet; closing the stale conn unblocks its read loop.
+		old.conn.Close()
+	}
+	o.peers[peerID] = p
+	o.wg.Add(1)
+	o.mu.Unlock()
+
+	if snap := o.dir.snapshot(); len(snap) > 0 {
+		p.send(kindGossip, encodeGossip(snap))
+	}
+	go func() {
+		defer o.wg.Done()
+		o.readPeer(p, r)
+	}()
+	return nil
+}
+
+func (o *Relay) removePeer(p *peerLink) {
+	o.mu.Lock()
+	if o.peers[p.id] == p {
+		delete(o.peers, p.id)
+	}
+	o.mu.Unlock()
+	p.conn.Close()
+	// Everything homed at the lost relay is unreachable until its nodes
+	// reattach elsewhere (which bumps their versions past these records).
+	o.dir.dropRelay(p.id)
+}
+
+// readPeer demultiplexes frames arriving over one peer link.
+func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
+	defer o.removePeer(p)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case kindGossip:
+			entries, err := decodeGossip(f.Payload)
+			if err != nil {
+				return
+			}
+			for _, e := range entries {
+				o.dir.merge(e)
+			}
+		case kindForward:
+			o.handleForward(p, f.Payload)
+		case kindNack:
+			o.handleNack(p, f.Payload)
+		case wire.KindKeepAlive:
+			p.send(wire.KindKeepAlive, nil)
+		case wire.KindClose:
+			return
+		}
+	}
+}
+
+// --- forwarding -------------------------------------------------------------------
+
+// ForwardFrame implements relay.Forwarder: the local relay server calls
+// it for routed frames addressed to nodes that are not attached here.
+func (o *Relay) ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte) (string, bool) {
+	home, ok := o.dir.lookup(dstNode)
+	if !ok || home == o.cfg.ID {
+		// Unknown, or the directory claims the node is local while the
+		// server disagrees — either way there is no route.
+		return "", false
+	}
+	p := o.peer(home)
+	if p == nil {
+		return "", false
+	}
+	if err := p.send(kindForward, encodeForward(o.cfg.ID, home, srcNode, 1, kind, payload)); err != nil {
+		return "", false
+	}
+	return home, true
+}
+
+// handleForward delivers (or re-forwards, or NACKs) a frame that arrived
+// over a peer link.
+func (o *Relay) handleForward(from *peerLink, body []byte) {
+	origin, firstHop, srcNode, hops, kind, routed, err := decodeForward(body)
+	if err != nil {
+		return
+	}
+	if o.cfg.Server.Inject(kind, routed) {
+		return
+	}
+	dst, channel, ok := relay.ParseRouted(routed)
+	if !ok {
+		return
+	}
+	if origin == o.cfg.ID {
+		// The frame came home: a circular stale route. Repair the hop we
+		// originally chose (only that one — gossip may have corrected the
+		// entry to the true home while the frame was looping) and fail
+		// the open without another round trip.
+		o.dir.invalidate(dst, firstHop)
+		if kind == relay.KindOpen {
+			o.cfg.Server.Inject(relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil))
+		}
+		return
+	}
+	// Owner/hop check: re-forward only while the hop budget lasts, never
+	// back over the link the frame arrived on and never to ourselves —
+	// together these make forwarding loops impossible.
+	if home, ok := o.dir.lookup(dst); ok && home != o.cfg.ID && home != from.id && int(hops) < o.cfg.MaxHops {
+		if p := o.peer(home); p != nil {
+			if p.send(kindForward, encodeForward(origin, firstHop, srcNode, hops+1, kind, routed)) == nil {
+				return
+			}
+		}
+	}
+	// Undeliverable: NACK back over the link the frame arrived on, so
+	// the repair walks the reverse path — every hop of a stale chain
+	// invalidated its own bad entry, not just the origin.
+	from.send(kindNack, encodeNack(origin, dst, srcNode, channel, kind))
+}
+
+// handleNack processes an undeliverable notice: the sender of the NACK
+// is the relay our route for dst pointed at, so that entry is stale —
+// repair it, pass the notice towards the origin, and at the origin
+// synthesise the open-failure towards the dialing node.
+func (o *Relay) handleNack(from *peerLink, body []byte) {
+	origin, dst, srcNode, channel, kind, err := decodeNack(body)
+	if err != nil {
+		return
+	}
+	o.dir.invalidate(dst, from.id)
+	if origin != o.cfg.ID {
+		// We were an intermediate hop; pass the notice towards the
+		// origin (at most once — the origin never re-forwards a NACK).
+		if p := o.peer(origin); p != nil && p != from {
+			p.send(kindNack, body)
+		}
+		return
+	}
+	if kind == relay.KindOpen {
+		o.cfg.Server.Inject(relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil))
+	}
+}
+
+// NodeAttached implements relay.Forwarder: gossip the new attachment.
+func (o *Relay) NodeAttached(id string) {
+	o.broadcast(o.dir.localUpdate(id, o.cfg.ID, true))
+}
+
+// NodeDetached implements relay.Forwarder: gossip the departure, unless
+// the node is already known to have resumed on another relay.
+func (o *Relay) NodeDetached(id string) {
+	if e, ok := o.dir.localDetach(id, o.cfg.ID); ok {
+		o.broadcast(e)
+	}
+}
+
+func (o *Relay) broadcast(e Entry) {
+	payload := encodeGossip([]Entry{e})
+	o.mu.Lock()
+	peers := make([]*peerLink, 0, len(o.peers))
+	for _, p := range o.peers {
+		peers = append(peers, p)
+	}
+	o.mu.Unlock()
+	for _, p := range peers {
+		p.send(kindGossip, payload)
+	}
+}
+
+// --- wire formats -----------------------------------------------------------------
+
+func encodeGossip(entries []Entry) []byte {
+	b := wire.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		b = wire.AppendString(b, e.Node)
+		b = wire.AppendString(b, e.Home)
+		b = wire.AppendUvarint(b, e.Version)
+		present := byte(0)
+		if e.Present {
+			present = 1
+		}
+		b = append(b, present)
+	}
+	return b
+}
+
+func decodeGossip(p []byte) ([]Entry, error) {
+	d := wire.NewDecoder(p)
+	n := d.Uvarint()
+	entries := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		e.Node = d.String()
+		e.Home = d.String()
+		e.Version = d.Uvarint()
+		e.Present = d.Byte() != 0
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func encodeForward(origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte) []byte {
+	b := wire.AppendString(nil, origin)
+	b = wire.AppendString(b, firstHop)
+	b = wire.AppendString(b, srcNode)
+	b = wire.AppendUvarint(b, hops)
+	b = append(b, kind)
+	b = wire.AppendBytes(b, routed)
+	return b
+}
+
+func decodeForward(p []byte) (origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte, err error) {
+	d := wire.NewDecoder(p)
+	origin = d.String()
+	firstHop = d.String()
+	srcNode = d.String()
+	hops = d.Uvarint()
+	kind = d.Byte()
+	routed = d.Bytes()
+	return origin, firstHop, srcNode, hops, kind, routed, d.Err()
+}
+
+func encodeNack(origin, dst, srcNode string, channel uint64, kind byte) []byte {
+	b := wire.AppendString(nil, origin)
+	b = wire.AppendString(b, dst)
+	b = wire.AppendString(b, srcNode)
+	b = wire.AppendUvarint(b, channel)
+	b = append(b, kind)
+	return b
+}
+
+func decodeNack(p []byte) (origin, dst, srcNode string, channel uint64, kind byte, err error) {
+	d := wire.NewDecoder(p)
+	origin = d.String()
+	dst = d.String()
+	srcNode = d.String()
+	channel = d.Uvarint()
+	kind = d.Byte()
+	return origin, dst, srcNode, channel, kind, d.Err()
+}

@@ -1,0 +1,557 @@
+package overlay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+	"netibis/internal/nameservice"
+	"netibis/internal/relay"
+)
+
+// --- directory unit tests ----------------------------------------------------------
+
+func TestDirectoryVersioning(t *testing.T) {
+	d := newDirectory()
+
+	e1 := d.localUpdate("n1", "relay-0", true)
+	if e1.Version != 1 || !e1.Present {
+		t.Fatalf("first attach entry = %+v", e1)
+	}
+	if home, ok := d.lookup("n1"); !ok || home != "relay-0" {
+		t.Fatalf("lookup after attach = %q %v", home, ok)
+	}
+
+	// A reattach elsewhere carries a higher version and wins.
+	if !d.merge(Entry{Node: "n1", Home: "relay-1", Version: 2, Present: true}) {
+		t.Fatal("higher-version entry should be adopted")
+	}
+	if home, _ := d.lookup("n1"); home != "relay-1" {
+		t.Fatalf("home after merge = %q", home)
+	}
+
+	// Stale lower-version gossip is rejected.
+	if d.merge(Entry{Node: "n1", Home: "relay-9", Version: 1, Present: true}) {
+		t.Fatal("lower-version entry must not be adopted")
+	}
+
+	// A tombstone is authoritative only about its own relay: a foreign
+	// detach record must not kill the attachment at relay-1, even with a
+	// higher version (the old home's version can race ahead of the new
+	// home's by exactly the gossip in flight during a failover).
+	if d.merge(Entry{Node: "n1", Home: "relay-0", Version: 5, Present: false}) {
+		t.Fatal("foreign tombstone must not retract another relay's attachment")
+	}
+	if home, ok := d.lookup("n1"); !ok || home != "relay-1" {
+		t.Fatalf("present record should survive a foreign tombstone: %q %v", home, ok)
+	}
+	// The home relay's own newer tombstone does retract it.
+	if !d.merge(Entry{Node: "n1", Home: "relay-1", Version: 3, Present: false}) {
+		t.Fatal("own-home tombstone should be adopted")
+	}
+	if _, ok := d.lookup("n1"); ok {
+		t.Fatal("retracted node should not resolve")
+	}
+	// And a presence claim beats the foreign tombstone when the node
+	// reattaches elsewhere, even at a lower version.
+	if !d.merge(Entry{Node: "n1", Home: "relay-2", Version: 2, Present: true}) {
+		t.Fatal("presence claim should override a foreign tombstone")
+	}
+	if home, _ := d.lookup("n1"); home != "relay-2" {
+		t.Fatalf("home after reattach = %q", home)
+	}
+}
+
+func TestDirectoryLateDetachDoesNotKillNewHome(t *testing.T) {
+	d := newDirectory()
+	d.localUpdate("n1", "relay-0", true) // v1: attached to relay-0
+
+	// The node resumes on relay-1; that gossip arrives first.
+	if !d.merge(Entry{Node: "n1", Home: "relay-1", Version: 2, Present: true}) {
+		t.Fatal("reattach record should be adopted")
+	}
+	// relay-0 only now notices the old connection died: the local detach
+	// must be a no-op, not a v3 tombstone that would override relay-1.
+	if _, ok := d.localDetach("n1", "relay-0"); ok {
+		t.Fatal("late detach after a reattach must not produce a tombstone")
+	}
+	if home, ok := d.lookup("n1"); !ok || home != "relay-1" {
+		t.Fatalf("new home lost: %q %v", home, ok)
+	}
+
+	// A detach while we are still the home does tombstone.
+	if e, ok := d.localDetach("n1", "relay-1"); !ok || e.Present || e.Version != 3 {
+		t.Fatalf("genuine detach = %+v %v", e, ok)
+	}
+}
+
+func TestDirectoryInvalidateAndDropRelay(t *testing.T) {
+	d := newDirectory()
+	d.localUpdate("a", "relay-0", true)
+	d.localUpdate("b", "relay-1", true)
+
+	// invalidate only hits the claimed home.
+	if d.invalidate("a", "relay-9") {
+		t.Fatal("invalidate with wrong home should be a no-op")
+	}
+	if !d.invalidate("a", "relay-0") {
+		t.Fatal("invalidate with matching home should repair")
+	}
+	if _, ok := d.lookup("a"); ok {
+		t.Fatal("invalidated route should not resolve")
+	}
+
+	d.localUpdate("c", "relay-1", true)
+	d.dropRelay("relay-1")
+	for _, n := range []string{"b", "c"} {
+		if _, ok := d.lookup(n); ok {
+			t.Fatalf("node %s should be dropped with its relay", n)
+		}
+	}
+}
+
+// --- mesh fixture ------------------------------------------------------------------
+
+const (
+	testRelayPort = 4500
+	testNSPort    = 4000
+)
+
+type meshRelay struct {
+	id      string
+	host    *emunet.Host
+	server  *relay.Server
+	overlay *Relay
+	regCli  *nameservice.Client
+	ep      emunet.Endpoint
+}
+
+func (mr *meshRelay) kill() {
+	mr.overlay.Kill()
+	mr.server.Close()
+	mr.regCli.Close()
+}
+
+type meshWorld struct {
+	t        *testing.T
+	fabric   *emunet.Fabric
+	gwSite   *emunet.Site
+	ns       *nameservice.Server
+	nsEP     emunet.Endpoint
+	relays   []*meshRelay
+	nextSite int
+}
+
+func newMeshWorld(t *testing.T, relayCount int) *meshWorld {
+	t.Helper()
+	f := emunet.NewFabric(emunet.WithSeed(11))
+	gwSite := f.AddSite("gateway", emunet.SiteConfig{Firewall: emunet.Open})
+	nsHost := gwSite.AddHost("ns")
+	nsL, err := nsHost.Listen(testNSPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := nameservice.NewServer()
+	go ns.Serve(nsL)
+
+	w := &meshWorld{
+		t:      t,
+		fabric: f,
+		gwSite: gwSite,
+		ns:     ns,
+		nsEP:   emunet.Endpoint{Addr: nsHost.Address(), Port: testNSPort},
+	}
+	t.Cleanup(func() {
+		for _, mr := range w.relays {
+			mr.overlay.Close()
+			mr.server.Close()
+			mr.regCli.Close()
+		}
+		ns.Close()
+		f.Close()
+	})
+	for i := 0; i < relayCount; i++ {
+		w.addRelay()
+	}
+	w.waitMesh(relayCount - 1)
+	return w
+}
+
+func (w *meshWorld) addRelay() *meshRelay {
+	w.t.Helper()
+	id := fmt.Sprintf("relay-%d", len(w.relays))
+	host := w.gwSite.AddHost(id)
+	l, err := host.Listen(testRelayPort)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	srv := relay.NewServer()
+	go srv.Serve(l)
+	regConn, err := host.Dial(w.nsEP)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	regCli := nameservice.NewClient(regConn)
+	ep := emunet.Endpoint{Addr: host.Address(), Port: testRelayPort}
+	ov, err := New(Config{
+		ID:        id,
+		Server:    srv,
+		Advertise: ep.String(),
+		Registry:  regCli,
+		Dial: func(addr string) (net.Conn, error) {
+			dep, ok := parseTestEndpoint(addr)
+			if !ok {
+				return nil, fmt.Errorf("bad addr %q", addr)
+			}
+			return host.Dial(dep)
+		},
+		RescanInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	mr := &meshRelay{id: id, host: host, server: srv, overlay: ov, regCli: regCli, ep: ep}
+	w.relays = append(w.relays, mr)
+	return mr
+}
+
+func parseTestEndpoint(s string) (emunet.Endpoint, bool) {
+	var addr string
+	var port int
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			addr = s[:i]
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
+				return emunet.Endpoint{}, false
+			}
+			return emunet.Endpoint{Addr: emunet.Address(addr), Port: port}, true
+		}
+	}
+	return emunet.Endpoint{}, false
+}
+
+// waitMesh waits until every relay has at least want peers.
+func (w *meshWorld) waitMesh(want int) {
+	w.t.Helper()
+	w.waitFor(func() bool {
+		for _, mr := range w.relays {
+			if len(mr.overlay.Peers()) < want {
+				return false
+			}
+		}
+		return true
+	}, "relay mesh did not form")
+}
+
+func (w *meshWorld) waitFor(cond func() bool, msg string) {
+	w.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			w.t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// attach connects a node in a fresh firewalled site to the given relay.
+func (w *meshWorld) attach(relayIdx int, nodeID string) *relay.Client {
+	w.t.Helper()
+	w.nextSite++
+	site := w.fabric.AddSite(fmt.Sprintf("site-%d-%s", w.nextSite, nodeID),
+		emunet.SiteConfig{Firewall: emunet.Stateful})
+	host := site.AddHost(nodeID)
+	conn, err := host.Dial(w.relays[relayIdx].ep)
+	if err != nil {
+		w.t.Fatalf("dial relay: %v", err)
+	}
+	c, err := relay.Attach(conn, nodeID)
+	if err != nil {
+		w.t.Fatalf("attach %s: %v", nodeID, err)
+	}
+	return c
+}
+
+// dialConnFor returns a fresh connection from the client's perspective to
+// the given relay (used to resume after a failover).
+func (w *meshWorld) dialFromSite(nodeHostSite string, relayIdx int) net.Conn {
+	w.t.Helper()
+	site := w.fabric.Site(nodeHostSite)
+	if site == nil {
+		w.t.Fatalf("no site %s", nodeHostSite)
+	}
+	hosts := site.Hosts()
+	conn, err := hosts[0].Dial(w.relays[relayIdx].ep)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return conn
+}
+
+// directoryKnows reports whether the relay's directory resolves node.
+func directoryKnows(mr *meshRelay, node, home string) bool {
+	for _, e := range mr.overlay.Directory() {
+		if e.Node == node && e.Present && e.Home == home {
+			return true
+		}
+	}
+	return false
+}
+
+// --- mesh behaviour tests ----------------------------------------------------------
+
+func TestMeshFormsViaNameservice(t *testing.T) {
+	w := newMeshWorld(t, 3)
+	for _, mr := range w.relays {
+		if got := len(mr.overlay.Peers()); got != 2 {
+			t.Fatalf("%s has %d peers, want 2", mr.id, got)
+		}
+	}
+}
+
+func TestCrossRelayDialAndData(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "node-a")
+	b := w.attach(1, "node-b")
+	defer a.Close()
+	defer b.Close()
+
+	// Wait until relay-0's directory has learned where node-b lives.
+	w.waitFor(func() bool { return directoryKnows(w.relays[0], "node-b", "relay-1") },
+		"attachment gossip did not reach relay-0")
+
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := b.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		got, _ = io.ReadAll(c)
+	}()
+
+	c, err := a.Dial("node-b", 2*time.Second)
+	if err != nil {
+		t.Fatalf("cross-relay dial: %v", err)
+	}
+	msg := bytes.Repeat([]byte("across the mesh "), 8192) // several frames
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("cross-relay payload mismatch: got %d bytes want %d", len(got), len(msg))
+	}
+
+	// The data crossed the peer link: relay-0 must report per-peer
+	// forwarded frames towards relay-1.
+	st := w.relays[0].server.Stats()
+	if st.FramesForwarded == 0 || st.ForwardedByPeer["relay-1"] == 0 {
+		t.Fatalf("relay-0 forwarded stats = %+v, want traffic towards relay-1", st)
+	}
+	// And relay-1 injected them towards node-b.
+	if st1 := w.relays[1].server.Stats(); st1.FramesRouted == 0 {
+		t.Fatal("relay-1 reports no injected frames")
+	}
+}
+
+func TestCrossRelayBidirectional(t *testing.T) {
+	w := newMeshWorld(t, 3)
+	a := w.attach(0, "ping")
+	b := w.attach(2, "pong")
+	defer a.Close()
+	defer b.Close()
+	w.waitFor(func() bool { return directoryKnows(w.relays[0], "pong", "relay-2") },
+		"gossip did not propagate")
+
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		for {
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			c.Write(bytes.ToUpper(buf))
+		}
+	}()
+	c, err := a.Dial("pong", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != "PING" {
+			t.Fatalf("iteration %d: got %q", i, buf)
+		}
+	}
+}
+
+func TestSnapshotGossipToLateJoiner(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "early-bird")
+	defer a.Close()
+	w.waitFor(func() bool { return directoryKnows(w.relays[1], "early-bird", "relay-0") },
+		"delta gossip did not reach relay-1")
+
+	// A relay that joins after the node attached must learn it from the
+	// full snapshot exchanged at peering time.
+	late := w.addRelay()
+	w.waitMesh(2)
+	w.waitFor(func() bool { return directoryKnows(late, "early-bird", "relay-0") },
+		"snapshot gossip did not reach the late joiner")
+}
+
+func TestDialUnknownNodeFailsFast(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "alone")
+	defer a.Close()
+
+	start := time.Now()
+	_, err := a.Dial("ghost", 2*time.Second)
+	if err == nil {
+		t.Fatal("dialing a node unknown to the whole mesh should fail")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("unknown-node dial took %v; want a fast openFail, not a timeout", elapsed)
+	}
+}
+
+func TestNackRepairsStaleRoute(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "dialer")
+	defer a.Close()
+
+	// Poison relay-0's directory: it believes "phantom" lives on
+	// relay-1, which has never seen it. The forwarded open must come
+	// back as a NACK that repairs the entry and fails the dial.
+	w.relays[0].overlay.dir.merge(Entry{Node: "phantom", Home: "relay-1", Version: 7, Present: true})
+
+	start := time.Now()
+	_, err := a.Dial("phantom", 2*time.Second)
+	if err == nil {
+		t.Fatal("dial through a stale route should fail")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stale-route dial took %v; want a NACK-driven failure, not a timeout", elapsed)
+	}
+	if _, ok := w.relays[0].overlay.dir.lookup("phantom"); ok {
+		t.Fatal("stale route should have been invalidated by the NACK")
+	}
+}
+
+func TestCircularStaleRouteTerminates(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "looper")
+	defer a.Close()
+
+	// Mutually stale: relay-0 thinks ghost is on relay-1 and vice versa.
+	// The owner check (never forward back over the arrival link) must
+	// stop the bouncing immediately.
+	w.relays[0].overlay.dir.merge(Entry{Node: "ghost", Home: "relay-1", Version: 3, Present: true})
+	w.relays[1].overlay.dir.merge(Entry{Node: "ghost", Home: "relay-0", Version: 3, Present: true})
+
+	if _, err := a.Dial("ghost", 2*time.Second); err == nil {
+		t.Fatal("dial into a routing cycle should fail")
+	}
+	// The forward counters must stay tiny: one hop out, no ping-pong.
+	st := w.relays[0].server.Stats()
+	if st.FramesForwarded > 2 {
+		t.Fatalf("forwarding loop detected: %d frames forwarded", st.FramesForwarded)
+	}
+}
+
+func TestNodeReattachOverridesOldHome(t *testing.T) {
+	w := newMeshWorld(t, 3)
+	a := w.attach(0, "mover")
+	b := w.attach(1, "observer")
+	defer a.Close()
+	defer b.Close()
+	a.SetDetachHandler(func(error) {}) // resumable mode: survive the crash
+	w.waitFor(func() bool { return directoryKnows(w.relays[2], "mover", "relay-0") },
+		"initial gossip did not propagate")
+
+	// The node's relay crashes; the node resumes on relay-2.
+	nodeSite := w.fabric.Site("site-1-mover")
+	host := nodeSite.Hosts()[0]
+	w.relays[0].kill()
+	conn, err := host.Dial(w.relays[2].ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Resume(conn); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := a.ServerID(); got != "relay-2" {
+		t.Fatalf("resumed on %q, want relay-2", got)
+	}
+
+	// The reattach bumps the version past the stale relay-0 record, so
+	// every surviving relay converges on the new home.
+	w.waitFor(func() bool { return directoryKnows(w.relays[1], "mover", "relay-2") },
+		"reattach gossip did not override the stale home")
+
+	// And traffic flows: the observer (on relay-1) dials the mover.
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := a.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := b.Dial("mover", 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after failover: %v", err)
+	}
+	if _, err := c.Write([]byte("hello again")); err != nil {
+		t.Fatal(err)
+	}
+	in := <-accepted
+	buf := make([]byte, 11)
+	if _, err := io.ReadFull(in, buf); err != nil || string(buf) != "hello again" {
+		t.Fatalf("post-failover payload: %q %v", buf, err)
+	}
+	c.Close()
+	in.Close()
+}
+
+func TestMaxHopsBoundsForwarding(t *testing.T) {
+	// Three relays with a circular stale directory for a node nobody
+	// hosts: r0 -> r1 -> r2 -> r0. The hop budget must cut the cycle.
+	w := newMeshWorld(t, 3)
+	a := w.attach(0, "cyclist")
+	defer a.Close()
+
+	w.relays[0].overlay.dir.merge(Entry{Node: "nowhere", Home: "relay-1", Version: 5, Present: true})
+	w.relays[1].overlay.dir.merge(Entry{Node: "nowhere", Home: "relay-2", Version: 5, Present: true})
+	w.relays[2].overlay.dir.merge(Entry{Node: "nowhere", Home: "relay-0", Version: 5, Present: true})
+
+	if _, err := a.Dial("nowhere", 500*time.Millisecond); err == nil {
+		t.Fatal("dial into a three-way cycle should fail")
+	}
+	total := int64(0)
+	for _, mr := range w.relays {
+		total += mr.server.Stats().FramesForwarded
+	}
+	if total > int64(DefaultMaxHops)+1 {
+		t.Fatalf("cycle forwarded %d frames, hop bound %d violated", total, DefaultMaxHops)
+	}
+}

@@ -14,6 +14,17 @@
 // which adds a receive/forward hop and makes the relay a shared
 // bottleneck), so NetIbis uses them for bootstrap and service links and
 // for data only as a last resort — exactly as the paper prescribes.
+//
+// A single relay is also a single point of failure and a shared
+// bottleneck. Package overlay federates several relay Servers into a
+// mesh: a Server exposes a Forwarder hook that is consulted for frames
+// addressed to nodes not attached locally, and an Inject entry point
+// through which the mesh delivers frames that arrived from peer relays.
+// The Client correspondingly supports Resume, which re-attaches the same
+// node identity over a fresh connection to a (possibly different) relay
+// while keeping the established virtual links alive: routing is purely
+// by node ID, so links survive a relay failover as long as both
+// endpoints stay attached somewhere in the mesh.
 package relay
 
 import (
@@ -22,20 +33,23 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netibis/internal/wire"
 )
 
-// Frame kinds of the relay protocol (in the driver-private range).
+// Frame kinds of the relay protocol (in the driver-private range). They
+// are exported because the overlay mesh speaks the same framing when it
+// forwards routed frames between relays.
 const (
-	kindAttach   = wire.KindUser + iota // node -> relay: register node ID
-	kindAttachOK                        // relay -> node
-	kindOpen                            // open a virtual link: src, dst, channel
-	kindOpenOK                          // accept of a virtual link
-	kindOpenFail                        // open failed (unknown node, refused)
-	kindData                            // data on a virtual link
-	kindShut                            // half-close of a virtual link
+	KindAttach   = wire.KindUser + iota // node -> relay: register node ID
+	KindAttachOK                        // relay -> node (payload: relay server ID)
+	KindOpen                            // open a virtual link: src, dst, channel
+	KindOpenOK                          // accept of a virtual link
+	KindOpenFail                        // open failed (unknown node, refused)
+	KindData                            // data on a virtual link
+	KindShut                            // half-close of a virtual link
 )
 
 // Errors.
@@ -50,6 +64,9 @@ var (
 	ErrRefused = errors.New("relay: connection refused by peer")
 	// ErrDuplicateID is returned when attaching with an ID already in use.
 	ErrDuplicateID = errors.New("relay: node ID already attached")
+	// ErrDetached is returned while the client has lost its relay
+	// connection and has not yet been resumed on a new one.
+	ErrDetached = errors.New("relay: detached from relay")
 )
 
 // maxDataFrame bounds the payload of a single routed data frame; larger
@@ -59,19 +76,60 @@ const maxDataFrame = 32 * 1024
 
 // --- server --------------------------------------------------------------------
 
+// Forwarder extends a Server with inter-relay routing. The overlay mesh
+// implements it; see package overlay.
+type Forwarder interface {
+	// ForwardFrame is called for a routed frame whose destination node
+	// is not attached to this relay. srcNode is the locally attached
+	// node the frame arrived from; payload is the complete routed
+	// payload (still prefixed with dst and channel) and is only valid
+	// for the duration of the call. It returns the ID of the peer relay
+	// the frame was handed to, and whether forwarding succeeded.
+	ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte) (peerRelay string, ok bool)
+	// NodeAttached is called after a node registered with this relay.
+	NodeAttached(id string)
+	// NodeDetached is called after a node's attachment ended.
+	NodeDetached(id string)
+}
+
+// ConnHandler is called with a connection whose first frame is not an
+// attach, handing ownership of the connection (and the frame reader) to
+// the overlay's peer-link protocol. The first frame's payload is copied
+// and safe to retain.
+type ConnHandler func(first wire.Frame, conn net.Conn, r *wire.Reader)
+
+// Stats is a snapshot of a Server's routing counters.
+type Stats struct {
+	// FramesRouted and BytesRouted count frames delivered to locally
+	// attached nodes (including frames injected by the mesh).
+	FramesRouted int64
+	BytesRouted  int64
+	// FramesForwarded counts frames handed to peer relays via the
+	// Forwarder hook.
+	FramesForwarded int64
+	// ForwardedByPeer breaks FramesForwarded down by peer relay ID.
+	ForwardedByPeer map[string]int64
+}
+
 // Server is the relay process.
 type Server struct {
 	mu     sync.Mutex
+	id     string
 	nodes  map[string]*serverPeer
+	fwd    Forwarder
+	connH  ConnHandler
 	closed bool
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	wg        sync.WaitGroup
 
-	// Stats, updated atomically under mu.
-	framesRouted int64
-	bytesRouted  int64
+	framesRouted    atomic.Int64
+	bytesRouted     atomic.Int64
+	framesForwarded atomic.Int64
+
+	statsMu         sync.Mutex
+	forwardedByPeer map[string]int64
 }
 
 type serverPeer struct {
@@ -90,7 +148,53 @@ func (p *serverPeer) send(kind byte, payload []byte) error {
 
 // NewServer creates a relay with no attached nodes.
 func NewServer() *Server {
-	return &Server{nodes: make(map[string]*serverPeer)}
+	return &Server{
+		nodes:           make(map[string]*serverPeer),
+		forwardedByPeer: make(map[string]int64),
+	}
+}
+
+// SetID names this relay; the ID is announced to attaching clients (so
+// a node knows which relay of a mesh it landed on) and used by the
+// overlay's directory gossip.
+func (s *Server) SetID(id string) {
+	s.mu.Lock()
+	s.id = id
+	s.mu.Unlock()
+}
+
+// ID returns the relay's name, if one was set.
+func (s *Server) ID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// SetForwarder installs the inter-relay forwarding hook.
+func (s *Server) SetForwarder(f Forwarder) {
+	s.mu.Lock()
+	s.fwd = f
+	s.mu.Unlock()
+}
+
+// SetConnHandler installs the handler for connections that open with a
+// non-attach frame (peer relays of the overlay mesh).
+func (s *Server) SetConnHandler(h ConnHandler) {
+	s.mu.Lock()
+	s.connH = h
+	s.mu.Unlock()
+}
+
+func (s *Server) forwarder() Forwarder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fwd
+}
+
+func (s *Server) connHandler() ConnHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connH
 }
 
 // Serve accepts relay clients on l until the listener is closed.
@@ -131,11 +235,28 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Stats reports how many frames and payload bytes the relay has routed.
-func (s *Server) Stats() (frames, bytes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.framesRouted, s.bytesRouted
+// Stats reports the relay's routing counters. It is safe to call
+// concurrently with routing.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		FramesRouted:    s.framesRouted.Load(),
+		BytesRouted:     s.bytesRouted.Load(),
+		FramesForwarded: s.framesForwarded.Load(),
+		ForwardedByPeer: make(map[string]int64),
+	}
+	s.statsMu.Lock()
+	for id, n := range s.forwardedByPeer {
+		st.ForwardedByPeer[id] = n
+	}
+	s.statsMu.Unlock()
+	return st
+}
+
+func (s *Server) countForward(peerRelay string) {
+	s.framesForwarded.Add(1)
+	s.statsMu.Lock()
+	s.forwardedByPeer[peerRelay]++
+	s.statsMu.Unlock()
 }
 
 // AttachedNodes returns the IDs of the currently attached nodes.
@@ -155,49 +276,119 @@ func (s *Server) lookup(id string) *serverPeer {
 	return s.nodes[id]
 }
 
-func (s *Server) handle(c net.Conn) {
-	defer c.Close()
-	r := wire.NewReader(c)
-	peer := &serverPeer{conn: c, w: wire.NewWriter(c)}
+// Inject delivers a frame that arrived from a peer relay to a locally
+// attached node. It reports false when the destination is not attached
+// here (the caller then NACKs so stale routes get repaired).
+func (s *Server) Inject(kind byte, payload []byte) bool {
+	hdr, _, ok := parseRouted(payload)
+	if !ok {
+		return false
+	}
+	target := s.lookup(hdr.dst)
+	if target == nil {
+		return false
+	}
+	s.framesRouted.Add(1)
+	s.bytesRouted.Add(int64(len(payload)))
+	if err := target.send(kind, payload); err != nil {
+		target.conn.Close()
+	}
+	return true
+}
 
-	// The first frame must be an attach.
-	f, err := r.ReadFrame()
-	if err != nil || f.Kind != kindAttach {
+func (s *Server) handle(c net.Conn) {
+	r := wire.NewReader(c)
+	pw := wire.NewWriter(c)
+
+	// Read up to the first meaningful frame. Keep-alives before the
+	// attach are echoed, which lets clients measure the round-trip time
+	// of a candidate relay before committing to it.
+	var f wire.Frame
+	for {
+		var err error
+		f, err = r.ReadFrame()
+		if err != nil {
+			c.Close()
+			return
+		}
+		if f.Kind == wire.KindKeepAlive {
+			if pw.WriteFrame(wire.KindKeepAlive, 0, nil) != nil {
+				c.Close()
+				return
+			}
+			continue
+		}
+		break
+	}
+
+	if f.Kind != KindAttach {
+		// Not a node: maybe a peer relay of the overlay mesh.
+		if h := s.connHandler(); h != nil {
+			first := wire.Frame{Kind: f.Kind, Flags: f.Flags, Payload: append([]byte(nil), f.Payload...)}
+			h(first, c, r)
+			return
+		}
+		c.Close()
 		return
 	}
-	d := wire.NewDecoder(f.Payload)
+	s.handleNode(c, r, f)
+}
+
+func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
+	defer c.Close()
+	peer := &serverPeer{conn: c, w: wire.NewWriter(c)}
+
+	d := wire.NewDecoder(attach.Payload)
 	id := d.String()
 	if d.Err() != nil || id == "" {
 		return
 	}
 	peer.id = id
 
+	// Acknowledge before publishing the node: the instant it appears in
+	// s.nodes (and the mesh directory), forwarded frames may be injected
+	// into this connection, and they must not precede the attach ack the
+	// client's handshake is waiting for.
+	if err := peer.send(KindAttachOK, wire.AppendString(nil, s.ID())); err != nil {
+		return
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	if _, dup := s.nodes[id]; dup {
-		s.mu.Unlock()
-		peer.send(kindOpenFail, wire.AppendString(nil, "duplicate node id"))
-		return
-	}
+	old := s.nodes[id]
 	s.nodes[id] = peer
 	s.mu.Unlock()
+	if old != nil {
+		// Latest attachment wins. After an asymmetric failure the relay
+		// can still hold the node's half-open previous connection (its
+		// blocked read never errors); refusing the re-attach would lock
+		// the node out of its own identity. Closing the stale conn makes
+		// its handler exit, and the handler's deregistration guard sees
+		// the map already points at the new attachment.
+		old.conn.Close()
+	}
+	if fwd := s.forwarder(); fwd != nil {
+		fwd.NodeAttached(id)
+	}
 	defer func() {
 		s.mu.Lock()
-		if s.nodes[id] == peer {
+		stale := s.nodes[id] != peer
+		if !stale {
 			delete(s.nodes, id)
 		}
 		s.mu.Unlock()
+		if !stale {
+			if fwd := s.forwarder(); fwd != nil {
+				fwd.NodeDetached(id)
+			}
+		}
 	}()
 
-	if err := peer.send(kindAttachOK, nil); err != nil {
-		return
-	}
-
 	// Route frames until the node disconnects. The relay never inspects
-	// payload data: it forwards based on the (src, dst, channel) header
+	// payload data: it forwards based on the (dst, channel) header
 	// prefix of every routed frame.
 	for {
 		f, err := r.ReadFrame()
@@ -205,23 +396,28 @@ func (s *Server) handle(c net.Conn) {
 			return
 		}
 		switch f.Kind {
-		case kindOpen, kindOpenOK, kindOpenFail, kindData, kindShut:
+		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut:
 			hdr, _, ok := parseRouted(f.Payload)
 			if !ok {
 				continue
 			}
 			target := s.lookup(hdr.dst)
 			if target == nil {
-				if f.Kind == kindOpen {
+				// Not attached here: try the mesh.
+				if fwd := s.forwarder(); fwd != nil {
+					if peerRelay, ok := fwd.ForwardFrame(peer.id, hdr.dst, hdr.channel, f.Kind, f.Payload); ok {
+						s.countForward(peerRelay)
+						continue
+					}
+				}
+				if f.Kind == KindOpen {
 					// Tell the originator the peer is unknown.
-					peer.send(kindOpenFail, appendRouted(nil, peer.id, hdr.channel, nil))
+					peer.send(KindOpenFail, AppendRouted(nil, peer.id, hdr.channel, nil))
 				}
 				continue
 			}
-			s.mu.Lock()
-			s.framesRouted++
-			s.bytesRouted += int64(len(f.Payload))
-			s.mu.Unlock()
+			s.framesRouted.Add(1)
+			s.bytesRouted.Add(int64(len(f.Payload)))
 			if err := target.send(f.Kind, f.Payload); err != nil {
 				target.conn.Close()
 			}
@@ -240,12 +436,22 @@ type routedHeader struct {
 	channel uint64
 }
 
-// appendRouted builds a routed frame payload addressed to dst.
-func appendRouted(buf []byte, dst string, channel uint64, body []byte) []byte {
+// AppendRouted builds a routed frame payload addressed to dst. It is
+// exported for the overlay mesh, which synthesises open-failure frames
+// when a forwarded open cannot be delivered.
+func AppendRouted(buf []byte, dst string, channel uint64, body []byte) []byte {
 	buf = wire.AppendString(buf, dst)
 	buf = wire.AppendUvarint(buf, channel)
 	buf = append(buf, body...)
 	return buf
+}
+
+// ParseRouted extracts the routing header (destination node ID and
+// channel) of a routed payload. It is exported for the overlay mesh,
+// which routes forwarded frames by the same header.
+func ParseRouted(p []byte) (dst string, channel uint64, ok bool) {
+	hdr, _, ok := parseRouted(p)
+	return hdr.dst, hdr.channel, ok
 }
 
 // parseRouted splits a routed payload into its header and body.
@@ -265,17 +471,22 @@ func parseRouted(p []byte) (routedHeader, []byte, bool) {
 // Client is a node's persistent attachment to a relay. It multiplexes
 // any number of virtual links over the single underlying connection.
 type Client struct {
-	id   string
-	conn net.Conn
+	id string
+
 	wmu  sync.Mutex
+	conn net.Conn
 	w    *wire.Writer
 
 	mu       sync.Mutex
+	serverID string
 	links    map[linkID]*routedConn
 	accepts  chan *routedConn
 	pending  map[linkID]chan *routedConn
 	nextChan uint64
 	closed   bool
+	detached bool
+	gen      int // incremented on every (re)attach; stale readLoops are ignored
+	onDetach func(error)
 	err      error
 }
 
@@ -295,42 +506,178 @@ const (
 	roleAcceptor  byte = 0
 )
 
-// Attach connects this node (with the given location-independent node
-// ID) to the relay over an already established connection.
-func Attach(conn net.Conn, nodeID string) (*Client, error) {
-	c := &Client{
-		id:      nodeID,
-		conn:    conn,
-		w:       wire.NewWriter(conn),
-		links:   make(map[linkID]*routedConn),
-		accepts: make(chan *routedConn, 64),
-		pending: make(map[linkID]chan *routedConn),
-	}
-	if err := c.send(kindAttach, wire.AppendString(nil, nodeID)); err != nil {
-		conn.Close()
-		return nil, err
+// handshake performs the attach exchange on conn and returns the framing
+// objects plus the relay server's announced ID.
+func handshake(conn net.Conn, nodeID string) (*wire.Writer, *wire.Reader, string, error) {
+	w := wire.NewWriter(conn)
+	if err := w.WriteFrame(KindAttach, 0, wire.AppendString(nil, nodeID)); err != nil {
+		return nil, nil, "", err
 	}
 	r := wire.NewReader(conn)
 	f, err := r.ReadFrame()
 	if err != nil {
+		return nil, nil, "", err
+	}
+	if f.Kind != KindAttachOK {
+		if f.Kind == KindOpenFail {
+			return nil, nil, "", ErrDuplicateID
+		}
+		return nil, nil, "", fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
+	}
+	serverID := ""
+	if len(f.Payload) > 0 {
+		d := wire.NewDecoder(f.Payload)
+		serverID = d.String()
+		if d.Err() != nil {
+			serverID = ""
+		}
+	}
+	return w, r, serverID, nil
+}
+
+// ProbeRTT measures the round-trip time to a relay over an established
+// but not yet attached connection, using the pre-attach keep-alive echo.
+// The connection remains usable for a subsequent Attach.
+func ProbeRTT(conn net.Conn) (time.Duration, error) {
+	w := wire.NewWriter(conn)
+	r := wire.NewReader(conn)
+	start := time.Now()
+	if err := w.WriteFrame(wire.KindKeepAlive, 0, nil); err != nil {
+		return 0, err
+	}
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return 0, err
+		}
+		if f.Kind == wire.KindKeepAlive {
+			return time.Since(start), nil
+		}
+	}
+}
+
+// Attach connects this node (with the given location-independent node
+// ID) to the relay over an already established connection.
+func Attach(conn net.Conn, nodeID string) (*Client, error) {
+	w, r, serverID, err := handshake(conn, nodeID)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if f.Kind != kindAttachOK {
-		conn.Close()
-		if f.Kind == kindOpenFail {
-			return nil, ErrDuplicateID
-		}
-		return nil, fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
+	c := &Client{
+		id:       nodeID,
+		conn:     conn,
+		w:        w,
+		serverID: serverID,
+		links:    make(map[linkID]*routedConn),
+		accepts:  make(chan *routedConn, 64),
+		pending:  make(map[linkID]chan *routedConn),
+		gen:      1,
 	}
-	go c.readLoop(r)
+	go c.readLoop(r, 1)
 	return c, nil
 }
 
 // ID returns the node ID this client attached under.
 func (c *Client) ID() string { return c.id }
 
+// ServerID returns the ID announced by the relay the client is currently
+// attached to (empty for relays that have no ID set).
+func (c *Client) ServerID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverID
+}
+
+// SetDetachHandler arms resumable mode: when the relay connection fails,
+// the client keeps its virtual links and accept queue, fails only the
+// dials in flight, and calls handler from a fresh goroutine instead of
+// tearing everything down. The owner is expected to obtain a connection
+// to a surviving relay and call Resume.
+func (c *Client) SetDetachHandler(handler func(error)) {
+	c.mu.Lock()
+	c.onDetach = handler
+	c.mu.Unlock()
+}
+
+// Detached reports whether the client currently has no relay connection.
+func (c *Client) Detached() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.detached
+}
+
+// Resume re-attaches the client's node identity over a fresh connection
+// to a relay (possibly a different member of the mesh than before).
+// Virtual links opened before the detach remain valid: routing is by
+// node ID, so once the mesh's directory learns the new home relay,
+// frames flow again — including the close handshake of links the
+// application shuts down after the failover. Frames sent while detached
+// are lost, exactly as with a real TCP failure.
+func (c *Client) Resume(conn net.Conn) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+
+	w, r, serverID, err := handshake(conn, c.id)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.gen++
+	gen := c.gen
+	c.serverID = serverID
+	// Install the new connection before clearing the detached flag (both
+	// under mu, the conn swap additionally under wmu): a concurrent send
+	// that observes detached == false must already see the new writer.
+	c.wmu.Lock()
+	old := c.conn
+	c.conn = conn
+	c.w = w
+	c.wmu.Unlock()
+	c.detached = false
+	c.mu.Unlock()
+
+	if old != nil && old != conn {
+		old.Close()
+	}
+	go c.readLoop(r, gen)
+	return nil
+}
+
+// Abandon gives up on resuming a detached client: the client is torn
+// down exactly as a fatal connection failure would tear it down in
+// non-resumable mode. The owner calls it when no relay of the mesh can
+// be reached anymore.
+func (c *Client) Abandon(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.detached = false // let fail run the full teardown
+	c.mu.Unlock()
+	c.fail(err)
+}
+
 func (c *Client) send(kind byte, payload []byte) error {
+	c.mu.Lock()
+	detached := c.detached
+	c.mu.Unlock()
+	if detached {
+		return ErrDetached
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	return c.w.WriteFrame(kind, 0, payload)
@@ -354,7 +701,10 @@ func (c *Client) Close() error {
 	}
 	c.send(wire.KindClose, nil)
 	close(c.accepts)
-	return c.conn.Close()
+	c.wmu.Lock()
+	conn := c.conn
+	c.wmu.Unlock()
+	return conn.Close()
 }
 
 // Dial opens a routed virtual link to the node attached under peerID.
@@ -364,6 +714,10 @@ func (c *Client) Dial(peerID string, timeout time.Duration) (net.Conn, error) {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if c.detached {
+		c.mu.Unlock()
+		return nil, ErrDetached
+	}
 	c.nextChan++
 	ch := c.nextChan
 	key := linkID{peer: peerID, channel: ch, outbound: true}
@@ -372,7 +726,10 @@ func (c *Client) Dial(peerID string, timeout time.Duration) (net.Conn, error) {
 	c.mu.Unlock()
 
 	body := wire.AppendString(nil, c.id) // tell the peer who we are
-	if err := c.send(kindOpen, appendRouted(nil, peerID, ch, body)); err != nil {
+	if err := c.send(KindOpen, AppendRouted(nil, peerID, ch, body)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
 		return nil, err
 	}
 	select {
@@ -399,11 +756,11 @@ func (c *Client) Accept() (net.Conn, error) {
 }
 
 // readLoop demultiplexes frames arriving from the relay.
-func (c *Client) readLoop(r *wire.Reader) {
+func (c *Client) readLoop(r *wire.Reader, gen int) {
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
-			c.fail(err)
+			c.disconnected(err, gen)
 			return
 		}
 		hdr, body, ok := parseRouted(f.Payload)
@@ -411,7 +768,7 @@ func (c *Client) readLoop(r *wire.Reader) {
 			continue
 		}
 		switch f.Kind {
-		case kindOpen:
+		case KindOpen:
 			// body carries the originator's node ID.
 			d := wire.NewDecoder(body)
 			from := d.String()
@@ -431,15 +788,15 @@ func (c *Client) readLoop(r *wire.Reader) {
 			}
 			// Acknowledge and deliver to Accept.
 			ack := wire.AppendString(nil, c.id)
-			c.send(kindOpenOK, appendRouted(nil, from, hdr.channel, ack))
+			c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
 			select {
 			case c.accepts <- rc:
 			default:
 				// Backlog full: refuse.
-				c.send(kindOpenFail, appendRouted(nil, from, hdr.channel, nil))
+				c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
 				c.dropLink(key)
 			}
-		case kindOpenOK:
+		case KindOpenOK:
 			d := wire.NewDecoder(body)
 			from := d.String()
 			if d.Err() != nil {
@@ -458,7 +815,7 @@ func (c *Client) readLoop(r *wire.Reader) {
 			if wait != nil {
 				wait <- rc
 			}
-		case kindOpenFail:
+		case KindOpenFail:
 			// Either a dial failure (pending) or a refused accept.
 			c.mu.Lock()
 			var failed []chan *routedConn
@@ -472,7 +829,7 @@ func (c *Client) readLoop(r *wire.Reader) {
 			for _, wait := range failed {
 				wait <- nil
 			}
-		case kindData:
+		case KindData:
 			d := wire.NewDecoder(body)
 			from := d.String()
 			role := byte(d.Uvarint())
@@ -489,7 +846,7 @@ func (c *Client) readLoop(r *wire.Reader) {
 			if rc != nil {
 				rc.deliver(payload)
 			}
-		case kindShut:
+		case KindShut:
 			d := wire.NewDecoder(body)
 			from := d.String()
 			role := byte(d.Uvarint())
@@ -505,6 +862,33 @@ func (c *Client) readLoop(r *wire.Reader) {
 			}
 		}
 	}
+}
+
+// disconnected handles a read-loop failure: in resumable mode the client
+// parks itself in the detached state, otherwise it tears down.
+func (c *Client) disconnected(err error, gen int) {
+	c.mu.Lock()
+	if c.closed || gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	handler := c.onDetach
+	if handler == nil {
+		c.mu.Unlock()
+		c.fail(err)
+		return
+	}
+	c.detached = true
+	c.err = err
+	// Dials in flight cannot complete; links and the accept queue are
+	// kept for Resume.
+	pend := c.pending
+	c.pending = make(map[linkID]chan *routedConn)
+	c.mu.Unlock()
+	for _, wait := range pend {
+		wait <- nil
+	}
+	go handler(err)
 }
 
 func (c *Client) fail(err error) {
@@ -633,7 +1017,7 @@ func (rc *routedConn) Write(p []byte) (int, error) {
 		body := wire.AppendString(nil, rc.client.id)
 		body = wire.AppendUvarint(body, uint64(rc.role()))
 		body = wire.AppendBytes(body, p[:n])
-		if err := rc.client.send(kindData, appendRouted(nil, rc.peer, rc.channel, body)); err != nil {
+		if err := rc.client.send(KindData, AppendRouted(nil, rc.peer, rc.channel, body)); err != nil {
 			return total, err
 		}
 		total += n
@@ -654,7 +1038,7 @@ func (rc *routedConn) Close() error {
 	rc.mu.Unlock()
 	body := wire.AppendString(nil, rc.client.id)
 	body = wire.AppendUvarint(body, uint64(rc.role()))
-	rc.client.send(kindShut, appendRouted(nil, rc.peer, rc.channel, body))
+	rc.client.send(KindShut, AppendRouted(nil, rc.peer, rc.channel, body))
 	rc.client.dropLink(linkID{peer: rc.peer, channel: rc.channel, outbound: rc.outbound})
 	return nil
 }

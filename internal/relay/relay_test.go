@@ -93,8 +93,8 @@ func TestRelayRoutingBetweenFirewalledNodes(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("routed payload mismatch: got %d bytes want %d", len(got), len(msg))
 	}
-	frames, bytesRouted := w.server.Stats()
-	if frames == 0 || bytesRouted == 0 {
+	st := w.server.Stats()
+	if st.FramesRouted == 0 || st.BytesRouted == 0 {
 		t.Fatal("relay reports no routed traffic")
 	}
 }
@@ -148,19 +148,51 @@ func TestRelayDialUnknownPeer(t *testing.T) {
 	}
 }
 
-func TestRelayDuplicateNodeID(t *testing.T) {
+func TestRelayDuplicateNodeIDEvictsStaleAttachment(t *testing.T) {
 	w := newRelayWorld(t)
 	a := w.attach(t, "twin", emunet.NoNAT)
 	defer a.Close()
+	other := w.attach(t, "other", emunet.NoNAT)
+	defer other.Close()
 
+	// Latest attachment wins: a re-attach under the same ID (the node
+	// resuming after an asymmetric connection failure) evicts the stale
+	// one instead of being refused.
 	site := w.fabric.AddSite("dup-site", emunet.SiteConfig{Firewall: emunet.Stateful})
 	h := site.AddHost("twin2")
 	conn, err := h.Dial(emunet.Endpoint{Addr: w.relay.Address(), Port: 4500})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Attach(conn, "twin"); err == nil {
-		t.Fatal("attaching a duplicate node ID should fail")
+	b, err := Attach(conn, "twin")
+	if err != nil {
+		t.Fatalf("re-attach under the same ID should take over: %v", err)
+	}
+	defer b.Close()
+
+	// The relay now routes "twin" to the new attachment...
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c)
+	}()
+	c, err := other.Dial("twin", 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after takeover: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("to-new")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "to-new" {
+		t.Fatalf("echo via new attachment: %q %v", buf, err)
+	}
+	// ... and the stale client's connection was closed underneath it.
+	if _, err := a.Dial("other", 500*time.Millisecond); err == nil {
+		t.Fatal("stale attachment should be dead after eviction")
 	}
 }
 
@@ -356,12 +388,149 @@ func TestRoutedConnAddrs(t *testing.T) {
 }
 
 func TestRoutedFrameParsing(t *testing.T) {
-	payload := appendRouted(nil, "destination-node", 42, []byte("body"))
+	payload := AppendRouted(nil, "destination-node", 42, []byte("body"))
 	hdr, body, ok := parseRouted(payload)
 	if !ok || hdr.dst != "destination-node" || hdr.channel != 42 || string(body) != "body" {
 		t.Fatalf("parseRouted = %+v %q %v", hdr, body, ok)
 	}
 	if _, _, ok := parseRouted([]byte{0xFF}); ok {
 		t.Fatal("corrupt routed frame should not parse")
+	}
+}
+
+// TestStatsConcurrentWithTraffic hammers Stats while frames are being
+// routed; the race detector verifies the counters are safe.
+func TestStatsConcurrentWithTraffic(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "stat-a", emunet.NoNAT)
+	b := w.attach(t, "stat-b", emunet.NoNAT)
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(io.Discard, c)
+	}()
+	c, err := a.Dial("stat-b", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := w.server.Stats()
+					_ = st.FramesRouted + st.BytesRouted + st.FramesForwarded
+				}
+			}
+		}()
+	}
+	chunk := bytes.Repeat([]byte("s"), 8*1024)
+	for i := 0; i < 200; i++ {
+		if _, err := c.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	readers.Wait()
+	if st := w.server.Stats(); st.FramesRouted == 0 {
+		t.Fatal("no frames counted")
+	}
+}
+
+// TestClientResumeOnSecondRelay attaches a node to one relay, kills that
+// relay and resumes the same client on a second, independent relay; the
+// node identity and dialability must carry over.
+func TestClientResumeOnSecondRelay(t *testing.T) {
+	w := newRelayWorld(t)
+	a := w.attach(t, "resume-a", emunet.NoNAT)
+	defer a.Close()
+	detached := make(chan error, 1)
+	a.SetDetachHandler(func(err error) { detached <- err })
+
+	// A second relay on its own gateway.
+	gw2 := w.fabric.AddSite("gateway-2", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("relay-2")
+	l2, err := gw2.Listen(4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer()
+	srv2.SetID("second")
+	go srv2.Serve(l2)
+	defer srv2.Close()
+
+	b := func() *Client { // peer attached to the second relay
+		site := w.fabric.AddSite("site-resume-b", emunet.SiteConfig{Firewall: emunet.Stateful})
+		h := site.AddHost("resume-b")
+		conn, err := h.Dial(emunet.Endpoint{Addr: gw2.Address(), Port: 4500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Attach(conn, "resume-b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}()
+	defer b.Close()
+
+	w.server.Close() // the first relay dies
+	select {
+	case <-detached:
+	case <-time.After(5 * time.Second):
+		t.Fatal("detach handler never fired")
+	}
+	if !a.Detached() {
+		t.Fatal("client should report detached")
+	}
+	if _, err := a.Dial("resume-b", 100*time.Millisecond); err != ErrDetached {
+		t.Fatalf("dial while detached = %v, want ErrDetached", err)
+	}
+
+	// Resume on the second relay.
+	site := w.fabric.Site("site-1-resume-a")
+	conn, err := site.Hosts()[0].Dial(emunet.Endpoint{Addr: gw2.Address(), Port: 4500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Resume(conn); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if a.Detached() || a.ServerID() != "second" {
+		t.Fatalf("after resume: detached=%v server=%q", a.Detached(), a.ServerID())
+	}
+
+	// Both directions work on the new relay.
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c)
+	}()
+	c, err := a.Dial("resume-b", 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after resume: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("post-resume")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "post-resume" {
+		t.Fatalf("echo after resume: %q %v", buf, err)
 	}
 }
