@@ -154,7 +154,7 @@ func startRelay(d *Deployment, name string, host *emunet.Host) (*RelayInstance, 
 		Advertise: emunet.Endpoint{Addr: host.Address(), Port: RelayPort}.String(),
 		Registry:  regCli,
 		Dial: func(addr string) (net.Conn, error) {
-			ep, ok := parseEndpoint(addr)
+			ep, ok := emunet.ParseEndpoint(addr)
 			if !ok {
 				return nil, fmt.Errorf("deployment: bad relay address %q", addr)
 			}

@@ -29,8 +29,6 @@ import (
 	"hash/fnv"
 	"net"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -281,20 +279,6 @@ const (
 	detachStormWindow = 10 * time.Second
 )
 
-// parseEndpoint parses the "addr:port" form used by overlay relay
-// advertisements on the emulated internetwork.
-func parseEndpoint(s string) (emunet.Endpoint, bool) {
-	i := strings.LastIndexByte(s, ':')
-	if i <= 0 {
-		return emunet.Endpoint{}, false
-	}
-	port, err := strconv.Atoi(s[i+1:])
-	if err != nil || port <= 0 {
-		return emunet.Endpoint{}, false
-	}
-	return emunet.Endpoint{Addr: emunet.Address(s[:i]), Port: port}, true
-}
-
 // discoverRelayEndpoints lists the relay mesh members registered in the
 // name service.
 func discoverRelayEndpoints(registry *nameservice.Client) []emunet.Endpoint {
@@ -304,7 +288,7 @@ func discoverRelayEndpoints(registry *nameservice.Client) []emunet.Endpoint {
 	}
 	eps := make([]emunet.Endpoint, 0, len(recs))
 	for _, rec := range recs {
-		if ep, ok := parseEndpoint(string(rec.Value)); ok {
+		if ep, ok := emunet.ParseEndpoint(string(rec.Value)); ok {
 			eps = append(eps, ep)
 		}
 	}

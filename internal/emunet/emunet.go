@@ -27,6 +27,8 @@ package emunet
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -58,6 +60,20 @@ func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) 
 
 // IsZero reports whether the endpoint is unset.
 func (e Endpoint) IsZero() bool { return e.Addr == "" && e.Port == 0 }
+
+// ParseEndpoint parses the "addr:port" form produced by Endpoint.String,
+// used e.g. by overlay relay advertisements in the name service.
+func ParseEndpoint(s string) (Endpoint, bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 {
+		return Endpoint{}, false
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port <= 0 {
+		return Endpoint{}, false
+	}
+	return Endpoint{Addr: Address(s[:i]), Port: port}, true
+}
 
 // FirewallPolicy describes a site's ingress/egress filtering behaviour.
 type FirewallPolicy int

@@ -458,11 +458,22 @@ func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (
 		if c.DialRouted != nil {
 			dial = c.DialRouted
 		}
-		// When the endpoints live on different relays of a mesh, the
-		// open is forwarded relay-to-relay and a refusal can mean "the
-		// directory gossip announcing the acceptor has not reached my
-		// relay yet" — the acceptor is already waiting, the retries only
-		// cover the propagation window.
+		// When both endpoints are attached to the same relay of the mesh
+		// no directory gossip is involved, so a refusal is authoritative
+		// and the open is not retried. A detachment is different even
+		// then: the local attachment may be mid-resume on a surviving
+		// relay (after which the homes differ and the gossip window
+		// applies again), so it falls through to the retrying path.
+		// Across relays the open is forwarded relay-to-relay and a
+		// refusal can mean "the directory gossip announcing the acceptor
+		// has not reached my relay yet" — the acceptor is already
+		// waiting, so the retries cover exactly the propagation window.
+		if remote.HomeRelay != "" && remote.HomeRelay == c.Relay.ServerID() {
+			conn, err := dial(remote.RelayID, c.acceptTimeout())
+			if !errors.Is(err, relay.ErrDetached) {
+				return conn, err
+			}
+		}
 		return RetryRoutedDial(dial, remote.RelayID, c.acceptTimeout(), nil)
 	}
 	t, body, err := b.recv()

@@ -199,7 +199,9 @@ type Profile struct {
 	// the initiator's relay forwards the frames to the acceptor's home
 	// relay, so the method works unchanged — but the directory gossip
 	// announcing a freshly attached node may still be in flight, which
-	// is why the routed method retries refused opens briefly.
+	// is why the routed method retries refused cross-relay opens
+	// briefly. When the homes match, a refusal is authoritative and
+	// establishRouted fails the open immediately.
 	HomeRelay string
 }
 
@@ -274,7 +276,12 @@ func DecodeProfile(b []byte) (Profile, error) {
 	p.Addr = emunet.Address(d.String())
 	p.PublicAddr = emunet.Address(d.String())
 	p.RelayID = d.String()
-	p.HomeRelay = d.String()
+	if d.Err() == nil && d.Remaining() > 0 {
+		// HomeRelay was appended to the profile format when the relay
+		// mesh arrived; profiles encoded by earlier binaries simply end
+		// here, so its absence means "no mesh home", not corruption.
+		p.HomeRelay = d.String()
+	}
 	if d.Err() != nil {
 		return Profile{}, d.Err()
 	}

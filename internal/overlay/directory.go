@@ -25,12 +25,17 @@ type Entry struct {
 
 // directory is a relay's view of the mesh-wide attachment map.
 type directory struct {
+	// self is the owning relay's mesh ID: the relay is the sole
+	// authority for attachments homed at itself (only localUpdate and
+	// localDetach may retract them; see merge).
+	self string
+
 	mu      sync.Mutex
 	entries map[string]Entry
 }
 
-func newDirectory() *directory {
-	return &directory{entries: make(map[string]Entry)}
+func newDirectory(self string) *directory {
+	return &directory{self: self, entries: make(map[string]Entry)}
 }
 
 // localUpdate records a local attach (present) or detach (!present) and
@@ -80,13 +85,26 @@ func (d *directory) merge(e Entry) bool {
 		switch {
 		case e.Present && !cur.Present:
 			// A presence claim beats any foreign tombstone; the same
-			// home's own newer retraction stands.
-			if cur.Home == e.Home && cur.Version >= e.Version {
+			// home's own newer retraction stands. At equal versions the
+			// presence wins: a home bumps the version on every real
+			// detach, so an equal-version tombstone can only stem from a
+			// local invalidate/dropRelay repair — and the home re-claiming
+			// the node (its snapshot after a transient peer-link drop)
+			// proves that repair was itself stale.
+			if cur.Home == e.Home && cur.Version > e.Version {
 				return false
 			}
 		case !e.Present && cur.Present:
-			// A tombstone only retracts its own relay's attachment.
-			if cur.Home != e.Home || e.Version < cur.Version {
+			// A tombstone only retracts its own relay's attachment, and
+			// only with a strictly newer version: a genuine detach always
+			// bumps past the presence it retracts, so an equal-version
+			// tombstone is some relay's non-bumped repair artifact
+			// (invalidate/dropRelay after a link loss) echoed through a
+			// snapshot — adopting it would kill a live route that no
+			// future delta will ever re-announce. For locally homed nodes
+			// only localUpdate/localDetach are authoritative, whatever
+			// the version.
+			if cur.Home != e.Home || e.Version <= cur.Version || cur.Home == d.self {
 				return false
 			}
 		default:
@@ -115,8 +133,9 @@ func (d *directory) lookup(node string) (home string, ok bool) {
 
 // invalidate repairs a stale route: if the directory still claims node
 // lives at home, the entry is marked absent. The version is deliberately
-// not bumped — the authoritative record (the node attaching somewhere)
-// carries a higher version and wins whenever it arrives.
+// not bumped — the authoritative record (the node attaching somewhere,
+// or the unchanged home re-claiming it in a snapshot) carries a version
+// at least as high and wins whenever it arrives.
 func (d *directory) invalidate(node, home string) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -106,6 +106,18 @@ type Relay struct {
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	// Delta gossip is broadcast from a dedicated goroutine fed through
+	// this queue: NodeAttached/NodeDetached are called from the relay's
+	// attach path, which must never block on a stalled peer-link write.
+	// The queue is unbounded — entries are tiny and the broadcaster only
+	// falls behind while a peer conn stalls, which the next conn failure
+	// resolves. Ordering is preserved per relay; receivers merge by
+	// version, so cross-relay interleaving is already safe.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	gqueue  []Entry
+	gclosed bool
 }
 
 // peerLink is an established link to another relay of the mesh.
@@ -143,10 +155,11 @@ func New(cfg Config) (*Relay, error) {
 	}
 	o := &Relay{
 		cfg:   cfg,
-		dir:   newDirectory(),
+		dir:   newDirectory(cfg.ID),
 		peers: make(map[string]*peerLink),
 		done:  make(chan struct{}),
 	}
+	o.gcond = sync.NewCond(&o.gmu)
 	cfg.Server.SetID(cfg.ID)
 	cfg.Server.SetConnHandler(o.handlePeerConn)
 	cfg.Server.SetForwarder(o)
@@ -163,6 +176,10 @@ func New(cfg Config) (*Relay, error) {
 		o.wg.Add(1)
 		go o.rescanLoop()
 	}
+	// Started after the fallible registration so an error return leaks no
+	// goroutine; gossip enqueued before this point is simply drained now.
+	o.wg.Add(1)
+	go o.broadcastLoop()
 	return o, nil
 }
 
@@ -206,6 +223,10 @@ func (o *Relay) shutdown(unregister bool) {
 		peers = append(peers, p)
 	}
 	o.mu.Unlock()
+	o.gmu.Lock()
+	o.gclosed = true
+	o.gmu.Unlock()
+	o.gcond.Broadcast()
 	for _, p := range peers {
 		p.conn.Close()
 	}
@@ -355,10 +376,21 @@ func (o *Relay) startPeer(peerID string, conn net.Conn, w *wire.Writer, r *wire.
 
 func (o *Relay) removePeer(p *peerLink) {
 	o.mu.Lock()
-	if o.peers[p.id] == p {
+	removed := o.peers[p.id] == p
+	if removed {
 		delete(o.peers, p.id)
 	}
 	o.mu.Unlock()
+	if !removed {
+		// The link was superseded by a reconnect (startPeer closed this
+		// conn when it installed the replacement). The peer relay is
+		// still up, so its directory entries must survive: dropping them
+		// here could race with the fresh link's snapshot gossip, and a
+		// drop that lands after the merge is unrepairable — dropRelay
+		// does not bump versions, so re-received snapshots lose to the
+		// tombstones and the peer's nodes stay unroutable.
+		return
+	}
 	p.conn.Close()
 	// Everything homed at the lost relay is unreachable until its nodes
 	// reattach elsewhere (which bumps their versions past these records).
@@ -387,7 +419,10 @@ func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
 		case kindNack:
 			o.handleNack(p, f.Payload)
 		case wire.KindKeepAlive:
-			p.send(wire.KindKeepAlive, nil)
+			// Deliberately not echoed: both ends of a peer link run this
+			// loop, so an echo would ping-pong a single keepalive frame
+			// between the two relays forever. (RTT probing uses the node
+			// protocol's pre-attach echo, never a peer link.)
 		case wire.KindClose:
 			return
 		}
@@ -480,15 +515,47 @@ func (o *Relay) handleNack(from *peerLink, body []byte) {
 }
 
 // NodeAttached implements relay.Forwarder: gossip the new attachment.
+// The directory update is synchronous (the caller serialises it against
+// the node's publication); the broadcast is queued so the relay's attach
+// path never blocks on a peer-link write.
 func (o *Relay) NodeAttached(id string) {
-	o.broadcast(o.dir.localUpdate(id, o.cfg.ID, true))
+	o.enqueueGossip(o.dir.localUpdate(id, o.cfg.ID, true))
 }
 
 // NodeDetached implements relay.Forwarder: gossip the departure, unless
 // the node is already known to have resumed on another relay.
 func (o *Relay) NodeDetached(id string) {
 	if e, ok := o.dir.localDetach(id, o.cfg.ID); ok {
-		o.broadcast(e)
+		o.enqueueGossip(e)
+	}
+}
+
+func (o *Relay) enqueueGossip(e Entry) {
+	o.gmu.Lock()
+	o.gqueue = append(o.gqueue, e)
+	o.gmu.Unlock()
+	o.gcond.Signal()
+}
+
+// broadcastLoop drains the gossip queue towards all peer links.
+func (o *Relay) broadcastLoop() {
+	defer o.wg.Done()
+	o.gmu.Lock()
+	for {
+		for len(o.gqueue) == 0 && !o.gclosed {
+			o.gcond.Wait()
+		}
+		if o.gclosed {
+			o.gmu.Unlock()
+			return
+		}
+		batch := o.gqueue
+		o.gqueue = nil
+		o.gmu.Unlock()
+		for _, e := range batch {
+			o.broadcast(e)
+		}
+		o.gmu.Lock()
 	}
 }
 

@@ -11,12 +11,13 @@ import (
 	"netibis/internal/emunet"
 	"netibis/internal/nameservice"
 	"netibis/internal/relay"
+	"netibis/internal/wire"
 )
 
 // --- directory unit tests ----------------------------------------------------------
 
 func TestDirectoryVersioning(t *testing.T) {
-	d := newDirectory()
+	d := newDirectory("observer")
 
 	e1 := d.localUpdate("n1", "relay-0", true)
 	if e1.Version != 1 || !e1.Present {
@@ -67,7 +68,7 @@ func TestDirectoryVersioning(t *testing.T) {
 }
 
 func TestDirectoryLateDetachDoesNotKillNewHome(t *testing.T) {
-	d := newDirectory()
+	d := newDirectory("observer")
 	d.localUpdate("n1", "relay-0", true) // v1: attached to relay-0
 
 	// The node resumes on relay-1; that gossip arrives first.
@@ -90,7 +91,7 @@ func TestDirectoryLateDetachDoesNotKillNewHome(t *testing.T) {
 }
 
 func TestDirectoryInvalidateAndDropRelay(t *testing.T) {
-	d := newDirectory()
+	d := newDirectory("observer")
 	d.localUpdate("a", "relay-0", true)
 	d.localUpdate("b", "relay-1", true)
 
@@ -111,6 +112,115 @@ func TestDirectoryInvalidateAndDropRelay(t *testing.T) {
 		if _, ok := d.lookup(n); ok {
 			t.Fatalf("node %s should be dropped with its relay", n)
 		}
+	}
+}
+
+// A dropRelay/invalidate tombstone does not bump the version, so the
+// unchanged home re-claiming the node at the same version (its snapshot
+// after a transient peer-link drop) must win — otherwise the node stays
+// unroutable forever, since no delta gossip will ever mention it again.
+func TestDirectorySnapshotRepairsDroppedRelay(t *testing.T) {
+	d := newDirectory("observer")
+	d.merge(Entry{Node: "a", Home: "relay-1", Version: 3, Present: true})
+	d.dropRelay("relay-1")
+	if _, ok := d.lookup("a"); ok {
+		t.Fatal("dropRelay should tombstone the entry")
+	}
+	if !d.merge(Entry{Node: "a", Home: "relay-1", Version: 3, Present: true}) {
+		t.Fatal("re-received same-home same-version presence should repair the drop")
+	}
+	if home, ok := d.lookup("a"); !ok || home != "relay-1" {
+		t.Fatal("entry should resolve again after the snapshot merge")
+	}
+	// The symmetric direction: another relay's snapshot echoing the
+	// equal-version repair tombstone must not clobber the presence — a
+	// genuine detach would have bumped the version.
+	if d.merge(Entry{Node: "a", Home: "relay-1", Version: 3, Present: false}) {
+		t.Fatal("equal-version repair tombstone must not beat a live presence")
+	}
+	if home, ok := d.lookup("a"); !ok || home != "relay-1" {
+		t.Fatal("presence should survive an echoed equal-version tombstone")
+	}
+	// The home's own newer tombstone (a real detach bumps the version)
+	// still retracts the presence.
+	if !d.merge(Entry{Node: "a", Home: "relay-1", Version: 4, Present: false}) {
+		t.Fatal("the home's own newer tombstone should stand")
+	}
+	if _, ok := d.lookup("a"); ok {
+		t.Fatal("newer tombstone should win over the older presence")
+	}
+}
+
+// Only the relay itself may retract its own attachments: a gossiped
+// tombstone naming this relay as home (a peer's invalidate/dropRelay
+// echo after a transient link loss) must not kill a live local record.
+func TestDirectorySelfAuthority(t *testing.T) {
+	d := newDirectory("relay-0")
+	d.localUpdate("n1", "relay-0", true)
+	if d.merge(Entry{Node: "n1", Home: "relay-0", Version: 1, Present: false}) {
+		t.Fatal("echoed tombstone must not retract a live local attachment")
+	}
+	if home, ok := d.lookup("n1"); !ok || home != "relay-0" {
+		t.Fatalf("local attachment lost: %q %v", home, ok)
+	}
+	// The local detach itself still works and its tombstone survives
+	// being re-echoed.
+	if _, ok := d.localDetach("n1", "relay-0"); !ok {
+		t.Fatal("genuine local detach should tombstone")
+	}
+	if _, ok := d.lookup("n1"); ok {
+		t.Fatal("detached node should not resolve")
+	}
+}
+
+// A peer link superseded by a reconnect must not tear down the peer's
+// directory entries when its deferred removePeer finally runs: the peer
+// relay is still alive, and dropRelay after the fresh link's snapshot
+// merge would be unrepairable (dropRelay does not bump versions, so the
+// re-received snapshot loses to the tombstones).
+func TestSupersededPeerLinkKeepsDirectory(t *testing.T) {
+	srv := relay.NewServer()
+	o, err := New(Config{
+		ID:     "relay-a",
+		Server: srv,
+		Dial:   func(string) (net.Conn, error) { return nil, fmt.Errorf("unused") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		o.Close()
+		srv.Close()
+	})
+
+	pipePeer := func() net.Conn {
+		local, far := net.Pipe()
+		go io.Copy(io.Discard, far)
+		if err := o.startPeer("relay-b", local, wire.NewWriter(local), wire.NewReader(local)); err != nil {
+			t.Fatal(err)
+		}
+		return local
+	}
+
+	pipePeer()
+	stale := o.peer("relay-b")
+	o.dir.merge(Entry{Node: "n1", Home: "relay-b", Version: 1, Present: true})
+
+	// A reconnect replaces the stale link; its teardown (racing after the
+	// new link's snapshot merge) must leave relay-b's entries intact.
+	fresh := pipePeer()
+	o.removePeer(stale)
+	if home, ok := o.dir.lookup("n1"); !ok || home != "relay-b" {
+		t.Fatalf("superseded link teardown dropped relay-b's entries (home=%q ok=%v)", home, ok)
+	}
+	if p := o.peer("relay-b"); p == nil || p.conn != fresh {
+		t.Fatal("replacement link should stay registered")
+	}
+
+	// The current link dying is a real peer loss: entries must drop.
+	o.removePeer(o.peer("relay-b"))
+	if _, ok := o.dir.lookup("n1"); ok {
+		t.Fatal("losing the live peer link should drop its entries")
 	}
 }
 
@@ -203,7 +313,7 @@ func (w *meshWorld) addRelay() *meshRelay {
 		Advertise: ep.String(),
 		Registry:  regCli,
 		Dial: func(addr string) (net.Conn, error) {
-			dep, ok := parseTestEndpoint(addr)
+			dep, ok := emunet.ParseEndpoint(addr)
 			if !ok {
 				return nil, fmt.Errorf("bad addr %q", addr)
 			}
@@ -217,21 +327,6 @@ func (w *meshWorld) addRelay() *meshRelay {
 	mr := &meshRelay{id: id, host: host, server: srv, overlay: ov, regCli: regCli, ep: ep}
 	w.relays = append(w.relays, mr)
 	return mr
-}
-
-func parseTestEndpoint(s string) (emunet.Endpoint, bool) {
-	var addr string
-	var port int
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == ':' {
-			addr = s[:i]
-			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
-				return emunet.Endpoint{}, false
-			}
-			return emunet.Endpoint{Addr: emunet.Address(addr), Port: port}, true
-		}
-	}
-	return emunet.Endpoint{}, false
 }
 
 // waitMesh waits until every relay has at least want peers.
@@ -418,6 +513,66 @@ func TestSnapshotGossipToLateJoiner(t *testing.T) {
 	w.waitMesh(2)
 	w.waitFor(func() bool { return directoryKnows(late, "early-bird", "relay-0") },
 		"snapshot gossip did not reach the late joiner")
+}
+
+// A transient peer-link failure between two live relays must heal: both
+// sides drop the other's entries, discovery re-dials, and the snapshot
+// exchanged on the new link must repair the non-bumped tombstones left
+// by dropRelay so cross-relay routing works again.
+func TestPeerLinkDropHealsOnReconnect(t *testing.T) {
+	w := newMeshWorld(t, 2)
+	a := w.attach(0, "node-a")
+	b := w.attach(1, "node-b")
+	defer a.Close()
+	defer b.Close()
+	w.waitFor(func() bool { return directoryKnows(w.relays[0], "node-b", "relay-1") },
+		"attachment gossip did not reach relay-0")
+
+	// Sever the peer link (the conn dies, both relays stay up) and wait
+	// for discovery to re-form it.
+	old := w.relays[0].overlay.peer("relay-1")
+	old.conn.Close()
+	w.waitFor(func() bool {
+		p := w.relays[0].overlay.peer("relay-1")
+		return p != nil && p != old
+	}, "peer link did not re-form after the drop")
+	w.waitFor(func() bool { return directoryKnows(w.relays[0], "node-b", "relay-1") },
+		"reconnect snapshot did not repair relay-0's directory")
+	w.waitFor(func() bool { return directoryKnows(w.relays[1], "node-a", "relay-0") },
+		"reconnect snapshot did not repair relay-1's directory")
+	// Each relay stays the authority for its own attachments: the other
+	// side's snapshot carries dropRelay tombstones for them (same home,
+	// equal version) which must not kill the live local records.
+	if !directoryKnows(w.relays[0], "node-a", "relay-0") {
+		t.Fatal("relay-0 lost its own node-a to an echoed tombstone")
+	}
+	if !directoryKnows(w.relays[1], "node-b", "relay-1") {
+		t.Fatal("relay-1 lost its own node-b to an echoed tombstone")
+	}
+
+	go func() {
+		c, err := b.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c)
+		c.Close()
+	}()
+	c, err := a.Dial("node-b", 2*time.Second)
+	if err != nil {
+		t.Fatalf("cross-relay dial after link reconnect: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "healed" {
+		t.Fatalf("got %q", buf)
+	}
 }
 
 func TestDialUnknownNodeFailsFast(t *testing.T) {

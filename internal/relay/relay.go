@@ -120,6 +120,14 @@ type Server struct {
 	connH  ConnHandler
 	closed bool
 
+	// attachMu serialises each {s.nodes update, Forwarder notification}
+	// pair of handleNode. Without it a detaching handler could delete its
+	// map entry, lose the CPU, and deliver its NodeDetached only after a
+	// re-attach of the same node on this relay published NodeAttached —
+	// gossiping a higher-versioned tombstone for a live attachment that
+	// nothing would ever repair.
+	attachMu sync.Mutex
+
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	wg        sync.WaitGroup
@@ -345,6 +353,17 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	}
 	peer.id = id
 
+	// Refuse attaches during shutdown before acking: an ack followed by
+	// the shutdown's conn close would look like a successful attach and
+	// an immediate detach, which in resumable mode burns one of the
+	// client's failover attempts instead of surfacing a clean failure.
+	s.mu.Lock()
+	closing := s.closed
+	s.mu.Unlock()
+	if closing {
+		return
+	}
+
 	// Acknowledge before publishing the node: the instant it appears in
 	// s.nodes (and the mesh directory), forwarded frames may be injected
 	// into this connection, and they must not precede the attach ack the
@@ -353,9 +372,11 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 		return
 	}
 
+	s.attachMu.Lock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.attachMu.Unlock()
 		return
 	}
 	old := s.nodes[id]
@@ -373,7 +394,9 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	if fwd := s.forwarder(); fwd != nil {
 		fwd.NodeAttached(id)
 	}
+	s.attachMu.Unlock()
 	defer func() {
+		s.attachMu.Lock()
 		s.mu.Lock()
 		stale := s.nodes[id] != peer
 		if !stale {
@@ -385,6 +408,7 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 				fwd.NodeDetached(id)
 			}
 		}
+		s.attachMu.Unlock()
 	}()
 
 	// Route frames until the node disconnects. The relay never inspects
@@ -520,6 +544,9 @@ func handshake(conn net.Conn, nodeID string) (*wire.Writer, *wire.Reader, string
 	}
 	if f.Kind != KindAttachOK {
 		if f.Kind == KindOpenFail {
+			// Current servers never refuse a duplicate attach (the latest
+			// attachment wins, see handleNode); the mapping is kept for
+			// servers predating latest-wins, which signalled it this way.
 			return nil, nil, "", ErrDuplicateID
 		}
 		return nil, nil, "", fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
@@ -786,13 +813,24 @@ func (c *Client) readLoop(r *wire.Reader, gen int) {
 			if closed {
 				continue
 			}
-			// Acknowledge and deliver to Accept.
+			// Acknowledge and deliver to Accept. The send into accepts is
+			// flag-guarded under mu: Close/fail set closed under mu before
+			// closing the channel, so a sender either completes first or
+			// observes closed — never a send on a closed channel.
 			ack := wire.AppendString(nil, c.id)
 			c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
-			select {
-			case c.accepts <- rc:
-			default:
-				// Backlog full: refuse.
+			delivered := false
+			c.mu.Lock()
+			if !c.closed {
+				select {
+				case c.accepts <- rc:
+					delivered = true
+				default:
+				}
+			}
+			c.mu.Unlock()
+			if !delivered {
+				// Backlog full (or closing): refuse.
 				c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
 				c.dropLink(key)
 			}
