@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|all]
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|all]
 package main
 
 import (
@@ -44,6 +44,8 @@ func main() {
 		multirelay()
 	case "failover":
 		failover()
+	case "datapath":
+		datapath()
 	case "all":
 		table1()
 		lan()
@@ -56,9 +58,10 @@ func main() {
 		delays()
 		multirelay()
 		failover()
+		datapath()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath all")
 		os.Exit(2)
 	}
 }
@@ -166,4 +169,20 @@ func failover() {
 	}
 	fmt.Print(bench.FormatFailover(res))
 	fmt.Println()
+}
+
+func datapath() {
+	header("Measured data path: real stacks over in-memory links (throughput, allocs/op)")
+	rep, err := bench.RunDatapathSuite(64<<10, 256, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datapath: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatDatapath(rep))
+	path, err := bench.WriteDatapathReport(rep, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datapath: writing report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", path)
 }

@@ -1,0 +1,237 @@
+package bench
+
+// This file is the *measured* (not modelled) data-path benchmark suite:
+// it builds real driver stacks over in-memory pipes, pushes real
+// messages through them and reports throughput and allocation counts.
+// The modelled figures elsewhere in this package reproduce the paper's
+// WAN numbers; this suite tracks what the implementation itself costs
+// per message, which is what the zero-copy refactor of the buffer
+// ownership work optimises. Results are written to BENCH_datapath.json
+// at the repository root so the performance trajectory has a recorded
+// baseline (see EXPERIMENTS.md).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"netibis/internal/driver"
+	_ "netibis/internal/drivers" // register zip, multi, tcpblk, secure
+	"netibis/internal/workload"
+)
+
+// DatapathResult is one measured stack datapoint.
+type DatapathResult struct {
+	// Stack is the driver stack specification measured.
+	Stack string `json:"stack"`
+	// MessageBytes is the size of each message pushed through the stack.
+	MessageBytes int `json:"message_bytes"`
+	// Messages is how many messages the measurement averaged over.
+	Messages int `json:"messages"`
+	// MBps is the end-to-end application-level throughput (sender Write
+	// to receiver Read, including Flush per message).
+	MBps float64 `json:"mbps"`
+	// AllocsPerOp is the number of heap allocations per message across
+	// the whole process (both sides of the stack and their goroutines).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the number of heap bytes allocated per message.
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// DatapathStacks returns the stack permutations measured by the suite:
+// the networking driver alone, each filter on top of it, and the full
+// compositions the paper's evaluation uses.
+func DatapathStacks() []string {
+	return []string{
+		"tcpblk",
+		"zip/tcpblk",
+		"multi:streams=4/tcpblk",
+		"secure:psk=bench/tcpblk",
+		"zip/multi:streams=4/tcpblk",
+		"zip/secure:psk=bench/multi:streams=4/tcpblk",
+	}
+}
+
+// MeasureStackDatapath builds the sending and receiving sides of a stack
+// over in-memory pipe connections, transfers messages of the given size
+// and reports throughput plus process-wide allocations per message.
+func MeasureStackDatapath(stackSpec string, msgSize, messages int) (DatapathResult, error) {
+	res := DatapathResult{Stack: stackSpec, MessageBytes: msgSize, Messages: messages}
+	stack, err := driver.ParseStack(stackSpec)
+	if err != nil {
+		return res, err
+	}
+	payload := workload.Generate(workload.Grid, msgSize, 7)
+
+	run := func(messages int) (time.Duration, error) {
+		dialEnv, acceptEnv := driver.PipeEnv()
+		outCh := make(chan driver.Output, 1)
+		outErr := make(chan error, 1)
+		go func() {
+			// Output and input must build concurrently: tcpblk's Dial
+			// blocks in the pipe rendezvous until the input side accepts.
+			out, err := driver.BuildOutput(stack, dialEnv)
+			outErr <- err
+			if err == nil {
+				outCh <- out
+			}
+		}()
+		in, err := driver.BuildInput(stack, acceptEnv)
+		if err != nil {
+			return 0, fmt.Errorf("build input: %w", err)
+		}
+		if err := <-outErr; err != nil {
+			in.Close()
+			return 0, fmt.Errorf("build output: %w", err)
+		}
+		out := <-outCh
+		// Close the input side first: pipe connections are synchronous,
+		// so the output's close frame would block forever once the
+		// receiver goroutine has exited. Closing the input tears the
+		// pipes down and lets the output's close error out harmlessly.
+		defer out.Close()
+		defer in.Close()
+
+		recvErr := make(chan error, 1)
+		go func() {
+			buf := make([]byte, 64*1024)
+			remaining := int64(messages) * int64(msgSize)
+			for remaining > 0 {
+				n := int64(len(buf))
+				if n > remaining {
+					n = remaining
+				}
+				m, err := io.ReadFull(in, buf[:n])
+				remaining -= int64(m)
+				if err != nil {
+					recvErr <- fmt.Errorf("receive with %d bytes left: %w", remaining, err)
+					return
+				}
+			}
+			recvErr <- nil
+		}()
+
+		start := time.Now()
+		for m := 0; m < messages; m++ {
+			if _, err := out.Write(payload); err != nil {
+				return 0, fmt.Errorf("write: %w", err)
+			}
+			if err := out.Flush(); err != nil {
+				return 0, fmt.Errorf("flush: %w", err)
+			}
+		}
+		if err := <-recvErr; err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm up pools and one-time setup outside the measurement.
+	if _, err := run(2); err != nil {
+		return res, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	elapsed, err := run(messages)
+	if err != nil {
+		return res, err
+	}
+	runtime.ReadMemStats(&after)
+
+	total := float64(messages) * float64(msgSize)
+	res.MBps = total / elapsed.Seconds() / 1e6
+	res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(messages)
+	res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(messages)
+	return res, nil
+}
+
+// DatapathReport is the full measured suite written to
+// BENCH_datapath.json.
+type DatapathReport struct {
+	// GeneratedAt is the wall-clock time of the run.
+	GeneratedAt time.Time `json:"generated_at"`
+	// GoVersion records the toolchain the numbers were measured with.
+	GoVersion string `json:"go_version"`
+	// Stacks holds one result per measured stack permutation.
+	Stacks []DatapathResult `json:"stacks"`
+	// Relay holds the measured relay forwarding results (1 vs 3 relays).
+	Relay []MultiRelayResult `json:"relay,omitempty"`
+}
+
+// RunDatapathSuite measures every stack permutation at the given message
+// size plus the 1-vs-3-relay forwarding scenario.
+func RunDatapathSuite(msgSize, messages int, withRelay bool) (DatapathReport, error) {
+	rep := DatapathReport{GeneratedAt: time.Now(), GoVersion: runtime.Version()}
+	for _, spec := range DatapathStacks() {
+		r, err := MeasureStackDatapath(spec, msgSize, messages)
+		if err != nil {
+			return rep, fmt.Errorf("stack %q: %w", spec, err)
+		}
+		rep.Stacks = append(rep.Stacks, r)
+	}
+	if withRelay {
+		relay, err := CompareRelayScaling(2, 256<<10)
+		if err != nil {
+			return rep, fmt.Errorf("relay scaling: %w", err)
+		}
+		rep.Relay = relay
+	}
+	return rep, nil
+}
+
+// WriteDatapathReport writes the report as JSON. An empty path selects
+// BENCH_datapath.json at the repository root (located by walking up from
+// the working directory to the directory containing go.mod, so tests
+// running in package directories and tools running at the root agree).
+func WriteDatapathReport(rep DatapathReport, path string) (string, error) {
+	if path == "" {
+		root, err := findRepoRoot()
+		if err != nil {
+			return "", err
+		}
+		path = filepath.Join(root, "BENCH_datapath.json")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// findRepoRoot walks up from the working directory to the directory
+// containing go.mod.
+func findRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("bench: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// FormatDatapath renders the measured stack results as a text table.
+func FormatDatapath(rep DatapathReport) string {
+	out := fmt.Sprintf("%-46s %-10s %-10s %-12s %s\n", "stack", "msg bytes", "MB/s", "allocs/op", "bytes/op")
+	for _, r := range rep.Stacks {
+		out += fmt.Sprintf("%-46s %-10d %-10.1f %-12.1f %.0f\n",
+			r.Stack, r.MessageBytes, r.MBps, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if len(rep.Relay) > 0 {
+		out += FormatMultiRelay(rep.Relay)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"netibis/internal/driver"
+	"netibis/internal/workload"
+)
+
+// TestDatapathSuiteWritesReport runs the measured data-path suite at a
+// small size and writes BENCH_datapath.json at the repository root, so
+// every test run refreshes the recorded perf trajectory.
+func TestDatapathSuiteWritesReport(t *testing.T) {
+	rep, err := RunDatapathSuite(64<<10, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stacks) != len(DatapathStacks()) {
+		t.Fatalf("measured %d stacks, want %d", len(rep.Stacks), len(DatapathStacks()))
+	}
+	for _, r := range rep.Stacks {
+		if r.MBps <= 0 {
+			t.Fatalf("stack %q measured no throughput: %+v", r.Stack, r)
+		}
+	}
+	if len(rep.Relay) != 2 {
+		t.Fatalf("expected 1-vs-3-relay results, got %d", len(rep.Relay))
+	}
+	path, err := WriteDatapathReport(rep, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DatapathReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(back.Stacks) != len(rep.Stacks) {
+		t.Fatal("report round-trip lost stacks")
+	}
+	t.Logf("wrote %s\n%s", path, FormatDatapath(rep))
+}
+
+// TestDatapathAllocRegression gates the headline number of the zero-copy
+// refactor: allocations per 64 KiB message on the paper's full
+// zip/multi/tcpblk stack. The pre-refactor figure was ~41 allocs/op; the
+// pooled data path brought it under 20 (the remainder is dominated by
+// the standard library's DEFLATE decoder rebuilding Huffman tables per
+// block). The bound has headroom for CI noise but fails on any return of
+// per-layer payload copying.
+func TestDatapathAllocRegression(t *testing.T) {
+	r, err := MeasureStackDatapath("zip/multi:streams=4/tcpblk", 64<<10, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AllocsPerOp > 25 {
+		t.Fatalf("zip/multi/tcpblk allocs/op regressed: %.1f (pre-refactor ~41, post-refactor ~18)", r.AllocsPerOp)
+	}
+	// The plain block driver must stay essentially allocation-free.
+	rt, err := MeasureStackDatapath("tcpblk", 64<<10, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.AllocsPerOp > 2 {
+		t.Fatalf("tcpblk allocs/op regressed: %.1f (post-refactor ~0.2)", rt.AllocsPerOp)
+	}
+}
+
+// benchStack builds a stack over in-memory pipes with a draining
+// receiver and returns the sending side plus a cleanup.
+func benchStack(b *testing.B, spec string) (driver.Output, func()) {
+	b.Helper()
+	stack, err := driver.ParseStack(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dialEnv, acceptEnv := driver.PipeEnv()
+	outCh := make(chan driver.Output, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		out, err := driver.BuildOutput(stack, dialEnv)
+		errCh <- err
+		if err == nil {
+			outCh <- out
+		}
+	}()
+	in, err := driver.BuildInput(stack, acceptEnv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		b.Fatal(err)
+	}
+	out := <-outCh
+	go io.Copy(io.Discard, in)
+	return out, func() {
+		in.Close()
+		out.Close()
+	}
+}
+
+// BenchmarkDatapath measures every stack permutation of the suite with
+// the standard benchmark harness (ReportAllocs), pushing one flushed
+// 64 KiB message per op.
+func BenchmarkDatapath(b *testing.B) {
+	payload := workload.Generate(workload.Grid, 64<<10, 7)
+	for _, spec := range DatapathStacks() {
+		b.Run(spec, func(b *testing.B) {
+			out, cleanup := benchStack(b, spec)
+			defer cleanup()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := out.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := out.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatapathMessageSizes sweeps message sizes on the full stack.
+func BenchmarkDatapathMessageSizes(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10, 64 << 10, 512 << 10} {
+		payload := workload.Generate(workload.Grid, size, 7)
+		b.Run(fmt.Sprintf("zip_multi_tcpblk_%dKiB", size>>10), func(b *testing.B) {
+			out, cleanup := benchStack(b, "zip/multi:streams=4/tcpblk")
+			defer cleanup()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := out.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := out.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRelayForwarding runs the measured emunet relay scenario (the
+// 1-vs-3-relay forwarding path) once per benchmark iteration at a small
+// transfer size; -benchtime=1x in CI keeps it a smoke test.
+func BenchmarkRelayForwarding(b *testing.B) {
+	for _, relays := range []int{1, 3} {
+		b.Run(fmt.Sprintf("%drelay", relays), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := MultiRelayThroughput(relays, 2, 256<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AggregateMBps, "MB/s")
+			}
+		})
+	}
+}

@@ -752,11 +752,13 @@ func (n *Node) handleConnect(conn net.Conn, r *wire.Reader, w *wire.Writer, payl
 	}
 
 	// Build the input side of the driver stack; every Accept call runs
-	// one brokered establishment over this same service link, mirroring
-	// the Dial calls the initiator makes.
+	// one brokered establishment over a mux stream of this service link,
+	// mirroring (and overlapping with) the Dial calls the initiator
+	// makes concurrently on its side.
+	mux := estab.NewServiceMux(conn)
 	env := &driver.Env{
 		Accept: func() (net.Conn, error) {
-			dataConn, _, err := n.connector.EstablishAcceptor(conn)
+			dataConn, _, err := n.connector.EstablishAcceptor(mux.Open())
 			if err != nil {
 				return nil, err
 			}
@@ -767,6 +769,14 @@ func (n *Node) handleConnect(conn net.Conn, r *wire.Reader, w *wire.Writer, payl
 		},
 	}
 	input, err := driver.BuildInput(stack, env)
+	if merr := mux.Finish(); merr != nil {
+		// The service connection itself broke mid-establishment; tell
+		// the serve loop to stop using it.
+		if input != nil {
+			input.Close()
+		}
+		return merr
+	}
 	if err != nil {
 		// The initiator will observe the failure through its own
 		// establishment errors; nothing more we can do here.

@@ -169,14 +169,22 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 	if err != nil {
 		return err
 	}
+	// Establishment conversations are multiplexed over the service link
+	// so a stack needing several connections (parallel streams) brokers
+	// them concurrently instead of paying WAN-RTT × N. Env.Dial must be
+	// concurrent-safe; the method is recorded under its own lock.
+	mux := estab.NewServiceMux(sl.conn)
+	var methodMu sync.Mutex
 	var usedMethod estab.Method
 	env := &driver.Env{
 		Dial: func() (net.Conn, error) {
-			dataConn, method, err := n.connector.EstablishInitiator(sl.conn)
+			dataConn, method, err := n.connector.EstablishInitiator(mux.Open())
 			if err != nil {
 				return nil, err
 			}
+			methodMu.Lock()
 			usedMethod = method
+			methodMu.Unlock()
 			if sp.portType.Secure {
 				return secure.WrapClient(dataConn, n.cfg.Identity, to.Owner.Name)
 			}
@@ -184,6 +192,15 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 		},
 	}
 	out, err := driver.BuildOutput(stack, env)
+	// Always settle the mux session, success or not: it hands the
+	// service link back in a clean state and unblocks the acceptor's
+	// half-finished conversations when our build failed.
+	if merr := mux.Finish(); err == nil && merr != nil {
+		// The service connection itself broke; release the freshly
+		// built stack and its brokered connections.
+		out.Close()
+		err = merr
+	}
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"netibis/internal/wire"
 )
 
 // Output is the sending side of a driver stack: a byte stream with
@@ -46,6 +48,59 @@ type Input interface {
 	Close() error
 }
 
+// BufWriter is the optional zero-copy fast path of an Output. A driver
+// that implements it accepts whole payloads by ownership transfer: the
+// caller hands over its reference to the Buf and must not touch the Buf
+// afterwards; the driver releases it exactly once when it is done (which
+// may be after the write has been aggregated, striped, compressed or
+// sealed). Callers feature-detect the fast path with an interface
+// assertion — see WriteBuf — and fall back to the plain io.Writer path,
+// so stacks mixing old and new drivers keep working.
+type BufWriter interface {
+	WriteBuf(b *wire.Buf) error
+}
+
+// BufReader is the optional zero-copy fast path of an Input: ReadBuf
+// returns the next chunk of the byte stream as an owned pooled Buf that
+// the caller must Release exactly once. Chunk boundaries are
+// driver-defined (TCP_Block hands out whole blocks) and carry no message
+// semantics, exactly like Read.
+type BufReader interface {
+	ReadBuf() (*wire.Buf, error)
+}
+
+// WriteBuf hands an owned Buf to an Output, using the driver's zero-copy
+// fast path when it has one and the compatible copy path otherwise. In
+// both cases the caller's reference is consumed.
+func WriteBuf(o Output, b *wire.Buf) error {
+	if bw, ok := o.(BufWriter); ok {
+		return bw.WriteBuf(b)
+	}
+	_, err := o.Write(b.Bytes())
+	b.Release()
+	return err
+}
+
+// ReadBuf reads the next chunk from an Input as an owned Buf, using the
+// driver's fast path when available and a pooled copy read (of at most
+// max bytes) otherwise.
+func ReadBuf(in Input, max int) (*wire.Buf, error) {
+	if br, ok := in.(BufReader); ok {
+		return br.ReadBuf()
+	}
+	b := wire.GetBuf(max)
+	n, err := in.Read(b.Bytes())
+	if n <= 0 {
+		b.Release()
+		if err == nil {
+			err = io.ErrNoProgress
+		}
+		return nil, err
+	}
+	b.SetLen(n)
+	return b, nil
+}
+
 // Env gives drivers access to the connections prepared for this link by
 // the socket factories, plus link-wide settings.
 type Env struct {
@@ -53,10 +108,12 @@ type Env struct {
 	// first call returns the already-established primary connection;
 	// further calls trigger brokered establishment of additional
 	// connections (used by the parallel streams driver). Required on
-	// the sending side.
+	// the sending side. Dial must be safe for concurrent use: the
+	// parallel-streams driver establishes its sub-streams concurrently.
 	Dial func() (net.Conn, error)
 	// Accept returns the next incoming connection for this link on the
 	// receiving side. The first call returns the primary connection.
+	// Like Dial, Accept must be safe for concurrent use.
 	Accept func() (net.Conn, error)
 }
 
@@ -260,6 +317,24 @@ func SingleConnEnv(conn net.Conn) *Env {
 		return conn, nil
 	}
 	return &Env{Dial: get, Accept: get}
+}
+
+// PipeEnv returns a connected pair of environments backed by in-memory
+// net.Pipe connections: every Dial on the first environment produces a
+// fresh pipe whose other end is handed out by the second environment's
+// Accept. Sub-stream pairing is by arrival order, which is sufficient
+// for every NetIbis driver (the parallel-streams driver reassembles by
+// sequence number, not by sub-stream identity). Used by unit tests and
+// the measured data-path benchmarks.
+func PipeEnv() (dialer, acceptor *Env) {
+	ch := make(chan net.Conn, 64)
+	dial := func() (net.Conn, error) {
+		a, b := net.Pipe()
+		ch <- b
+		return a, nil
+	}
+	accept := func() (net.Conn, error) { return <-ch, nil }
+	return &Env{Dial: dial}, &Env{Accept: accept}
 }
 
 // FuncEnv builds an Env from a connection source: the first call to

@@ -7,6 +7,7 @@ package drivers
 import (
 	// The individual drivers register themselves in their init functions.
 	_ "netibis/internal/drivers/multi"
+	_ "netibis/internal/drivers/secure"
 	_ "netibis/internal/drivers/tcpblk"
 	_ "netibis/internal/drivers/zip"
 )
@@ -14,5 +15,5 @@ import (
 // Installed reports the driver names guaranteed to be available after
 // importing this package.
 func Installed() []string {
-	return []string{"multi", "tcpblk", "zip"}
+	return []string{"multi", "secure", "tcpblk", "zip"}
 }

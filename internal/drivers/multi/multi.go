@@ -17,6 +17,7 @@
 package multi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,37 @@ func init() {
 	driver.Register(Name, buildOutput, buildInput)
 }
 
+// buildConcurrently establishes the n sub-streams of a parallel-streams
+// link concurrently: each lower() call runs its own brokered
+// establishment, and running them one at a time costs WAN-RTT × n setup
+// latency, which is exactly what parallel streams are meant to avoid.
+// Env.Dial/Accept are documented to be safe for concurrent use.
+func buildConcurrently[S any](n int, lower func() (S, error), closer func(S)) ([]S, error) {
+	subs := make([]S, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i], errs[i] = lower()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		for j, jerr := range errs {
+			if jerr == nil {
+				closer(subs[j])
+			}
+		}
+		return nil, fmt.Errorf("multi: building sub-stream %d: %w", i, err)
+	}
+	return subs, nil
+}
+
 func buildOutput(spec driver.Spec, _ *driver.Env, lower func() (driver.Output, error)) (driver.Output, error) {
 	if lower == nil {
 		return nil, errors.New("multi: requires a lower driver (it is a filtering driver)")
@@ -53,16 +85,9 @@ func buildOutput(spec driver.Spec, _ *driver.Env, lower func() (driver.Output, e
 	if n < 1 || n > MaxStreams {
 		return nil, fmt.Errorf("multi: invalid stream count %d", n)
 	}
-	subs := make([]driver.Output, 0, n)
-	for i := 0; i < n; i++ {
-		s, err := lower()
-		if err != nil {
-			for _, prev := range subs {
-				prev.Close()
-			}
-			return nil, fmt.Errorf("multi: building sub-stream %d: %w", i, err)
-		}
-		subs = append(subs, s)
+	subs, err := buildConcurrently(n, lower, func(s driver.Output) { s.Close() })
+	if err != nil {
+		return nil, err
 	}
 	return NewOutput(subs, frag), nil
 }
@@ -75,24 +100,27 @@ func buildInput(spec driver.Spec, _ *driver.Env, lower func() (driver.Input, err
 	if n < 1 || n > MaxStreams {
 		return nil, fmt.Errorf("multi: invalid stream count %d", n)
 	}
-	subs := make([]driver.Input, 0, n)
-	for i := 0; i < n; i++ {
-		s, err := lower()
-		if err != nil {
-			for _, prev := range subs {
-				prev.Close()
-			}
-			return nil, fmt.Errorf("multi: building sub-stream %d: %w", i, err)
-		}
-		subs = append(subs, s)
+	subs, err := buildConcurrently(n, lower, func(s driver.Input) { s.Close() })
+	if err != nil {
+		return nil, err
 	}
 	return NewInput(subs), nil
 }
 
-// fragment is one unit of striping: a sequence number plus payload.
+// fragment is one unit of striping. It comes in two shapes:
+//
+//   - pooled: buf holds the fragment header and a copy of the payload in
+//     one owned pooled Buf (the path for plain Writes, whose payload the
+//     caller may reuse immediately);
+//   - aliased: data aliases a caller-owned Buf passed through WriteBuf,
+//     and owner carries the reference the worker releases after the
+//     write — the payload itself is never copied at this layer.
 type fragment struct {
-	seq  uint64
-	data []byte
+	buf    *wire.Buf // pooled header+payload, or nil for aliased fragments
+	hdr    [2 * binary.MaxVarintLen64]byte
+	hdrLen int
+	data   []byte
+	owner  *wire.Buf
 }
 
 // Output is the sending side: it stripes fragments round-robin over the
@@ -102,10 +130,13 @@ type Output struct {
 	subs     []driver.Output
 	fragSize int
 
-	mu      sync.Mutex
-	nextSeq uint64
-	closed  bool
-	err     error
+	mu       sync.Mutex
+	nextSeq  uint64
+	closed   bool
+	err      error
+	dirty    []bool  // sub-streams with unflushed fragments since last Flush
+	flushIdx []int   // reused scratch: dirty indexes of the current Flush
+	flushErr []error // reused per-sub error slots (lazily sized)
 
 	queues []chan fragment
 	acks   sync.WaitGroup // outstanding fragments not yet written to a sub-output
@@ -119,7 +150,12 @@ func NewOutput(subs []driver.Output, fragSize int) *Output {
 	if fragSize <= 0 {
 		fragSize = DefaultFragment
 	}
-	o := &Output{subs: subs, fragSize: fragSize, queues: make([]chan fragment, len(subs))}
+	o := &Output{
+		subs:     subs,
+		fragSize: fragSize,
+		dirty:    make([]bool, len(subs)),
+		queues:   make([]chan fragment, len(subs)),
+	}
 	for i := range subs {
 		o.queues[i] = make(chan fragment, 4)
 		o.wg.Add(1)
@@ -128,19 +164,29 @@ func NewOutput(subs []driver.Output, fragSize int) *Output {
 	return o
 }
 
-// worker drains one sub-stream's queue.
+// worker drains one sub-stream's queue. It does not flush per fragment:
+// the sub-stream aggregates fragments until the application's Flush,
+// which flushes all sub-streams concurrently.
 func (o *Output) worker(i int) {
 	defer o.wg.Done()
 	sub := o.subs[i]
+	// Header scratch outside the loop: passing frag.hdr to the Write
+	// interface would make every received fragment escape to the heap.
+	var hdr [2 * binary.MaxVarintLen64]byte
 	for frag := range o.queues[i] {
-		hdr := wire.AppendUvarint(nil, frag.seq)
-		hdr = wire.AppendUvarint(hdr, uint64(len(frag.data)))
-		_, err := sub.Write(hdr)
-		if err == nil {
-			_, err = sub.Write(frag.data)
-		}
-		if err == nil {
-			err = sub.Flush()
+		var err error
+		if frag.buf != nil {
+			// Pooled fragment: header and payload travel down as one
+			// owned buffer (zero further copies on a bypassing lower
+			// driver).
+			err = driver.WriteBuf(sub, frag.buf)
+		} else {
+			n := copy(hdr[:], frag.hdr[:frag.hdrLen])
+			_, err = sub.Write(hdr[:n])
+			if err == nil {
+				_, err = sub.Write(frag.data)
+			}
+			frag.owner.Release()
 		}
 		if err != nil {
 			o.errMu.Lock()
@@ -162,8 +208,18 @@ func (o *Output) workerErr() error {
 // Streams returns the number of parallel sub-streams.
 func (o *Output) Streams() int { return len(o.subs) }
 
+// appendFragHeader encodes seq and length into the fragment's inline
+// header array.
+func appendFragHeader(frag *fragment, seq uint64, length int) {
+	n := binary.PutUvarint(frag.hdr[:], seq)
+	n += binary.PutUvarint(frag.hdr[n:], uint64(length))
+	frag.hdrLen = n
+}
+
 // Write implements driver.Output: data is cut into fragments and striped
-// across the sub-streams.
+// across the sub-streams. Each fragment is copied once into a pooled
+// buffer (the Write contract allows the caller to reuse p immediately);
+// from there the fragment travels by ownership transfer.
 func (o *Output) Write(p []byte) (int, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -179,20 +235,69 @@ func (o *Output) Write(p []byte) (int, error) {
 		if n > o.fragSize {
 			n = o.fragSize
 		}
-		data := make([]byte, n)
-		copy(data, p[:n])
 		seq := o.nextSeq
 		o.nextSeq++
+		var frag fragment
+		appendFragHeader(&frag, seq, n)
+		frag.buf = wire.GetBuf(frag.hdrLen + n)
+		b := frag.buf.Bytes()
+		copy(b, frag.hdr[:frag.hdrLen])
+		copy(b[frag.hdrLen:], p[:n])
 		o.acks.Add(1)
-		o.queues[int(seq)%len(o.queues)] <- fragment{seq: seq, data: data}
+		q := int(seq) % len(o.queues)
+		o.dirty[q] = true
+		o.queues[q] <- frag
 		p = p[n:]
 		total += n
 	}
 	return total, nil
 }
 
+// WriteBuf implements driver.BufWriter: the owned payload is striped
+// across the sub-streams without copying — each fragment aliases the
+// caller's Buf and holds one reference, released by the worker after the
+// fragment has been handed to its sub-stream.
+func (o *Output) WriteBuf(b *wire.Buf) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		b.Release()
+		return io.ErrClosedPipe
+	}
+	if err := o.workerErr(); err != nil {
+		b.Release()
+		return err
+	}
+	p := b.Bytes()
+	if len(p) == 0 {
+		b.Release()
+		return nil
+	}
+	frags := (len(p) + o.fragSize - 1) / o.fragSize
+	for i := 1; i < frags; i++ {
+		b.Retain() // one reference per fragment; the caller's covers the first
+	}
+	for off := 0; off < len(p); off += o.fragSize {
+		end := off + o.fragSize
+		if end > len(p) {
+			end = len(p)
+		}
+		seq := o.nextSeq
+		o.nextSeq++
+		frag := fragment{data: p[off:end], owner: b}
+		appendFragHeader(&frag, seq, end-off)
+		o.acks.Add(1)
+		q := int(seq) % len(o.queues)
+		o.dirty[q] = true
+		o.queues[q] <- frag
+	}
+	return nil
+}
+
 // Flush implements driver.Output: it waits until every fragment handed
-// to the workers has been pushed into its sub-stream and flushed.
+// to the workers has been written into its sub-stream, then flushes all
+// sub-streams concurrently (a sequential flush would serialise one
+// blocking network round per stream).
 func (o *Output) Flush() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -200,7 +305,45 @@ func (o *Output) Flush() error {
 		return io.ErrClosedPipe
 	}
 	o.acks.Wait()
-	return o.workerErr()
+	if err := o.workerErr(); err != nil {
+		return err
+	}
+	// Only sub-streams that received fragments since the last flush have
+	// anything buffered; with one dirty stream (a small message) the
+	// flush is a direct call, with several only the dirty ones run,
+	// concurrently. The index scratch and error slots are reused so the
+	// per-message flush does not allocate.
+	o.flushIdx = o.flushIdx[:0]
+	for i, d := range o.dirty {
+		if d {
+			o.flushIdx = append(o.flushIdx, i)
+			o.dirty[i] = false
+		}
+	}
+	switch len(o.flushIdx) {
+	case 0:
+		return nil
+	case 1:
+		return o.subs[o.flushIdx[0]].Flush()
+	}
+	if o.flushErr == nil {
+		o.flushErr = make([]error, len(o.subs))
+	}
+	var wg sync.WaitGroup
+	for _, i := range o.flushIdx {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o.flushErr[i] = o.subs[i].Flush()
+		}(i)
+	}
+	wg.Wait()
+	for _, i := range o.flushIdx {
+		if o.flushErr[i] != nil {
+			return o.flushErr[i]
+		}
+	}
+	return nil
 }
 
 // Close flushes, stops the workers and closes all sub-streams.
@@ -237,9 +380,9 @@ type Input struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending map[uint64][]byte
+	pending map[uint64]*wire.Buf
 	nextSeq uint64
-	current []byte
+	current driver.BufCursor
 	eofs    int
 	err     error
 	closed  bool
@@ -248,7 +391,7 @@ type Input struct {
 
 // NewInput creates a parallel-streams input over the given sub-inputs.
 func NewInput(subs []driver.Input) *Input {
-	in := &Input{subs: subs, pending: make(map[uint64][]byte)}
+	in := &Input{subs: subs, pending: make(map[uint64]*wire.Buf)}
 	in.cond = sync.NewCond(&in.mu)
 	for i := range subs {
 		in.wg.Add(1)
@@ -257,7 +400,7 @@ func NewInput(subs []driver.Input) *Input {
 	return in
 }
 
-// reader pulls fragments off one sub-stream.
+// reader pulls fragments off one sub-stream into pooled buffers.
 func (in *Input) reader(i int) {
 	defer in.wg.Done()
 	sub := in.subs[i]
@@ -273,12 +416,22 @@ func (in *Input) reader(i int) {
 			in.finish(i, io.ErrUnexpectedEOF)
 			return
 		}
-		data := make([]byte, length)
-		if _, err := io.ReadFull(sub, data); err != nil {
+		if length > uint64(wire.MaxFrameLen) {
+			in.finish(i, errors.New("multi: fragment exceeds maximum length"))
+			return
+		}
+		data := wire.GetBuf(int(length))
+		if _, err := io.ReadFull(sub, data.Bytes()); err != nil {
+			data.Release()
 			in.finish(i, io.ErrUnexpectedEOF)
 			return
 		}
 		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			data.Release()
+			return
+		}
 		in.pending[seq] = data
 		in.cond.Broadcast()
 		in.mu.Unlock()
@@ -304,15 +457,13 @@ func (in *Input) Read(p []byte) (int, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for {
-		if len(in.current) > 0 {
-			n := copy(p, in.current)
-			in.current = in.current[n:]
-			return n, nil
+		if in.current.Loaded() {
+			return in.current.Copy(p), nil
 		}
 		if data, ok := in.pending[in.nextSeq]; ok {
 			delete(in.pending, in.nextSeq)
 			in.nextSeq++
-			in.current = data
+			in.current.Load(data) // empty fragments are released and skipped
 			continue
 		}
 		if in.err != nil {
@@ -345,6 +496,14 @@ func (in *Input) Close() error {
 		}
 	}
 	in.wg.Wait()
+	// All readers have exited; recycle whatever never got delivered.
+	in.mu.Lock()
+	for seq, b := range in.pending {
+		delete(in.pending, seq)
+		b.Release()
+	}
+	in.current.Drop()
+	in.mu.Unlock()
 	return first
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -195,10 +196,11 @@ func TestBuilderValidation(t *testing.T) {
 
 func TestBuilderPropagatesLowerErrors(t *testing.T) {
 	spec := driver.Spec{Name: Name, Params: map[string]string{"streams": "3"}}
-	calls := 0
+	// Sub-streams are established concurrently, so the builder's lower
+	// function must be safe for concurrent calls.
+	var calls atomic.Int32
 	lower := func() (driver.Output, error) {
-		calls++
-		if calls == 2 {
+		if calls.Add(1) == 2 {
 			return nil, io.ErrUnexpectedEOF
 		}
 		c1, c2 := net.Pipe()

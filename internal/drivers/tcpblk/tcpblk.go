@@ -94,12 +94,56 @@ func NewOutput(conn net.Conn, blockSize int) *Output {
 }
 
 // Write implements driver.Output: data is buffered and sent as blocks.
+// Writes of at least one block bypass the aggregation buffer entirely:
+// the buffered bytes (if any) and the large payload leave as one
+// vectored write, so large payloads cross this layer without being
+// copied.
 func (o *Output) Write(p []byte) (int, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
 		return 0, io.ErrClosedPipe
 	}
+	total := 0
+	for len(p) >= o.blockSize {
+		n := len(p)
+		if n > wire.MaxFrameLen {
+			n = wire.MaxFrameLen
+		}
+		if err := o.emitDirectLocked(p[:n]); err != nil {
+			return total, err
+		}
+		p = p[n:]
+		total += n
+	}
+	n, err := o.writeSmallLocked(p)
+	return total + n, err
+}
+
+// WriteBuf implements driver.BufWriter: block-sized payloads bypass the
+// aggregation buffer without a copy, smaller ones are aggregated like a
+// plain Write. The caller's reference is consumed either way.
+func (o *Output) WriteBuf(b *wire.Buf) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		b.Release()
+		return io.ErrClosedPipe
+	}
+	var err error
+	if b.Len() >= o.blockSize && b.Len() <= wire.MaxFrameLen {
+		err = o.emitDirectLocked(b.Bytes())
+	} else {
+		_, err = o.writeSmallLocked(b.Bytes())
+	}
+	o.mu.Unlock()
+	b.Release()
+	return err
+}
+
+// writeSmallLocked aggregates a sub-block payload (the tail of Write's
+// loop, factored out for WriteBuf).
+func (o *Output) writeSmallLocked(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		space := o.blockSize - len(o.buf)
@@ -118,6 +162,28 @@ func (o *Output) Write(p []byte) (int, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// emitDirectLocked sends a block-sized payload around the aggregation
+// buffer: any buffered bytes and the payload leave as one vectored
+// write, preserving byte order on the wire.
+func (o *Output) emitDirectLocked(p []byte) error {
+	if len(o.buf) > 0 {
+		err := o.w.WriteFramePairNoCopy(wire.KindData, 0, o.buf, wire.KindData, 0, p)
+		if err != nil {
+			return err
+		}
+		o.blocksSent += 2
+		o.bytesSent += int64(len(o.buf)) + int64(len(p))
+		o.buf = o.buf[:0]
+		return nil
+	}
+	if err := o.w.WriteFrameNoCopy(wire.KindData, 0, p); err != nil {
+		return err
+	}
+	o.blocksSent++
+	o.bytesSent += int64(len(p))
+	return nil
 }
 
 // Flush implements driver.Output: the explicit flush that marks a
@@ -173,7 +239,7 @@ type Input struct {
 	mu   sync.Mutex
 	conn net.Conn
 	r    *wire.Reader
-	buf  []byte // unconsumed part of the current block
+	cur  driver.BufCursor // current block, owned by the Input
 	eof  bool
 
 	closeOnce sync.Once
@@ -185,25 +251,50 @@ func NewInput(conn net.Conn) *Input {
 	return &Input{conn: conn, r: wire.NewReader(conn), closed: make(chan struct{})}
 }
 
-// Read implements driver.Input.
+// Read implements driver.Input. Blocks arrive from the wire in an owned
+// pooled buffer; Read copies out of it (the copy at this final edge is
+// what the io.Reader contract requires — ReadBuf avoids it).
 func (i *Input) Read(p []byte) (int, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	for {
-		if len(i.buf) > 0 {
-			n := copy(p, i.buf)
-			i.buf = i.buf[n:]
-			return n, nil
+		if i.cur.Loaded() {
+			return i.cur.Copy(p), nil
 		}
+		if err := i.fillLocked(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// ReadBuf implements driver.BufReader: it hands the caller the next
+// block as an owned Buf, without any copy when the block is unconsumed.
+func (i *Input) ReadBuf() (*wire.Buf, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for {
+		if i.cur.Loaded() {
+			return i.cur.Take(), nil
+		}
+		if err := i.fillLocked(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fillLocked reads frames until a data block is available or the stream
+// ends.
+func (i *Input) fillLocked() error {
+	for {
 		if i.eof {
-			return 0, io.EOF
+			return io.EOF
 		}
 		select {
 		case <-i.closed:
-			return 0, io.ErrClosedPipe
+			return io.ErrClosedPipe
 		default:
 		}
-		f, err := i.r.ReadFrame()
+		kind, _, b, err := i.r.ReadFrameBuf()
 		if err != nil {
 			if err == io.EOF {
 				i.eof = true
@@ -211,31 +302,40 @@ func (i *Input) Read(p []byte) (int, error) {
 			}
 			select {
 			case <-i.closed:
-				return 0, io.ErrClosedPipe
+				return io.ErrClosedPipe
 			default:
 			}
-			return 0, err
+			return err
 		}
-		switch f.Kind {
+		switch kind {
 		case wire.KindData:
-			// Copy out of the frame reader's reuse buffer.
-			i.buf = append(i.buf[:0], f.Payload...)
+			i.cur.Load(b)
+			if i.cur.Loaded() {
+				return nil
+			}
+			// Empty block: keep reading.
 		case wire.KindClose:
+			b.Release()
 			i.eof = true
 		default:
 			// Ignore foreign frames (keep-alives etc.).
+			b.Release()
 		}
 	}
 }
 
-// Close releases the connection. It deliberately does not take the Read
-// mutex: a blocked Read is unblocked by closing the underlying
-// connection, which is the whole point of calling Close concurrently.
+// Close releases the connection. It closes the connection before taking
+// the Read mutex: a blocked Read is unblocked by the close and releases
+// the mutex promptly, after which a partially consumed block is
+// recycled (release-exactly-once).
 func (i *Input) Close() error {
 	var err error
 	i.closeOnce.Do(func() {
 		close(i.closed)
 		err = i.conn.Close()
+		i.mu.Lock()
+		i.cur.Drop()
+		i.mu.Unlock()
 	})
 	return err
 }

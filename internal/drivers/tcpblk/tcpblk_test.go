@@ -88,23 +88,58 @@ func TestOverflowTriggersBlockSend(t *testing.T) {
 		b, _ := io.ReadAll(in)
 		done <- len(b)
 	}()
-	// 2.5 blocks worth of data: the first two blocks go out on overflow,
-	// the rest waits for the flush.
+	// 2.5 blocks worth of data in one write: a write of at least one
+	// block bypasses the aggregation buffer and leaves immediately as a
+	// single direct block, nothing waits for the flush.
 	if _, err := out.Write(make([]byte, 2500)); err != nil {
 		t.Fatal(err)
 	}
 	blocks, _ := out.Stats()
-	if blocks != 2 {
-		t.Fatalf("expected 2 overflow blocks before flush, got %d", blocks)
+	if blocks != 1 {
+		t.Fatalf("expected 1 direct bypass block before flush, got %d", blocks)
 	}
 	out.Flush()
 	blocks, _ = out.Stats()
-	if blocks != 3 {
-		t.Fatalf("expected 3 blocks after flush, got %d", blocks)
+	if blocks != 1 {
+		t.Fatalf("expected no additional block on flush, got %d", blocks)
 	}
 	out.Close()
 	if got := <-done; got != 2500 {
 		t.Fatalf("receiver got %d bytes", got)
+	}
+}
+
+func TestLargeWriteFlushesBufferedBytesFirst(t *testing.T) {
+	c1, c2 := pipePair()
+	out := NewOutput(c1, 1000)
+	in := NewInput(c2)
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(in)
+		done <- b
+	}()
+	// A small aggregated write followed by a bypassing large write: the
+	// buffered bytes and the large payload leave as one vectored pair of
+	// blocks, in order.
+	if _, err := out.Write([]byte("small-head-")); err != nil {
+		t.Fatal(err)
+	}
+	large := bytes.Repeat([]byte{0x42}, 1200)
+	if _, err := out.Write(large); err != nil {
+		t.Fatal(err)
+	}
+	blocks, bytesSent := out.Stats()
+	if blocks != 2 {
+		t.Fatalf("expected buffered+direct pair of blocks, got %d", blocks)
+	}
+	if want := int64(len("small-head-") + len(large)); bytesSent != want {
+		t.Fatalf("bytes sent = %d, want %d", bytesSent, want)
+	}
+	out.Close()
+	got := <-done
+	want := append([]byte("small-head-"), large...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("byte order broken across the bypass: got %d bytes want %d", len(got), len(want))
 	}
 }
 

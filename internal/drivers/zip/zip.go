@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"netibis/internal/driver"
+	"netibis/internal/wire"
 )
 
 // Name is the registered driver name.
@@ -88,8 +89,7 @@ type Output struct {
 	level     int
 	blockSize int
 	buf       []byte
-	comp      bytes.Buffer
-	fw        *flate.Writer
+	fw        *flate.Writer // reused codec state, Reset per block
 	closed    bool
 
 	// Stats for the evaluation harness.
@@ -163,44 +163,50 @@ func (o *Output) Flush() error {
 	return o.lower.Flush()
 }
 
-// emitLocked compresses the current block and hands it to the lower
-// driver.
+// emitLocked compresses the current block into a pooled buffer (header
+// and compressed bytes contiguous, so the whole block travels down the
+// stack as one owned Buf) and hands ownership to the lower driver.
 func (o *Output) emitLocked() error {
 	if len(o.buf) == 0 {
 		return nil
 	}
-	o.comp.Reset()
-	o.fw.Reset(&o.comp)
+	// Reserve the header, then let DEFLATE append directly into the
+	// pooled buffer — the reused flate.Writer keeps its internal state
+	// across blocks via Reset. The buffer is sized for the incompressible
+	// worst case up front so compression almost never grows it.
+	out := wire.GetBuf(headerSize + len(o.buf))
+	out.SetLen(headerSize)
+	o.fw.Reset(out)
 	if _, err := o.fw.Write(o.buf); err != nil {
+		out.Release()
 		return err
 	}
 	if err := o.fw.Close(); err != nil {
+		out.Release()
 		return err
 	}
 
 	flag := flagDeflate
-	payload := o.comp.Bytes()
-	if len(payload) >= len(o.buf) {
+	storedLen := out.Len() - headerSize
+	if storedLen >= len(o.buf) {
 		// Compression did not help (random or already-compressed data):
 		// send the original bytes to avoid inflating the transfer.
 		flag = flagStored
-		payload = o.buf
+		storedLen = len(o.buf)
+		st := wire.GetBuf(headerSize + storedLen)
+		copy(st.Bytes()[headerSize:], o.buf)
+		out.Release()
+		out = st
 	}
-	var hdr [headerSize]byte
+	hdr := out.Bytes()[:headerSize]
 	hdr[0] = flag
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(o.buf)))
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
-	if _, err := o.lower.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := o.lower.Write(payload); err != nil {
-		return err
-	}
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(storedLen))
 	o.bytesIn += int64(len(o.buf))
-	o.bytesOut += int64(len(payload)) + headerSize
+	o.bytesOut += int64(storedLen) + headerSize
 	o.blocks++
 	o.buf = o.buf[:0]
-	return nil
+	return driver.WriteBuf(o.lower, out)
 }
 
 // Close flushes and closes the lower driver.
@@ -244,7 +250,11 @@ func (o *Output) Stats() (in, out, blocks int64) {
 type Input struct {
 	mu      sync.Mutex
 	lower   driver.Input
-	current []byte
+	current driver.BufCursor // owned decoded block
+	src     bytes.Reader     // reused view over the stored bytes
+	fr      io.ReadCloser    // reused DEFLATE decoder state, Reset per block
+	hdrBuf  [headerSize]byte
+	probe   [1]byte
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -260,10 +270,8 @@ func (in *Input) Read(p []byte) (int, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for {
-		if len(in.current) > 0 {
-			n := copy(p, in.current)
-			in.current = in.current[n:]
-			return n, nil
+		if in.current.Loaded() {
+			return in.current.Copy(p), nil
 		}
 		select {
 		case <-in.closed:
@@ -276,50 +284,90 @@ func (in *Input) Read(p []byte) (int, error) {
 	}
 }
 
-// fillLocked reads and decodes the next block from the lower driver.
+// ReadBuf implements driver.BufReader: the next decoded block is handed
+// over as an owned Buf without a copy (unless a previous Read consumed a
+// prefix of it).
+func (in *Input) ReadBuf() (*wire.Buf, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if in.current.Loaded() {
+			return in.current.Take(), nil
+		}
+		select {
+		case <-in.closed:
+			return nil, io.ErrClosedPipe
+		default:
+		}
+		if err := in.fillLocked(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fillLocked reads and decodes the next block from the lower driver into
+// a pooled buffer, reusing the DEFLATE decoder state across blocks.
 func (in *Input) fillLocked() error {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(in.lower, hdr[:]); err != nil {
+	if _, err := io.ReadFull(in.lower, in.hdrBuf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return io.EOF
 		}
 		return err
 	}
-	flag := hdr[0]
-	origLen := binary.BigEndian.Uint32(hdr[1:5])
-	storedLen := binary.BigEndian.Uint32(hdr[5:9])
-	payload := make([]byte, storedLen)
-	if _, err := io.ReadFull(in.lower, payload); err != nil {
+	flag := in.hdrBuf[0]
+	origLen := binary.BigEndian.Uint32(in.hdrBuf[1:5])
+	storedLen := binary.BigEndian.Uint32(in.hdrBuf[5:9])
+	if origLen > uint32(wire.MaxFrameLen) || storedLen > uint32(wire.MaxFrameLen) {
+		return fmt.Errorf("zip: block length out of range (%d/%d)", origLen, storedLen)
+	}
+	payload := wire.GetBuf(int(storedLen))
+	if _, err := io.ReadFull(in.lower, payload.Bytes()); err != nil {
+		payload.Release()
 		return fmt.Errorf("zip: truncated block: %w", err)
 	}
 	switch flag {
 	case flagStored:
-		in.current = payload
+		in.current.Load(payload)
 	case flagDeflate:
-		fr := flate.NewReader(bytes.NewReader(payload))
-		out := make([]byte, 0, origLen)
-		buf := bytes.NewBuffer(out)
-		if _, err := io.Copy(buf, fr); err != nil {
+		in.src.Reset(payload.Bytes())
+		if in.fr == nil {
+			in.fr = flate.NewReader(&in.src)
+		} else if err := in.fr.(flate.Resetter).Reset(&in.src, nil); err != nil {
+			payload.Release()
+			return fmt.Errorf("zip: resetting decoder: %w", err)
+		}
+		out := wire.GetBuf(int(origLen))
+		if _, err := io.ReadFull(in.fr, out.Bytes()); err != nil {
+			payload.Release()
+			out.Release()
 			return fmt.Errorf("zip: corrupt compressed block: %w", err)
 		}
-		fr.Close()
-		if uint32(buf.Len()) != origLen {
-			return fmt.Errorf("zip: decompressed %d bytes, header said %d", buf.Len(), origLen)
+		// The block must end exactly at origLen.
+		if n, err := in.fr.Read(in.probe[:]); n != 0 || (err != nil && err != io.EOF) {
+			payload.Release()
+			out.Release()
+			return fmt.Errorf("zip: compressed block longer than header said (%d)", origLen)
 		}
-		in.current = buf.Bytes()
+		payload.Release()
+		in.current.Load(out)
 	default:
+		payload.Release()
 		return fmt.Errorf("zip: unknown block flag %d", flag)
 	}
 	return nil
 }
 
-// Close closes the lower driver. It does not take the Read mutex, so
-// that closing can unblock a Read that is waiting for data.
+// Close closes the lower driver before taking the Read mutex (so the
+// close can unblock a Read waiting for data), then recycles a partially
+// consumed block.
 func (in *Input) Close() error {
 	var err error
 	in.closeOnce.Do(func() {
 		close(in.closed)
 		err = in.lower.Close()
+		in.mu.Lock()
+		in.current.Drop()
+		in.mu.Unlock()
 	})
 	return err
 }

@@ -1,0 +1,139 @@
+package estab
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestServiceMuxConcurrentConversations runs N request/response
+// conversations concurrently over a single synchronous in-memory
+// connection — the shape of brokering N parallel sub-streams at once.
+func TestServiceMuxConcurrentConversations(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	initiator := NewServiceMux(c1)
+	acceptor := NewServiceMux(c2)
+
+	const conversations = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*conversations)
+
+	// Acceptor side: echo each conversation's request back with a prefix.
+	for i := 0; i < conversations; i++ {
+		s := acceptor.Open()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := make([]byte, 16)
+			if _, err := io.ReadFull(s, req); err != nil {
+				errs <- fmt.Errorf("acceptor read: %w", err)
+				return
+			}
+			if _, err := s.Write(append([]byte("echo:"), req...)); err != nil {
+				errs <- fmt.Errorf("acceptor write: %w", err)
+			}
+		}()
+	}
+	// Initiator side.
+	for i := 0; i < conversations; i++ {
+		s := initiator.Open()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := bytes.Repeat([]byte{byte('a' + i)}, 16)
+			if _, err := s.Write(req); err != nil {
+				errs <- fmt.Errorf("initiator write: %w", err)
+				return
+			}
+			resp := make([]byte, 21)
+			if _, err := io.ReadFull(s, resp); err != nil {
+				errs <- fmt.Errorf("initiator read: %w", err)
+				return
+			}
+			if !bytes.Equal(resp, append([]byte("echo:"), req...)) {
+				errs <- fmt.Errorf("conversation %d cross-talk: got %q", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	finDone := make(chan error, 2)
+	go func() { finDone <- initiator.Finish() }()
+	go func() { finDone <- acceptor.Finish() }()
+	if err := <-finDone; err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := <-finDone; err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+// TestServiceMuxPeerDoneFailsPendingReads checks the failure path: when
+// one side finishes (e.g. its build failed), the other side's blocked
+// conversations error out instead of hanging.
+func TestServiceMuxPeerDoneFailsPendingReads(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a := NewServiceMux(c1)
+	b := NewServiceMux(c2)
+
+	blocked := make(chan error, 1)
+	s := b.Open()
+	go func() {
+		_, err := s.Read(make([]byte, 8))
+		blocked <- err
+	}()
+
+	aFin := make(chan error, 1)
+	go func() { aFin <- a.Finish() }()
+	if err := <-blocked; err != ErrEstablishmentEnded {
+		t.Fatalf("blocked read got %v, want ErrEstablishmentEnded", err)
+	}
+	if err := b.Finish(); err != nil {
+		t.Fatalf("b.Finish: %v", err)
+	}
+	if err := <-aFin; err != nil {
+		t.Fatalf("a.Finish: %v", err)
+	}
+}
+
+// TestServiceMuxConnReusableAfterFinish checks that after both sides
+// finished, the connection carries no residual mux traffic.
+func TestServiceMuxConnReusableAfterFinish(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	a := NewServiceMux(c1)
+	b := NewServiceMux(c2)
+	s1, s2 := a.Open(), b.Open()
+	go s1.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(s2, buf); err != nil {
+		t.Fatal(err)
+	}
+	fin := make(chan error, 2)
+	go func() { fin <- a.Finish() }()
+	go func() { fin <- b.Finish() }()
+	if err := <-fin; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-fin; err != nil {
+		t.Fatal(err)
+	}
+	// The raw connection is clean again: a fresh exchange works.
+	go c1.Write([]byte("after"))
+	after := make([]byte, 5)
+	if _, err := io.ReadFull(c2, after); err != nil || string(after) != "after" {
+		t.Fatalf("conn not clean after mux: %q %v", after, err)
+	}
+}

@@ -134,6 +134,24 @@ func (p *peerLink) send(kind byte, payload []byte) error {
 	return p.w.WriteFrame(kind, 0, payload)
 }
 
+// sendForward emits a forward envelope around a routed payload as one
+// vectored write: the envelope header is assembled in a small stack
+// buffer and the routed payload bytes are re-emitted verbatim — the
+// relay-to-relay leg of cut-through forwarding never copies them.
+func (p *peerLink) sendForward(origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte) error {
+	var arr [128]byte
+	head := arr[:0]
+	head = wire.AppendString(head, origin)
+	head = wire.AppendString(head, firstHop)
+	head = wire.AppendString(head, srcNode)
+	head = wire.AppendUvarint(head, hops)
+	head = append(head, kind)
+	head = wire.AppendUvarint(head, uint64(len(routed)))
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.w.WriteFrameParts(kindForward, 0, head, routed)
+}
+
 // New federates the given relay server into the mesh: it installs the
 // forwarding hooks, registers the relay in the name service (when a
 // registry client is configured) and starts discovering peers.
@@ -397,35 +415,41 @@ func (o *Relay) removePeer(p *peerLink) {
 	o.dir.dropRelay(p.id)
 }
 
-// readPeer demultiplexes frames arriving over one peer link.
+// readPeer demultiplexes frames arriving over one peer link. Frames are
+// read into a pooled buffer that is released after synchronous dispatch;
+// a forwarded routed payload is injected or re-forwarded straight out of
+// that buffer (cut-through), never copied into an intermediate struct.
 func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
 	defer o.removePeer(p)
 	for {
-		f, err := r.ReadFrame()
+		kind, _, b, err := r.ReadFrameBuf()
 		if err != nil {
 			return
 		}
-		switch f.Kind {
+		switch kind {
 		case kindGossip:
-			entries, err := decodeGossip(f.Payload)
+			entries, err := decodeGossip(b.Bytes())
 			if err != nil {
+				b.Release()
 				return
 			}
 			for _, e := range entries {
 				o.dir.merge(e)
 			}
 		case kindForward:
-			o.handleForward(p, f.Payload)
+			o.handleForward(p, b.Bytes())
 		case kindNack:
-			o.handleNack(p, f.Payload)
+			o.handleNack(p, b.Bytes())
 		case wire.KindKeepAlive:
 			// Deliberately not echoed: both ends of a peer link run this
 			// loop, so an echo would ping-pong a single keepalive frame
 			// between the two relays forever. (RTT probing uses the node
 			// protocol's pre-attach echo, never a peer link.)
 		case wire.KindClose:
+			b.Release()
 			return
 		}
+		b.Release()
 	}
 }
 
@@ -444,7 +468,7 @@ func (o *Relay) ForwardFrame(srcNode, dstNode string, channel uint64, kind byte,
 	if p == nil {
 		return "", false
 	}
-	if err := p.send(kindForward, encodeForward(o.cfg.ID, home, srcNode, 1, kind, payload)); err != nil {
+	if err := p.sendForward(o.cfg.ID, home, srcNode, 1, kind, payload); err != nil {
 		return "", false
 	}
 	return home, true
@@ -480,7 +504,7 @@ func (o *Relay) handleForward(from *peerLink, body []byte) {
 	// together these make forwarding loops impossible.
 	if home, ok := o.dir.lookup(dst); ok && home != o.cfg.ID && home != from.id && int(hops) < o.cfg.MaxHops {
 		if p := o.peer(home); p != nil {
-			if p.send(kindForward, encodeForward(origin, firstHop, srcNode, hops+1, kind, routed)) == nil {
+			if p.sendForward(origin, firstHop, srcNode, hops+1, kind, routed) == nil {
 				return
 			}
 		}
@@ -607,15 +631,8 @@ func decodeGossip(p []byte) ([]Entry, error) {
 	return entries, nil
 }
 
-func encodeForward(origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte) []byte {
-	b := wire.AppendString(nil, origin)
-	b = wire.AppendString(b, firstHop)
-	b = wire.AppendString(b, srcNode)
-	b = wire.AppendUvarint(b, hops)
-	b = append(b, kind)
-	b = wire.AppendBytes(b, routed)
-	return b
-}
+// The forward envelope is encoded by peerLink.sendForward (vectored, so
+// the routed payload is never copied into an assembled body).
 
 func decodeForward(p []byte) (origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte, err error) {
 	d := wire.NewDecoder(p)

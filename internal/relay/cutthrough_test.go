@@ -1,0 +1,104 @@
+package relay
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"netibis/internal/wire"
+)
+
+// aliasConn is a net.Conn stub that records whether a Write handed it
+// the exact backing array of an expected payload (i.e. the bytes were
+// re-emitted verbatim, not copied).
+type aliasConn struct {
+	expect  []byte
+	aliased bool
+	writes  int
+}
+
+func (c *aliasConn) Write(p []byte) (int, error) {
+	c.writes++
+	if len(p) > 0 && len(c.expect) > 0 && &p[0] == &c.expect[0] {
+		c.aliased = true
+	}
+	return len(p), nil
+}
+func (c *aliasConn) Read([]byte) (int, error)         { return 0, nil }
+func (c *aliasConn) Close() error                     { return nil }
+func (c *aliasConn) LocalAddr() net.Addr              { return routedAddr{id: "test"} }
+func (c *aliasConn) RemoteAddr() net.Addr             { return routedAddr{id: "test"} }
+func (c *aliasConn) SetDeadline(time.Time) error      { return nil }
+func (c *aliasConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *aliasConn) SetWriteDeadline(time.Time) error { return nil }
+
+// routeFixture builds a Server with two directly registered peers whose
+// connections discard writes, plus a routed data payload addressed to
+// the target.
+func routeFixture(payloadBytes int) (*Server, *serverPeer, *aliasConn, []byte) {
+	s := NewServer()
+	sink := &aliasConn{}
+	target := &serverPeer{id: "dst-node", conn: sink, w: wire.NewWriter(sink)}
+	source := &serverPeer{id: "src-node", conn: &aliasConn{}, w: wire.NewWriter(&aliasConn{})}
+	s.nodes["dst-node"] = target
+	s.nodes["src-node"] = source
+
+	body := bytes.Repeat([]byte{0x5c}, payloadBytes)
+	payload := AppendRouted(nil, "dst-node", 9, body)
+	sink.expect = payload
+	return s, source, sink, payload
+}
+
+// TestRouteForwardPathZeroCopy asserts the cut-through property: the
+// routed payload bytes leave the relay as the very slice they arrived
+// in — zero payload copies per forwarded frame.
+func TestRouteForwardPathZeroCopy(t *testing.T) {
+	s, source, sink, payload := routeFixture(32 * 1024)
+	s.route(source, KindData, payload)
+	if !sink.aliased {
+		t.Fatal("routed payload was copied on its way through the relay (no Write aliased the input)")
+	}
+	if st := s.Stats(); st.FramesRouted != 1 {
+		t.Fatalf("FramesRouted = %d, want 1", st.FramesRouted)
+	}
+}
+
+// TestRouteForwardPathZeroAllocs is the AllocsPerRun regression gate of
+// the relay forward path: routing one data frame to a locally attached
+// node performs zero heap allocations (and therefore zero payload
+// copies into freshly allocated buffers).
+func TestRouteForwardPathZeroAllocs(t *testing.T) {
+	s, source, _, payload := routeFixture(32 * 1024)
+	allocs := testing.AllocsPerRun(500, func() {
+		s.route(source, KindData, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("relay forward path allocates %.1f objects per routed frame, want 0", allocs)
+	}
+}
+
+// TestInjectZeroAllocs gates the mesh-injection path the same way: a
+// frame arriving from a peer relay is delivered to the local node
+// without allocating.
+func TestInjectZeroAllocs(t *testing.T) {
+	s, _, _, payload := routeFixture(32 * 1024)
+	allocs := testing.AllocsPerRun(500, func() {
+		if !s.Inject(KindData, payload) {
+			t.Fatal("inject failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("relay inject path allocates %.1f objects per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkRouteForward measures the relay's per-frame forwarding cost.
+func BenchmarkRouteForward(b *testing.B) {
+	s, source, _, payload := routeFixture(32 * 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.route(source, KindData, payload)
+	}
+}

@@ -94,8 +94,8 @@ type Forwarder interface {
 
 // ConnHandler is called with a connection whose first frame is not an
 // attach, handing ownership of the connection (and the frame reader) to
-// the overlay's peer-link protocol. The first frame's payload is copied
-// and safe to retain.
+// the overlay's peer-link protocol. The first frame's payload is a
+// stable copy, safe to retain.
 type ConnHandler func(first wire.Frame, conn net.Conn, r *wire.Reader)
 
 // Stats is a snapshot of a Server's routing counters.
@@ -152,6 +152,15 @@ func (p *serverPeer) send(kind byte, payload []byte) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	return p.w.WriteFrame(kind, 0, payload)
+}
+
+// sendNoCopy writes one frame whose payload is re-emitted verbatim as a
+// vectored write — the cut-through path of the relay: routed payload
+// bytes cross the relay without ever being copied.
+func (p *serverPeer) sendNoCopy(kind byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.w.WriteFrameNoCopy(kind, 0, payload)
 }
 
 // NewServer creates a relay with no attached nodes.
@@ -284,21 +293,30 @@ func (s *Server) lookup(id string) *serverPeer {
 	return s.nodes[id]
 }
 
+// lookupKey is lookup for a destination that still aliases a frame
+// payload. The map index converts without allocating, which keeps the
+// routing fast path allocation-free.
+func (s *Server) lookupKey(id []byte) *serverPeer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[string(id)]
+}
+
 // Inject delivers a frame that arrived from a peer relay to a locally
 // attached node. It reports false when the destination is not attached
 // here (the caller then NACKs so stale routes get repaired).
 func (s *Server) Inject(kind byte, payload []byte) bool {
-	hdr, _, ok := parseRouted(payload)
+	dst, _, ok := parseRoutedZero(payload)
 	if !ok {
 		return false
 	}
-	target := s.lookup(hdr.dst)
+	target := s.lookupKey(dst)
 	if target == nil {
 		return false
 	}
 	s.framesRouted.Add(1)
 	s.bytesRouted.Add(int64(len(payload)))
-	if err := target.send(kind, payload); err != nil {
+	if err := target.sendNoCopy(kind, payload); err != nil {
 		target.conn.Close()
 	}
 	return true
@@ -330,10 +348,10 @@ func (s *Server) handle(c net.Conn) {
 	}
 
 	if f.Kind != KindAttach {
-		// Not a node: maybe a peer relay of the overlay mesh.
+		// Not a node: maybe a peer relay of the overlay mesh. The frame
+		// payload is already a stable copy (ReadFrame contract).
 		if h := s.connHandler(); h != nil {
-			first := wire.Frame{Kind: f.Kind, Flags: f.Flags, Payload: append([]byte(nil), f.Payload...)}
-			h(first, c, r)
+			h(f, c, r)
 			return
 		}
 		c.Close()
@@ -413,43 +431,55 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 
 	// Route frames until the node disconnects. The relay never inspects
 	// payload data: it forwards based on the (dst, channel) header
-	// prefix of every routed frame.
+	// prefix of every routed frame. Frames are read into an owned pooled
+	// buffer and re-emitted verbatim — cut-through, zero payload copies.
 	for {
-		f, err := r.ReadFrame()
+		kind, _, b, err := r.ReadFrameBuf()
 		if err != nil {
 			return
 		}
-		switch f.Kind {
+		switch kind {
 		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut:
-			hdr, _, ok := parseRouted(f.Payload)
-			if !ok {
-				continue
-			}
-			target := s.lookup(hdr.dst)
-			if target == nil {
-				// Not attached here: try the mesh.
-				if fwd := s.forwarder(); fwd != nil {
-					if peerRelay, ok := fwd.ForwardFrame(peer.id, hdr.dst, hdr.channel, f.Kind, f.Payload); ok {
-						s.countForward(peerRelay)
-						continue
-					}
-				}
-				if f.Kind == KindOpen {
-					// Tell the originator the peer is unknown.
-					peer.send(KindOpenFail, AppendRouted(nil, peer.id, hdr.channel, nil))
-				}
-				continue
-			}
-			s.framesRouted.Add(1)
-			s.bytesRouted.Add(int64(len(f.Payload)))
-			if err := target.send(f.Kind, f.Payload); err != nil {
-				target.conn.Close()
-			}
+			s.route(peer, kind, b.Bytes())
 		case wire.KindKeepAlive:
 			peer.send(wire.KindKeepAlive, nil)
 		case wire.KindClose:
+			b.Release()
 			return
 		}
+		b.Release()
+	}
+}
+
+// route delivers one routed frame arriving from a locally attached node:
+// cut-through to another local node, hand-off to the mesh, or an
+// open-failure back to the sender. The payload is parsed in place and
+// re-emitted verbatim; on the local-delivery path route performs no
+// allocation and no payload copy (gated by a regression test).
+func (s *Server) route(from *serverPeer, kind byte, payload []byte) {
+	dst, channel, ok := parseRoutedZero(payload)
+	if !ok {
+		return
+	}
+	target := s.lookupKey(dst)
+	if target == nil {
+		// Not attached here: try the mesh.
+		if fwd := s.forwarder(); fwd != nil {
+			if peerRelay, ok := fwd.ForwardFrame(from.id, string(dst), channel, kind, payload); ok {
+				s.countForward(peerRelay)
+				return
+			}
+		}
+		if kind == KindOpen {
+			// Tell the originator the peer is unknown.
+			from.send(KindOpenFail, AppendRouted(nil, from.id, channel, nil))
+		}
+		return
+	}
+	s.framesRouted.Add(1)
+	s.bytesRouted.Add(int64(len(payload)))
+	if err := target.sendNoCopy(kind, payload); err != nil {
+		target.conn.Close()
 	}
 }
 
@@ -488,6 +518,18 @@ func parseRouted(p []byte) (routedHeader, []byte, bool) {
 	}
 	body := p[len(p)-d.Remaining():]
 	return routedHeader{dst: dst, channel: ch}, body, true
+}
+
+// parseRoutedZero extracts the routing header without allocating: dst
+// aliases p and is only valid while p is.
+func parseRoutedZero(p []byte) (dst []byte, channel uint64, ok bool) {
+	d := wire.NewDecoder(p)
+	dst = d.Bytes()
+	channel = d.Uvarint()
+	if d.Err() != nil {
+		return nil, 0, false
+	}
+	return dst, channel, true
 }
 
 // --- client --------------------------------------------------------------------
@@ -710,6 +752,21 @@ func (c *Client) send(kind byte, payload []byte) error {
 	return c.w.WriteFrame(kind, 0, payload)
 }
 
+// sendParts sends one frame whose payload is hdr followed by data, as a
+// vectored write: the data bytes (an application Write in flight) are
+// never assembled into an intermediate body buffer.
+func (c *Client) sendParts(kind byte, hdr, data []byte) error {
+	c.mu.Lock()
+	detached := c.detached
+	c.mu.Unlock()
+	if detached {
+		return ErrDetached
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.WriteFrameParts(kind, 0, hdr, data)
+}
+
 // Close detaches from the relay; all virtual links are torn down.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -782,122 +839,132 @@ func (c *Client) Accept() (net.Conn, error) {
 	return rc, nil
 }
 
-// readLoop demultiplexes frames arriving from the relay.
+// readLoop demultiplexes frames arriving from the relay. Frames are
+// read into a pooled buffer (released after dispatch); the payload of a
+// data frame is copied exactly once, into the destination link's
+// receive buffer.
 func (c *Client) readLoop(r *wire.Reader, gen int) {
 	for {
-		f, err := r.ReadFrame()
+		kind, _, b, err := r.ReadFrameBuf()
 		if err != nil {
 			c.disconnected(err, gen)
 			return
 		}
-		hdr, body, ok := parseRouted(f.Payload)
-		if !ok {
-			continue
+		c.dispatch(kind, b.Bytes())
+		b.Release()
+	}
+}
+
+// dispatch handles one frame from the relay; payload is only valid for
+// the duration of the call.
+func (c *Client) dispatch(kind byte, payload []byte) {
+	hdr, body, ok := parseRouted(payload)
+	if !ok {
+		return
+	}
+	switch kind {
+	case KindOpen:
+		// body carries the originator's node ID.
+		d := wire.NewDecoder(body)
+		from := d.String()
+		if d.Err() != nil {
+			return
 		}
-		switch f.Kind {
-		case KindOpen:
-			// body carries the originator's node ID.
-			d := wire.NewDecoder(body)
-			from := d.String()
-			if d.Err() != nil {
-				continue
+		key := linkID{peer: from, channel: hdr.channel, outbound: false}
+		rc := newRoutedConn(c, from, hdr.channel, false)
+		c.mu.Lock()
+		closed := c.closed
+		if !closed {
+			c.links[key] = rc
+		}
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		// Acknowledge and deliver to Accept. The send into accepts is
+		// flag-guarded under mu: Close/fail set closed under mu before
+		// closing the channel, so a sender either completes first or
+		// observes closed — never a send on a closed channel.
+		ack := wire.AppendString(nil, c.id)
+		c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
+		delivered := false
+		c.mu.Lock()
+		if !c.closed {
+			select {
+			case c.accepts <- rc:
+				delivered = true
+			default:
 			}
-			key := linkID{peer: from, channel: hdr.channel, outbound: false}
-			rc := newRoutedConn(c, from, hdr.channel, false)
-			c.mu.Lock()
-			closed := c.closed
-			if !closed {
-				c.links[key] = rc
+		}
+		c.mu.Unlock()
+		if !delivered {
+			// Backlog full (or closing): refuse.
+			c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
+			c.dropLink(key)
+		}
+	case KindOpenOK:
+		d := wire.NewDecoder(body)
+		from := d.String()
+		if d.Err() != nil {
+			return
+		}
+		key := linkID{peer: from, channel: hdr.channel, outbound: true}
+		c.mu.Lock()
+		wait := c.pending[key]
+		delete(c.pending, key)
+		var rc *routedConn
+		if wait != nil {
+			rc = newRoutedConn(c, from, hdr.channel, true)
+			c.links[key] = rc
+		}
+		c.mu.Unlock()
+		if wait != nil {
+			wait <- rc
+		}
+	case KindOpenFail:
+		// Either a dial failure (pending) or a refused accept.
+		c.mu.Lock()
+		var failed []chan *routedConn
+		for key, wait := range c.pending {
+			if key.channel == hdr.channel {
+				failed = append(failed, wait)
+				delete(c.pending, key)
 			}
-			c.mu.Unlock()
-			if closed {
-				continue
-			}
-			// Acknowledge and deliver to Accept. The send into accepts is
-			// flag-guarded under mu: Close/fail set closed under mu before
-			// closing the channel, so a sender either completes first or
-			// observes closed — never a send on a closed channel.
-			ack := wire.AppendString(nil, c.id)
-			c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
-			delivered := false
-			c.mu.Lock()
-			if !c.closed {
-				select {
-				case c.accepts <- rc:
-					delivered = true
-				default:
-				}
-			}
-			c.mu.Unlock()
-			if !delivered {
-				// Backlog full (or closing): refuse.
-				c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
-				c.dropLink(key)
-			}
-		case KindOpenOK:
-			d := wire.NewDecoder(body)
-			from := d.String()
-			if d.Err() != nil {
-				continue
-			}
-			key := linkID{peer: from, channel: hdr.channel, outbound: true}
-			c.mu.Lock()
-			wait := c.pending[key]
-			delete(c.pending, key)
-			var rc *routedConn
-			if wait != nil {
-				rc = newRoutedConn(c, from, hdr.channel, true)
-				c.links[key] = rc
-			}
-			c.mu.Unlock()
-			if wait != nil {
-				wait <- rc
-			}
-		case KindOpenFail:
-			// Either a dial failure (pending) or a refused accept.
-			c.mu.Lock()
-			var failed []chan *routedConn
-			for key, wait := range c.pending {
-				if key.channel == hdr.channel {
-					failed = append(failed, wait)
-					delete(c.pending, key)
-				}
-			}
-			c.mu.Unlock()
-			for _, wait := range failed {
-				wait <- nil
-			}
-		case KindData:
-			d := wire.NewDecoder(body)
-			from := d.String()
-			role := byte(d.Uvarint())
-			payload := d.Bytes()
-			if d.Err() != nil {
-				continue
-			}
-			// A frame sent by the channel's initiator belongs to a link
-			// we accepted, and vice versa.
-			key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
-			c.mu.Lock()
-			rc := c.links[key]
-			c.mu.Unlock()
-			if rc != nil {
-				rc.deliver(payload)
-			}
-		case KindShut:
-			d := wire.NewDecoder(body)
-			from := d.String()
-			role := byte(d.Uvarint())
-			if d.Err() != nil {
-				continue
-			}
-			key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
-			c.mu.Lock()
-			rc := c.links[key]
-			c.mu.Unlock()
-			if rc != nil {
-				rc.peerClosed()
-			}
+		}
+		c.mu.Unlock()
+		for _, wait := range failed {
+			wait <- nil
+		}
+	case KindData:
+		d := wire.NewDecoder(body)
+		from := d.String()
+		role := byte(d.Uvarint())
+		data := d.Bytes()
+		if d.Err() != nil {
+			return
+		}
+		// A frame sent by the channel's initiator belongs to a link
+		// we accepted, and vice versa.
+		key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+		c.mu.Lock()
+		rc := c.links[key]
+		c.mu.Unlock()
+		if rc != nil {
+			rc.deliver(data)
+		}
+	case KindShut:
+		d := wire.NewDecoder(body)
+		from := d.String()
+		role := byte(d.Uvarint())
+		if d.Err() != nil {
+			return
+		}
+		key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+		c.mu.Lock()
+		rc := c.links[key]
+		c.mu.Unlock()
+		if rc != nil {
+			rc.peerClosed()
 		}
 	}
 }
@@ -1052,10 +1119,17 @@ func (rc *routedConn) Write(p []byte) (int, error) {
 		if n > maxDataFrame {
 			n = maxDataFrame
 		}
-		body := wire.AppendString(nil, rc.client.id)
-		body = wire.AppendUvarint(body, uint64(rc.role()))
-		body = wire.AppendBytes(body, p[:n])
-		if err := rc.client.send(KindData, AppendRouted(nil, rc.peer, rc.channel, body)); err != nil {
+		// Routing header and data-frame body prefix in one small stack
+		// buffer; the payload itself rides along as a second vector and
+		// is never copied into an assembled body.
+		var arr [96]byte
+		hdr := arr[:0]
+		hdr = wire.AppendString(hdr, rc.peer)
+		hdr = wire.AppendUvarint(hdr, rc.channel)
+		hdr = wire.AppendString(hdr, rc.client.id)
+		hdr = wire.AppendUvarint(hdr, uint64(rc.role()))
+		hdr = wire.AppendUvarint(hdr, uint64(n))
+		if err := rc.client.sendParts(KindData, hdr, p[:n]); err != nil {
 			return total, err
 		}
 		total += n

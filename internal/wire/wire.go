@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
@@ -55,8 +56,9 @@ var (
 	ErrCorruptFrame = errors.New("wire: corrupt frame header")
 )
 
-// Frame is a decoded frame. The payload slice is only valid until the
-// next call to the Reader that produced it unless the caller copies it.
+// Frame is a decoded frame. The payload is a stable copy owned by the
+// caller (hot paths that want to avoid the copy use Reader.ReadFrameBuf
+// and receive an owned pooled Buf instead).
 type Frame struct {
 	Kind    byte
 	Flags   byte
@@ -73,12 +75,21 @@ func (f Frame) String() string {
 type Writer struct {
 	w       io.Writer
 	hdr     [2 + binary.MaxVarintLen64]byte
+	hdr2    [2 + binary.MaxVarintLen64]byte
 	scratch []byte
+	// vecBase is the reused backing storage for vectored writes and
+	// vecView the consumable view handed to net.Buffers.WriteTo: WriteTo
+	// advances (consumes) its receiver, so the view is re-sliced from the
+	// base on every write. Both live in the Writer so the vectored fast
+	// path allocates nothing (a local view would escape through WriteTo's
+	// pointer receiver).
+	vecBase net.Buffers
+	vecView net.Buffers
 }
 
 // NewWriter returns a frame Writer emitting to w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w}
+	return &Writer{w: w, vecBase: make(net.Buffers, 0, 8)}
 }
 
 // WriteFrame encodes and writes a single frame.
@@ -110,11 +121,96 @@ func (fw *Writer) WriteFrame(kind, flags byte, payload []byte) error {
 	return err
 }
 
+// WriteFrameNoCopy writes a single frame without ever copying the
+// payload: header and payload are submitted as one vectored write
+// (writev on TCP connections, sequential writes elsewhere). It is the
+// cut-through path used when the payload is re-emitted verbatim, e.g. a
+// routed frame crossing the relay.
+func (fw *Writer) WriteFrameNoCopy(kind, flags byte, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	fw.hdr[0] = kind
+	fw.hdr[1] = flags
+	n := binary.PutUvarint(fw.hdr[2:], uint64(len(payload)))
+	if len(payload) == 0 {
+		_, err := fw.w.Write(fw.hdr[:2+n])
+		return err
+	}
+	fw.vecView = append(fw.vecBase[:0], fw.hdr[:2+n], payload)
+	_, err := fw.vecView.WriteTo(fw.w)
+	return err
+}
+
+// WriteFrameBuf writes a single frame whose payload is an owned Buf. It
+// consumes the caller's reference: the Buf is released once the write
+// completed (successfully or not).
+func (fw *Writer) WriteFrameBuf(kind, flags byte, b *Buf) error {
+	err := fw.WriteFrameNoCopy(kind, flags, b.Bytes())
+	b.Release()
+	return err
+}
+
+// WriteFramePairNoCopy writes two frames as a single vectored write
+// without copying either payload. TCP_Block uses it to flush its
+// aggregation buffer and a large bypassing payload in one writev instead
+// of two round trips through the socket layer.
+func (fw *Writer) WriteFramePairNoCopy(kind1, flags1 byte, p1 []byte, kind2, flags2 byte, p2 []byte) error {
+	if len(p1) > MaxFrameLen || len(p2) > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	fw.hdr[0] = kind1
+	fw.hdr[1] = flags1
+	n1 := binary.PutUvarint(fw.hdr[2:], uint64(len(p1)))
+	fw.hdr2[0] = kind2
+	fw.hdr2[1] = flags2
+	n2 := binary.PutUvarint(fw.hdr2[2:], uint64(len(p2)))
+	fw.vecView = append(fw.vecBase[:0], fw.hdr[:2+n1])
+	if len(p1) > 0 {
+		fw.vecView = append(fw.vecView, p1)
+	}
+	fw.vecView = append(fw.vecView, fw.hdr2[:2+n2])
+	if len(p2) > 0 {
+		fw.vecView = append(fw.vecView, p2)
+	}
+	_, err := fw.vecView.WriteTo(fw.w)
+	return err
+}
+
+// WriteFrameParts writes a single frame whose payload is the
+// concatenation of parts, as one vectored write and without copying any
+// part. It lets a sender prepend a small routing or framing header to a
+// payload it does not own without assembling the two into a fresh
+// buffer.
+func (fw *Writer) WriteFrameParts(kind, flags byte, parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	fw.hdr[0] = kind
+	fw.hdr[1] = flags
+	n := binary.PutUvarint(fw.hdr[2:], uint64(total))
+	fw.vecView = append(fw.vecBase[:0], fw.hdr[:2+n])
+	for _, p := range parts {
+		if len(p) > 0 {
+			fw.vecView = append(fw.vecView, p)
+		}
+	}
+	if cap(fw.vecView) > cap(fw.vecBase) {
+		fw.vecBase = fw.vecView[:0]
+	}
+	_, err := fw.vecView.WriteTo(fw.w)
+	return err
+}
+
 // Reader decodes frames from an io.Reader.
 type Reader struct {
-	r   io.Reader
-	br  *byteReader
-	buf []byte
+	r      io.Reader
+	br     *byteReader
+	hdrBuf [2]byte // reused header scratch (a local would escape into ReadFull)
 }
 
 // NewReader returns a frame Reader consuming from r.
@@ -122,34 +218,61 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r, br: &byteReader{r: r}}
 }
 
-// ReadFrame reads the next frame. The returned payload is owned by the
-// Reader and reused by subsequent calls.
+// ReadFrame reads the next frame. The returned payload is a stable copy
+// owned by the caller: it stays valid across subsequent reads. Hot paths
+// that process every payload should use ReadFrameBuf instead, which
+// avoids the per-frame allocation by handing out a pooled Buf.
 func (fr *Reader) ReadFrame() (Frame, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
-		return Frame{}, err
-	}
-	length, err := binary.ReadUvarint(fr.br)
+	kind, flags, length, err := fr.readHeader()
 	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
 		return Frame{}, err
 	}
-	if length > MaxFrameLen {
-		return Frame{}, ErrFrameTooLarge
-	}
-	if cap(fr.buf) < int(length) {
-		fr.buf = make([]byte, length, length+length/4)
-	}
-	payload := fr.buf[:length]
+	payload := make([]byte, length)
 	if _, err := io.ReadFull(fr.br, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return Frame{}, err
 	}
-	return Frame{Kind: hdr[0], Flags: hdr[1], Payload: payload}, nil
+	return Frame{Kind: kind, Flags: flags, Payload: payload}, nil
+}
+
+// ReadFrameBuf reads the next frame into a pooled Buf and transfers
+// ownership to the caller, who must Release it exactly once. This is the
+// allocation-free fast path of the data plane: the payload is read off
+// the stream once and can then travel by ownership transfer.
+func (fr *Reader) ReadFrameBuf() (kind, flags byte, payload *Buf, err error) {
+	kind, flags, length, err := fr.readHeader()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	b := GetBuf(int(length))
+	if _, err := io.ReadFull(fr.br, b.Bytes()); err != nil {
+		b.Release()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return kind, flags, b, nil
+}
+
+// readHeader reads and validates the frame header.
+func (fr *Reader) readHeader() (kind, flags byte, length uint64, err error) {
+	if _, err := io.ReadFull(fr.br, fr.hdrBuf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	length, err = binary.ReadUvarint(fr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, 0, err
+	}
+	if length > MaxFrameLen {
+		return 0, 0, 0, ErrFrameTooLarge
+	}
+	return fr.hdrBuf[0], fr.hdrBuf[1], length, nil
 }
 
 // byteReader adapts an io.Reader to io.ByteReader without losing
