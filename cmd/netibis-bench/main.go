@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|all]
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|estab|all]
 package main
 
 import (
@@ -46,6 +46,8 @@ func main() {
 		failover()
 	case "datapath":
 		datapath()
+	case "estab":
+		estabLatency()
 	case "all":
 		table1()
 		lan()
@@ -59,9 +61,10 @@ func main() {
 		multirelay()
 		failover()
 		datapath()
+		estabLatency()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath estab all")
 		os.Exit(2)
 	}
 }
@@ -169,6 +172,22 @@ func failover() {
 	}
 	fmt.Print(bench.FormatFailover(res))
 	fmt.Println()
+}
+
+func estabLatency() {
+	header("Measured establishment latency: sequential tree vs cold race vs cached reconnect")
+	rep, err := bench.RunEstabSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estab: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatEstab(rep))
+	path, err := bench.WriteEstabReport(rep, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estab: writing report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", path)
 }
 
 func datapath() {

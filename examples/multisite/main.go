@@ -1,8 +1,9 @@
 // Multisite reproduces the paper's qualitative evaluation on an emulated
 // grid: one NetIbis node per site archetype (open, firewalled, NAT,
-// broken NAT, strict private cluster), and a data-link connection
-// attempt for every ordered pair of nodes without opening a single
-// firewall port. The output is the connectivity matrix with the
+// broken NAT, strict private cluster, and the pathological
+// splice-hostile and port-restricted-NAT sites), and a data-link
+// connection attempt for every ordered pair of nodes without opening a
+// single firewall port. The output is the connectivity matrix with the
 // establishment method each pair ended up using.
 package main
 
@@ -16,8 +17,11 @@ import (
 func main() {
 	// The default archetypes mirror the paper's testbed; the strict
 	// "severe firewall" site is added on top to show the proxy/relay
-	// fallbacks as well.
-	archetypes := append(append([]bench.SiteArchetype(nil), bench.Archetypes...), bench.StrictArchetype)
+	// fallbacks, and the splice-hostile / port-restricted sites to show
+	// the racing establishment recovering from methods that hang rather
+	// than fail fast.
+	archetypes := append(append([]bench.SiteArchetype(nil), bench.Archetypes...),
+		bench.StrictArchetype, bench.AsymFirewallArchetype, bench.PortRestrictedArchetype)
 
 	entries, err := bench.ConnectivityMatrix(archetypes)
 	if err != nil {

@@ -1,0 +1,265 @@
+package bench
+
+// This file is the measured establishment-latency suite: it stands up
+// real NetIbis nodes on emulated topologies and times what a data-link
+// connect actually costs on three paths — the pre-racing sequential
+// decision tree, a cold racing establishment, and a cached reconnect
+// that skips the race. The scenarios include the two topologies added
+// for the racing work, where the profile-preferred method looks fine and
+// then hangs (an asymmetric splice-hostile firewall, a port-restricted
+// NAT), because that is exactly the WAN setup tax the race removes.
+// Results are written to BENCH_estab.json at the repository root (see
+// EXPERIMENTS.md, "The establishment-latency suite").
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"netibis/internal/core"
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+)
+
+// EstabScenario is one (initiator site, acceptor site) topology of the
+// establishment-latency suite.
+type EstabScenario struct {
+	// Name labels the scenario in the report.
+	Name string
+	// Init and Acc are the two sites' configurations.
+	Init, Acc emunet.SiteConfig
+	// Expect is the method the scenario is designed to settle on (the
+	// winner of the race / the method the sequential tree eventually
+	// reaches); empty means "don't check".
+	Expect estab.Method
+}
+
+// EstabScenarios returns the default scenario set of the suite.
+func EstabScenarios() []EstabScenario {
+	return []EstabScenario{
+		{
+			// Both sites behind ordinary stateful firewalls: splicing is
+			// preferred and works, so racing costs nothing over the tree.
+			Name:   "firewalled-pair",
+			Init:   emunet.SiteConfig{Firewall: emunet.Stateful},
+			Acc:    emunet.SiteConfig{Firewall: emunet.Stateful},
+			Expect: estab.Splicing,
+		},
+		{
+			// The tentpole scenario: the initiator's firewall silently
+			// drops simultaneous-open SYNs, which no profile reveals. The
+			// sequential tree commits to splicing and pays its full
+			// timeout on every connect; the race starts routed one
+			// stagger later and wins.
+			Name:   "asym-firewall",
+			Init:   emunet.SiteConfig{Firewall: emunet.Stateful, SpliceHostile: true},
+			Acc:    emunet.SiteConfig{Firewall: emunet.Stateful},
+			Expect: estab.Routed,
+		},
+		{
+			// A port-restricted NAT looks spliceable (endpoint
+			// independent) but never maps to the predicted port: same
+			// hang, different cause.
+			Name:   "port-restricted-nat",
+			Init:   emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.PortRestrictedNAT},
+			Acc:    emunet.SiteConfig{Firewall: emunet.Stateful},
+			Expect: estab.Routed,
+		},
+	}
+}
+
+// EstabResult is one scenario's measured latencies.
+type EstabResult struct {
+	// Scenario names the topology (see EstabScenarios).
+	Scenario string `json:"scenario"`
+	// Winner is the method the racing establishment settled on.
+	Winner string `json:"winner"`
+	// SequentialMs is the cold connect latency of the pre-racing
+	// decision tree (method tried strictly one at a time).
+	SequentialMs float64 `json:"sequential_ms"`
+	// RaceColdMs is the cold connect latency of the racing
+	// establishment (empty connectivity cache).
+	RaceColdMs float64 `json:"race_cold_ms"`
+	// RaceCachedMs is the reconnect latency with the connectivity cache
+	// holding the previous race's winner (the race is skipped).
+	RaceCachedMs float64 `json:"race_cached_ms"`
+}
+
+// EstabReport is the full suite written to BENCH_estab.json.
+type EstabReport struct {
+	// GeneratedAt is the wall-clock time of the run.
+	GeneratedAt time.Time `json:"generated_at"`
+	// GoVersion records the toolchain.
+	GoVersion string `json:"go_version"`
+	// SpliceTimeoutMs and StaggerMs are the knobs the numbers depend
+	// on: the sequential path pays the splice timeout when the
+	// preferred splice hangs, the race pays one stagger tier.
+	SpliceTimeoutMs float64 `json:"splice_timeout_ms"`
+	StaggerMs       float64 `json:"stagger_ms"`
+	// Results holds one entry per scenario.
+	Results []EstabResult `json:"results"`
+}
+
+// estabBenchConfig bundles the suite's timing knobs so tests can run a
+// faster variant.
+type estabBenchConfig struct {
+	spliceTimeout time.Duration
+	stagger       time.Duration
+}
+
+// defaultEstabBenchConfig uses the connector's default stagger and a
+// splice timeout representative of WAN deployments (scaled down from
+// DefaultSpliceTimeout only to keep the suite's runtime civil).
+func defaultEstabBenchConfig() estabBenchConfig {
+	return estabBenchConfig{
+		spliceTimeout: time.Second,
+		stagger:       estab.DefaultRaceStagger,
+	}
+}
+
+// measureEstabScenario builds a fresh deployment for one scenario and
+// measures one connect in the given mode. Modes: "sequential" (cold,
+// pre-racing tree), "race" (cold race, then a cached reconnect).
+func measureEstabScenario(sc EstabScenario, cfg estabBenchConfig, sequential bool) (coldMs, cachedMs float64, winner estab.Method, err error) {
+	f := emunet.NewFabric(emunet.WithSeed(41))
+	defer f.Close()
+	dep, derr := core.NewDeployment(f)
+	if derr != nil {
+		return 0, 0, estab.MethodNone, derr
+	}
+	defer dep.Close()
+
+	join := func(site string, scfg emunet.SiteConfig, name string) (*core.Node, error) {
+		host := dep.AddSite(site, scfg).AddHost(name)
+		ncfg := dep.NodeConfig(host, "estab", name)
+		ncfg.SpliceTimeout = cfg.spliceTimeout
+		ncfg.AcceptTimeout = 10 * time.Second
+		ncfg.RaceStagger = cfg.stagger
+		ncfg.SequentialEstablish = sequential
+		return core.Join(ncfg)
+	}
+	init, jerr := join("init", sc.Init, "init")
+	if jerr != nil {
+		return 0, 0, estab.MethodNone, jerr
+	}
+	defer init.Close()
+	acc, jerr := join("acc", sc.Acc, "acc")
+	if jerr != nil {
+		return 0, 0, estab.MethodNone, jerr
+	}
+	defer acc.Close()
+
+	pt := ipl.PortType{Name: "estab", Stack: "tcpblk"}
+	rp, perr := acc.CreateReceivePort(pt, "inbox")
+	if perr != nil {
+		return 0, 0, estab.MethodNone, perr
+	}
+	defer rp.Close()
+
+	// Pre-warm the service link so the measurement is the establishment
+	// itself, not the bootstrap routed dial to the peer.
+	if _, perr := init.Ping("acc"); perr != nil {
+		return 0, 0, estab.MethodNone, perr
+	}
+
+	connect := func() (float64, estab.Method, error) {
+		sp, serr := init.CreateSendPort(pt)
+		if serr != nil {
+			return 0, estab.MethodNone, serr
+		}
+		defer sp.Close()
+		start := time.Now()
+		if cerr := sp.Connect(rp.ID()); cerr != nil {
+			return 0, estab.MethodNone, cerr
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		var m estab.Method
+		for _, used := range core.SendPortMethods(sp) {
+			m = used
+		}
+		return ms, m, nil
+	}
+
+	coldMs, winner, err = connect()
+	if err != nil || sequential {
+		return coldMs, 0, winner, err
+	}
+	// Racing mode: reconnect with the cache warm.
+	cachedMs, _, err = connect()
+	return coldMs, cachedMs, winner, err
+}
+
+// runEstabSuite measures every scenario in both modes.
+func runEstabSuite(cfg estabBenchConfig) (EstabReport, error) {
+	rep := EstabReport{
+		GeneratedAt:     time.Now(),
+		GoVersion:       runtime.Version(),
+		SpliceTimeoutMs: float64(cfg.spliceTimeout.Microseconds()) / 1000,
+		StaggerMs:       float64(cfg.stagger.Microseconds()) / 1000,
+	}
+	for _, sc := range EstabScenarios() {
+		seqMs, _, _, err := measureEstabScenario(sc, cfg, true)
+		if err != nil {
+			return rep, fmt.Errorf("scenario %s (sequential): %w", sc.Name, err)
+		}
+		coldMs, cachedMs, winner, err := measureEstabScenario(sc, cfg, false)
+		if err != nil {
+			return rep, fmt.Errorf("scenario %s (racing): %w", sc.Name, err)
+		}
+		if sc.Expect != estab.MethodNone && winner != sc.Expect {
+			return rep, fmt.Errorf("scenario %s settled on %v, expected %v", sc.Name, winner, sc.Expect)
+		}
+		rep.Results = append(rep.Results, EstabResult{
+			Scenario:     sc.Name,
+			Winner:       winner.String(),
+			SequentialMs: seqMs,
+			RaceColdMs:   coldMs,
+			RaceCachedMs: cachedMs,
+		})
+	}
+	return rep, nil
+}
+
+// RunEstabSuite measures the establishment-latency suite with the
+// default knobs.
+func RunEstabSuite() (EstabReport, error) {
+	return runEstabSuite(defaultEstabBenchConfig())
+}
+
+// FormatEstab renders the report as an aligned text table.
+func FormatEstab(rep EstabReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "splice timeout %.0f ms, race stagger %.0f ms\n", rep.SpliceTimeoutMs, rep.StaggerMs)
+	fmt.Fprintf(&b, "%-22s %-18s %14s %14s %14s\n", "scenario", "winner", "sequential", "race cold", "race cached")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%-22s %-18s %11.1f ms %11.1f ms %11.1f ms\n",
+			r.Scenario, r.Winner, r.SequentialMs, r.RaceColdMs, r.RaceCachedMs)
+	}
+	return b.String()
+}
+
+// WriteEstabReport writes the report as JSON. An empty path selects
+// BENCH_estab.json at the repository root.
+func WriteEstabReport(rep EstabReport, path string) (string, error) {
+	if path == "" {
+		root, err := findRepoRoot()
+		if err != nil {
+			return "", err
+		}
+		path = filepath.Join(root, "BENCH_estab.json")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"netibis/internal/estab"
+)
+
+// TestEstabSuiteSmoke runs the establishment-latency suite with reduced
+// knobs and checks the acceptance shape: on the pathological scenarios
+// (preferred method hangs) the sequential path pays the splice timeout,
+// the cold race settles in roughly one stagger tier, and the cached
+// reconnect beats the sequential path by a wide margin. CI runs this as
+// the estab bench smoke.
+func TestEstabSuiteSmoke(t *testing.T) {
+	cfg := estabBenchConfig{
+		spliceTimeout: 400 * time.Millisecond,
+		stagger:       60 * time.Millisecond,
+	}
+	rep, err := runEstabSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(EstabScenarios()) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(EstabScenarios()))
+	}
+	byName := map[string]EstabResult{}
+	for _, r := range rep.Results {
+		byName[r.Scenario] = r
+	}
+
+	for _, name := range []string{"asym-firewall", "port-restricted-nat"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		if r.Winner != estab.Routed.String() {
+			t.Errorf("%s: winner = %s, want routed-messages", name, r.Winner)
+		}
+		// The sequential tree commits to the hanging splice: it cannot
+		// finish before the splice timeout.
+		if r.SequentialMs < float64(cfg.spliceTimeout.Milliseconds())*0.9 {
+			t.Errorf("%s: sequential %.1f ms did not pay the %.0f ms splice timeout",
+				name, r.SequentialMs, float64(cfg.spliceTimeout.Milliseconds()))
+		}
+		// The cold race settles around one stagger tier: well below the
+		// splice timeout (allow generous scheduling slack).
+		if r.RaceColdMs > r.SequentialMs/2 {
+			t.Errorf("%s: cold race %.1f ms is not clearly faster than sequential %.1f ms",
+				name, r.RaceColdMs, r.SequentialMs)
+		}
+		// The cached reconnect skips the race entirely: at least 3x
+		// faster than the sequential path (the acceptance bar).
+		if r.RaceCachedMs*3 > r.SequentialMs {
+			t.Errorf("%s: cached reconnect %.1f ms is not 3x faster than sequential %.1f ms",
+				name, r.RaceCachedMs, r.SequentialMs)
+		}
+	}
+
+	// Where the preferred method works, racing must not cost anything
+	// beyond noise: no stagger tier is ever waited out.
+	if r, ok := byName["firewalled-pair"]; ok {
+		if r.Winner != estab.Splicing.String() {
+			t.Errorf("firewalled-pair: winner = %s, want tcp-splicing", r.Winner)
+		}
+		if r.RaceColdMs > float64(cfg.stagger.Milliseconds()) {
+			t.Errorf("firewalled-pair: cold race %.1f ms waited out a stagger tier (%.0f ms)",
+				r.RaceColdMs, float64(cfg.stagger.Milliseconds()))
+		}
+	} else {
+		t.Fatal("firewalled-pair scenario missing")
+	}
+}

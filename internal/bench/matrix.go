@@ -56,6 +56,27 @@ var StrictArchetype = SiteArchetype{
 	Config: emunet.SiteConfig{Firewall: emunet.Strict, PrivateAddresses: true},
 }
 
+// AsymFirewallArchetype is a site behind an asymmetric firewall that
+// permits outgoing connections but silently drops simultaneous-open
+// SYNs — indistinguishable from a splice-friendly firewall in the
+// connectivity profile, so the preferred splice hangs instead of
+// failing fast. Like StrictArchetype it is not part of the paper's
+// testbed mix; the establishment-latency suite (estab.go) measures it,
+// and examples can append it to the matrix.
+var AsymFirewallArchetype = SiteArchetype{
+	Name:   "asym-firewall",
+	Config: emunet.SiteConfig{Firewall: emunet.Stateful, SpliceHostile: true},
+}
+
+// PortRestrictedArchetype is a site behind a port-restricted NAT:
+// endpoint-independent (so it looks spliceable), never on the predicted
+// port (so splices deterministically miss). The racing establishment's
+// other pathological scenario; see AsymFirewallArchetype.
+var PortRestrictedArchetype = SiteArchetype{
+	Name:   "port-restricted",
+	Config: emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.PortRestrictedNAT},
+}
+
 // MatrixEntry is one ordered pair of the connectivity matrix.
 type MatrixEntry struct {
 	From, To string

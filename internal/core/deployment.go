@@ -224,7 +224,7 @@ func (d *Deployment) NodeConfig(host *emunet.Host, pool, name string) Config {
 		Relay:    d.RelayEndpoint(),
 	}
 	topo := host.Topology()
-	if topo.NAT == emunet.BrokenNAT || topo.StrictFirewall {
+	if topo.NAT == emunet.BrokenNAT || topo.NAT == emunet.PortRestrictedNAT || topo.StrictFirewall {
 		cfg.Proxy = d.SocksEndpoint()
 	}
 	return cfg

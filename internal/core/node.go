@@ -109,10 +109,27 @@ type Config struct {
 	// DefaultStack is the driver stack used by port types that do not
 	// name one ("tcpblk" if empty).
 	DefaultStack string
-	// SpliceTimeout / AcceptTimeout tune establishment; zero means the
-	// estab package defaults.
+	// SpliceTimeout bounds a simultaneous open during establishment;
+	// zero (or negative) means estab.DefaultSpliceTimeout. The
+	// zero-value rule is the same as AcceptTimeout's.
 	SpliceTimeout time.Duration
+	// AcceptTimeout bounds the passive side of brokered establishments;
+	// zero (or negative) means estab.DefaultAcceptTimeout, mirroring
+	// SpliceTimeout.
 	AcceptTimeout time.Duration
+	// RaceStagger is the head start between candidate methods of a
+	// racing establishment; zero means estab.DefaultRaceStagger,
+	// negative launches all candidates at once.
+	RaceStagger time.Duration
+	// EstabCacheTTL is the lifetime of connectivity-cache entries
+	// (which method last won the establishment race per peer); zero
+	// means estab.DefaultCacheTTL.
+	EstabCacheTTL time.Duration
+	// SequentialEstablish disables establishment racing and restores
+	// the strict one-method-at-a-time decision tree. All nodes of a
+	// pool must agree on this setting; it exists for the
+	// establishment-latency benchmarks and ablations.
+	SequentialEstablish bool
 }
 
 func (c Config) validate() error {
@@ -148,6 +165,7 @@ type Node struct {
 	serviceLinks map[string]*serviceLink
 	recvPorts    map[string]*receivePort
 	pendingData  map[string]chan net.Conn
+	peerClasses  map[string]estab.ReachClass // published reachability, by peer name
 	closed       bool
 	done         chan struct{}
 
@@ -203,6 +221,7 @@ func Join(cfg Config) (*Node, error) {
 		serviceLinks: make(map[string]*serviceLink),
 		recvPorts:    make(map[string]*receivePort),
 		pendingData:  make(map[string]chan net.Conn),
+		peerClasses:  make(map[string]estab.ReachClass),
 		done:         make(chan struct{}),
 	}
 	// Arm transparent failover: when the relay connection dies the node
@@ -216,13 +235,20 @@ func Join(cfg Config) (*Node, error) {
 		ProxyCreds:    cfg.ProxyCreds,
 		SpliceTimeout: cfg.SpliceTimeout,
 		AcceptTimeout: cfg.AcceptTimeout,
+		RaceStagger:   cfg.RaceStagger,
+		Cache:         estab.NewCache(cfg.EstabCacheTTL),
+		Sequential:    cfg.SequentialEstablish,
 		AcceptRouted:  n.acceptRoutedData,
 		DialRouted:    n.dialRoutedData,
 	}
 
 	// Register the instance so that peers (and monitoring tools) can
-	// discover it.
-	if err := registry.Register(n.nodeKey(cfg.Name), []byte(n.relayID())); err != nil {
+	// discover it. The record carries the node's relay identity plus its
+	// reachability class, so peers can prune impossible establishment
+	// methods before racing (and invalidate cached winners when the
+	// class changes).
+	record := encodeNodeRecord(n.relayID(), n.connector.Profile().Class())
+	if err := registry.Register(n.nodeKey(cfg.Name), record); err != nil {
 		n.Close()
 		return nil, fmt.Errorf("core: register node: %w", err)
 	}
@@ -412,6 +438,13 @@ func (n *Node) onRelayDetach(err error) {
 				n.mu.Lock()
 				n.relayEP = p.ep
 				n.mu.Unlock()
+				// Routed frames in flight across the failure are lost,
+				// and a service link is a stateful conversation: a lost
+				// brokering or mux-barrier frame would wedge it (and its
+				// peer's serve loop) forever. Data links recover by
+				// design; service links are cheap — drop them and let
+				// the next Connect rebuild over the fresh attachment.
+				n.dropAllServiceLinks()
 				return
 			}
 		}
@@ -426,6 +459,41 @@ func (n *Node) onRelayDetach(err error) {
 	}
 	// No relay left: give up and fail the attachment for good.
 	n.relayCli.Abandon(fmt.Errorf("core: relay failover failed: %w", err))
+}
+
+// encodeNodeRecord builds the name-service record value of a node: its
+// relay identity plus its published reachability class.
+func encodeNodeRecord(relayID string, class estab.ReachClass) []byte {
+	b := wire.AppendString(nil, relayID)
+	return append(b, byte(class))
+}
+
+// decodeNodeRecord parses a node record. Records written by binaries
+// predating the reachability class (a bare relay-ID string) decode to
+// ClassUnknown, which prunes nothing.
+func decodeNodeRecord(v []byte) (relayID string, class estab.ReachClass) {
+	d := wire.NewDecoder(v)
+	id := d.String()
+	cls := d.Byte()
+	if d.Err() != nil || d.Remaining() != 0 {
+		return string(v), estab.ClassUnknown
+	}
+	return id, estab.ReachClass(cls)
+}
+
+// notePeerClass remembers a peer's published reachability class.
+func (n *Node) notePeerClass(peerName string, class estab.ReachClass) {
+	n.mu.Lock()
+	n.peerClasses[peerName] = class
+	n.mu.Unlock()
+}
+
+// peerClass returns the last reachability class seen for a peer
+// (ClassUnknown when the peer's record has not been read yet).
+func (n *Node) peerClass(peerName string) estab.ReachClass {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerClasses[peerName]
 }
 
 func (n *Node) nodeKey(name string) string {
@@ -542,23 +610,38 @@ func (n *Node) deliverRoutedData(peer string, conn net.Conn) {
 }
 
 // acceptRoutedData is the estab.Connector hook used on the accepting
-// side of a routed data-link establishment.
-func (n *Node) acceptRoutedData(peerID string, timeout time.Duration) (net.Conn, error) {
-	select {
-	case conn := <-n.pendingDataChan(peerID):
-		return conn, nil
-	case <-n.done:
-		return nil, ErrClosed
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("core: timed out waiting for routed data link from %s", peerID)
+// side of a routed data-link establishment. Links whose initiator lost
+// an establishment race arrive abandoned (see relay.KindAbandon); they
+// are discarded here rather than handed to an establishment, so a lost
+// race never leaves a half-open accept behind. cancel fires when this
+// establishment itself lost its race.
+func (n *Node) acceptRoutedData(peerID string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case conn := <-n.pendingDataChan(peerID):
+			if ab, ok := conn.(interface{ Abandoned() bool }); ok && ab.Abandoned() {
+				conn.Close()
+				continue
+			}
+			return conn, nil
+		case <-cancel: // nil cancel never fires
+			return nil, fmt.Errorf("core: routed accept from %s canceled (lost the establishment race)", peerID)
+		case <-n.done:
+			return nil, ErrClosed
+		case <-deadline:
+			return nil, fmt.Errorf("core: timed out waiting for routed data link from %s", peerID)
+		}
 	}
 }
 
 // dialRoutedData is the estab.Connector hook used on the initiating side
 // of a routed data-link establishment: it opens the relay link and
-// stamps it with the data purpose header.
-func (n *Node) dialRoutedData(peerID string, timeout time.Duration) (net.Conn, error) {
-	conn, err := n.relayCli.Dial(peerID, timeout)
+// stamps it with the data purpose header. A canceled (race-lost) dial is
+// abandoned inside the relay client, which tells the far side to discard
+// its half of the link.
+func (n *Node) dialRoutedData(peerID string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
+	conn, err := n.relayCli.DialCancel(peerID, timeout, cancel)
 	if err != nil {
 		return nil, err
 	}
@@ -593,8 +676,15 @@ func (n *Node) serviceLinkTo(peerName string) (*serviceLink, error) {
 	// which would make dialing a node that never joined slow. The
 	// registry knows instantly whether the peer exists, so check there
 	// first and only pay the retries for peers that are really joining.
-	if _, lerr := n.registry.Lookup(n.nodeKey(peerName), 0); lerr != nil && errors.Is(lerr, nameservice.ErrNotFound) {
+	// The record doubles as the peer's published reachability class,
+	// which the racing establishment uses to prune impossible methods.
+	val, lerr := n.registry.Lookup(n.nodeKey(peerName), 0)
+	if lerr != nil && errors.Is(lerr, nameservice.ErrNotFound) {
 		return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lerr)
+	}
+	if lerr == nil {
+		_, class := decodeNodeRecord(val)
+		n.notePeerClass(peerName, class)
 	}
 	conn, err := n.dialRouted(peerID)
 	if err != nil {
@@ -631,6 +721,34 @@ func (n *Node) acceptTimeout() time.Duration {
 // resumed after a failover) until the accept timeout expires.
 func (n *Node) dialRouted(peerID string) (net.Conn, error) {
 	return estab.RetryRoutedDial(n.relayCli.Dial, peerID, n.acceptTimeout(), n.done)
+}
+
+// dropServiceLink evicts one cached service link (because an
+// establishment over it observed a failure — its conversation state is
+// unrecoverable) and closes its connection, which also unblocks the
+// peer's serve loop.
+func (n *Node) dropServiceLink(sl *serviceLink) {
+	n.mu.Lock()
+	if cur, ok := n.serviceLinks[sl.peer]; ok && cur == sl {
+		delete(n.serviceLinks, sl.peer)
+	}
+	n.mu.Unlock()
+	sl.conn.Close()
+}
+
+// dropAllServiceLinks evicts and closes every cached service link (used
+// after a relay failover, when in-flight routed frames were lost).
+func (n *Node) dropAllServiceLinks() {
+	n.mu.Lock()
+	links := make([]*serviceLink, 0, len(n.serviceLinks))
+	for _, sl := range n.serviceLinks {
+		links = append(links, sl)
+	}
+	n.serviceLinks = make(map[string]*serviceLink)
+	n.mu.Unlock()
+	for _, sl := range links {
+		sl.conn.Close()
+	}
 }
 
 // Ping measures the round-trip time to a peer over the (relay-routed)

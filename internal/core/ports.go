@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -120,7 +121,34 @@ func (sp *sendPort) ConnectedTo() []ipl.PortID {
 
 // Connect implements ipl.SendPort: it brokers a data link to the remote
 // receive port over the service link and builds the driver stack on it.
+// A transport failure of the service link itself (as opposed to a
+// rejection or an establishment failure) evicts the cached link —
+// its conversation state is unrecoverable, e.g. after a relay failover
+// lost frames in flight — and the connect is retried once over a fresh
+// one.
 func (sp *sendPort) Connect(to ipl.PortID) error {
+	err := sp.connect(to)
+	var broken *serviceLinkBrokenError
+	if errors.As(err, &broken) {
+		err = sp.connect(to)
+	}
+	if errors.As(err, &broken) {
+		return broken.cause
+	}
+	return err
+}
+
+// serviceLinkBrokenError marks a connect failure caused by the service
+// link's transport (the link has been evicted; a retry gets a new one).
+type serviceLinkBrokenError struct{ cause error }
+
+func (e *serviceLinkBrokenError) Error() string {
+	return "core: service link broken: " + e.cause.Error()
+}
+
+func (e *serviceLinkBrokenError) Unwrap() error { return e.cause }
+
+func (sp *sendPort) connect(to ipl.PortID) error {
 	sp.mu.Lock()
 	if sp.closed {
 		sp.mu.Unlock()
@@ -137,6 +165,10 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 	if err != nil {
 		return err
 	}
+	broken := func(err error) error {
+		n.dropServiceLink(sl)
+		return &serviceLinkBrokenError{cause: err}
+	}
 
 	// The whole brokering conversation for this connect owns the service
 	// link exclusively.
@@ -145,13 +177,13 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 
 	req := connectRequest{portName: to.Port, portType: sp.portType, sender: n.id}
 	if err := sl.w.WriteFrame(wire.KindControl, opConnect, encodeConnectRequest(req)); err != nil {
-		return err
+		return broken(err)
 	}
 	// Wait for the accept/reject verdict.
 	for {
 		f, err := sl.r.ReadFrame()
 		if err != nil {
-			return err
+			return broken(err)
 		}
 		if f.Kind != wire.KindControl {
 			continue
@@ -172,13 +204,21 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 	// Establishment conversations are multiplexed over the service link
 	// so a stack needing several connections (parallel streams) brokers
 	// them concurrently instead of paying WAN-RTT × N. Env.Dial must be
-	// concurrent-safe; the method is recorded under its own lock.
+	// concurrent-safe; the method is recorded under its own lock. The
+	// peer key routes the establishments through the connectivity cache
+	// (one race per peer, cached winner on reconnect), and the class
+	// hint is the peer's published reachability from its registry
+	// record.
+	estOpts := estab.EstablishOpts{
+		PeerKey:   n.cfg.Pool + "/" + to.Owner.Name,
+		PeerClass: n.peerClass(to.Owner.Name),
+	}
 	mux := estab.NewServiceMux(sl.conn)
 	var methodMu sync.Mutex
 	var usedMethod estab.Method
 	env := &driver.Env{
 		Dial: func() (net.Conn, error) {
-			dataConn, method, err := n.connector.EstablishInitiator(mux.Open())
+			dataConn, method, err := n.connector.EstablishInitiatorOpts(mux.Open(), estOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -194,12 +234,16 @@ func (sp *sendPort) Connect(to ipl.PortID) error {
 	out, err := driver.BuildOutput(stack, env)
 	// Always settle the mux session, success or not: it hands the
 	// service link back in a clean state and unblocks the acceptor's
-	// half-finished conversations when our build failed.
-	if merr := mux.Finish(); err == nil && merr != nil {
-		// The service connection itself broke; release the freshly
-		// built stack and its brokered connections.
-		out.Close()
-		err = merr
+	// half-finished conversations when our build failed. A Finish error
+	// means the service connection itself broke (or could not carry the
+	// done marker): evict the link so nobody reuses its wedged state.
+	if merr := mux.Finish(); merr != nil {
+		if err == nil {
+			// Release the freshly built stack and its brokered
+			// connections.
+			out.Close()
+		}
+		return broken(merr)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"netibis/internal/emunet"
+	"netibis/internal/estab"
+	"netibis/internal/ipl"
+)
+
+// TestLostRaceLeavesNothingBehind is the lost-race cleanup regression
+// test: two nodes whose pair admits direct, splicing and routed
+// establishment race all three with no stagger, so the direct path wins
+// over an in-flight splice and an in-flight routed open on every
+// connect. After 100 such races nothing may linger: no extra goroutines,
+// no relay virtual links (the routed losers must have been abandoned on
+// both sides), no parked splice offers, and no usable-looking half-open
+// routed conns in the nodes' accept queues.
+func TestLostRaceLeavesNothingBehind(t *testing.T) {
+	// The data plane is time-shaped so the race has a deterministic
+	// winner: the sites are close to each other (1 ms) but far from the
+	// gateway (16 ms), making the direct dial complete while the
+	// relay-crossing routed open (two extra gateway crossings) and the
+	// extra splice round trip are still in flight. At scale 0.25 a
+	// gateway crossing costs 2 ms real, so the direct path wins by ~4 ms
+	// — comfortably above scheduler jitter, cheap enough for 100 races.
+	f := emunet.NewFabric(emunet.WithSeed(23), emunet.WithTimeScale(0.25))
+	f.SetLink("race-open-a", "race-open-b", emunet.LinkParams{CapacityBps: 12.5e6, RTT: time.Millisecond})
+	f.SetLink("race-open-a", "gateway", emunet.LinkParams{CapacityBps: 12.5e6, RTT: 16 * time.Millisecond})
+	f.SetLink("race-open-b", "gateway", emunet.LinkParams{CapacityBps: 12.5e6, RTT: 16 * time.Millisecond})
+	defer f.Close()
+	dep, err := NewDeployment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	mkNode := func(site, name string) *Node {
+		host := dep.AddSite(site, emunet.SiteConfig{Firewall: emunet.Open}).AddHost(name)
+		cfg := dep.NodeConfig(host, "race", name)
+		cfg.RaceStagger = -1 // launch every candidate at once: the race always has losers
+		cfg.SpliceTimeout = 2 * time.Second
+		cfg.AcceptTimeout = 5 * time.Second
+		n, err := Join(cfg)
+		if err != nil {
+			t.Fatalf("join %s: %v", name, err)
+		}
+		return n
+	}
+	sender := mkNode("race-open-a", "sender")
+	defer sender.Close()
+	receiver := mkNode("race-open-b", "receiver")
+	defer receiver.Close()
+
+	pt := ipl.PortType{Name: "race", Stack: "tcpblk"}
+	rp, err := receiver.CreateReceivePort(pt, "inbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+
+	// Sanity: this pair's plan must contain all three candidates, or the
+	// race has nothing to cancel.
+	cands := estab.RankCandidates(sender.Profile(), receiver.Profile(), false)
+	if len(cands) != 3 {
+		t.Fatalf("expected 3 candidate methods for the open pair, got %v", cands)
+	}
+
+	settle := func(cond func() (bool, string)) string {
+		var why string
+		for i := 0; i < 100; i++ {
+			var ok bool
+			if ok, why = cond(); ok {
+				return ""
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return why
+	}
+
+	// Warm up once: the first connect creates the long-lived service
+	// link (itself a relay virtual link) and its handler goroutine;
+	// baselines are taken after it so the loop measures only race debris.
+	warm, err := sender.CreateSendPort(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Connect(rp.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sender.connector.Cache.Invalidate("race/receiver")
+	if why := settle(func() (bool, string) {
+		return f.PendingSplices() == 0, "warmup splices"
+	}); why != "" {
+		t.Fatal(why)
+	}
+	linkBaseS := sender.relayCli.LinkCount()
+	linkBaseR := receiver.relayCli.LinkCount()
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		sp, err := sender.CreateSendPort(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Connect(rp.ID()); err != nil {
+			t.Fatalf("race %d: %v", i, err)
+		}
+		for _, m := range SendPortMethods(sp) {
+			if m != estab.ClientServer {
+				t.Fatalf("race %d won by %v, want the direct path", i, m)
+			}
+		}
+		// Prove the winning link works, then tear it down.
+		msg, err := sp.NewMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.WriteString("ping")
+		if err := msg.Finish(); err != nil {
+			t.Fatalf("race %d: deliver: %v", i, err)
+		}
+		if _, err := rp.Receive(); err != nil {
+			t.Fatalf("race %d: receive: %v", i, err)
+		}
+		if err := sp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Each iteration must race afresh: forget the cached winner.
+		sender.connector.Cache.Invalidate("race/receiver")
+	}
+
+	// No parked splice offers: every losing simultaneous open was
+	// withdrawn when its race was canceled.
+	if why := settle(func() (bool, string) {
+		n := f.PendingSplices()
+		return n == 0, fmt.Sprintf("%d splice offers still parked", n)
+	}); why != "" {
+		t.Error(why)
+	}
+
+	// No relay virtual links beyond the persistent service link: every
+	// losing routed open was abandoned on the dialing side and discarded
+	// on the accepting side.
+	if why := settle(func() (bool, string) {
+		s, r := sender.relayCli.LinkCount(), receiver.relayCli.LinkCount()
+		return s <= linkBaseS && r <= linkBaseR,
+			fmt.Sprintf("leaked relay links: sender %d (baseline %d), receiver %d (baseline %d)", s, linkBaseS, r, linkBaseR)
+	}); why != "" {
+		t.Error(why)
+	}
+
+	// Anything still parked in the routed-accept queues must be marked
+	// abandoned — a lost race may leave a discarded conn to be skipped,
+	// but never a usable-looking half-open one.
+	receiver.mu.Lock()
+	pend := make([]string, 0, len(receiver.pendingData))
+	for peer := range receiver.pendingData {
+		pend = append(pend, peer)
+	}
+	receiver.mu.Unlock()
+	for _, peer := range pend {
+		ch := receiver.pendingDataChan(peer)
+		for {
+			select {
+			case conn := <-ch:
+				ab, ok := conn.(interface{ Abandoned() bool })
+				if !ok || !ab.Abandoned() {
+					t.Errorf("half-open routed conn from %s left in accept queue", peer)
+				}
+				conn.Close()
+				continue
+			default:
+			}
+			break
+		}
+	}
+
+	// Goroutines return to the pre-race baseline (losers' helpers all
+	// unwound). Allow a small slack for runtime background goroutines.
+	if why := settle(func() (bool, string) {
+		now := runtime.NumGoroutine()
+		return now <= baseline+3, fmt.Sprintf("goroutines: baseline %d, now %d", baseline, now)
+	}); why != "" {
+		buf := make([]byte, 1<<20)
+		t.Errorf("%s\n%s", why, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestServiceLinkBrokenErrorSurfacesCause: when both connect attempts
+// die on a broken service link, the caller must receive the underlying
+// cause, never a nil error (a nil here would make the caller believe
+// the data link exists).
+func TestServiceLinkBrokenErrorSurfacesCause(t *testing.T) {
+	cause := fmt.Errorf("boom")
+	var err error = &serviceLinkBrokenError{cause: cause}
+	var broken *serviceLinkBrokenError
+	if !errors.As(err, &broken) {
+		t.Fatal("errors.As failed to match serviceLinkBrokenError")
+	}
+	if broken.cause != cause {
+		t.Fatalf("cause = %v", broken.cause)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("Unwrap chain lost the cause")
+	}
+}
+
+// TestReachabilityClassPublished: a node's registry record carries its
+// reachability class, and a peer that looked the node up can read it.
+func TestReachabilityClassPublished(t *testing.T) {
+	f := emunet.NewFabric(emunet.WithSeed(29))
+	defer f.Close()
+	dep, err := NewDeployment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	open := dep.AddSite("class-open", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("open-node")
+	nated := dep.AddSite("class-nat", emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.CompliantNAT}).AddHost("nat-node")
+
+	a, err := Join(dep.NodeConfig(open, "cls", "alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Join(dep.NodeConfig(nated, "cls", "beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	val, err := a.registry.Lookup(a.nodeKey("beta"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayID, class := decodeNodeRecord(val)
+	if relayID != "cls/beta" {
+		t.Fatalf("record relay ID = %q", relayID)
+	}
+	if class != estab.ClassNATed {
+		t.Fatalf("published class = %v, want ClassNATed", class)
+	}
+
+	// The service-link path records the class for the establishment's
+	// pruning hint.
+	if _, err := a.Ping("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.peerClass("beta"); got != estab.ClassNATed {
+		t.Fatalf("peerClass after service link = %v, want ClassNATed", got)
+	}
+
+	// Old-format records (bare relay ID) decode to ClassUnknown.
+	id, cls := decodeNodeRecord([]byte("pool/legacy"))
+	if id != "pool/legacy" || cls != estab.ClassUnknown {
+		t.Fatalf("legacy record decoded to %q/%v", id, cls)
+	}
+}

@@ -1,0 +1,37 @@
+// Package emunet provides an in-process emulated wide-area internetwork
+// — the testbed substitute for the real multi-site European grid of the
+// paper's evaluation (Section 4, Section 6).
+//
+// The HPDC 2004 NetIbis paper evaluates its integrated WAN communication
+// system on a real testbed: multiple sites, most protected by stateful
+// firewalls, some using NAT and private (RFC 1918) addresses, connected
+// by wide-area links of limited capacity and high latency. Such an
+// environment cannot be reproduced inside a single test process, so
+// emunet substitutes it: it models sites, hosts, public and private
+// address spaces, stateful firewalls, NAT devices (standards compliant,
+// deliberately broken, and port-restricted, as encountered by the
+// paper's authors), and WAN links with configurable capacity, round-trip
+// time and loss rate.
+//
+// Everything above this package — connection establishment methods,
+// relays, SOCKS proxies, driver stacks — exercises its real code path:
+// data genuinely flows through net.Conn implementations, connection
+// requests genuinely traverse firewall and NAT state machines, and
+// simultaneous-open (TCP splicing) genuinely requires both endpoints to
+// issue their connection requests and both firewalls to have recorded
+// the outgoing flow.
+//
+// Two scenario knobs exist specifically because their failure mode is
+// invisible to profile-based method selection (which is what motivates
+// the racing establishment of package estab): SiteConfig.SpliceHostile
+// models an asymmetric firewall that permits outgoing connections but
+// silently drops simultaneous-open SYNs, and PortRestrictedNAT models a
+// NAT whose mappings are endpoint-independent yet never match the
+// port-preserving prediction. Both make a splice that looks fine during
+// brokering hang until its timeout — or until the caller cancels it via
+// Host.SpliceDialCancel.
+//
+// The data plane can optionally shape traffic (latency and capacity) by
+// a configurable time scale, so that examples behave like a real WAN
+// while tests run in milliseconds.
+package emunet

@@ -1,27 +1,3 @@
-// Package emunet provides an in-process emulated wide-area internetwork.
-//
-// The HPDC 2004 NetIbis paper evaluates its integrated WAN communication
-// system on a real European testbed: multiple sites, most protected by
-// stateful firewalls, some using NAT and private (RFC 1918) addresses,
-// connected by wide-area links of limited capacity and high latency.
-// Such an environment cannot be reproduced inside a single test process,
-// so emunet substitutes it: it models sites, hosts, public and private
-// address spaces, stateful firewalls, NAT devices (both standards
-// compliant and deliberately broken, as encountered by the paper's
-// authors), and WAN links with configurable capacity, round-trip time
-// and loss rate.
-//
-// Everything above this package — connection establishment methods,
-// relays, SOCKS proxies, driver stacks — exercises its real code path:
-// data genuinely flows through net.Conn implementations, connection
-// requests genuinely traverse firewall and NAT state machines, and
-// simultaneous-open (TCP splicing) genuinely requires both endpoints to
-// issue their connection requests and both firewalls to have recorded
-// the outgoing flow.
-//
-// The data plane can optionally shape traffic (latency and capacity) by
-// a configurable time scale, so that examples behave like a real WAN
-// while tests run in milliseconds.
 package emunet
 
 import (
@@ -125,6 +101,16 @@ const (
 	// unpredictable (and differs per destination), so TCP splicing
 	// fails and a SOCKS proxy must be used instead.
 	BrokenNAT
+	// PortRestrictedNAT models a NAT that is endpoint-independent (one
+	// mapping per internal endpoint, so it looks well behaved from the
+	// inside) but not port preserving: the external port differs from
+	// the internal one in a way the host cannot predict. Unlike
+	// BrokenNAT, whose misbehaviour is advertised in the connectivity
+	// profile, a port-restricted NAT looks spliceable during brokering —
+	// the splice is attempted in good faith and then times out. It
+	// exists to give the racing establishment layer a realistic
+	// preferred-method-that-loses scenario.
+	PortRestrictedNAT
 )
 
 // String implements fmt.Stringer.
@@ -136,6 +122,8 @@ func (m NATMode) String() string {
 		return "compliant"
 	case BrokenNAT:
 		return "broken"
+	case PortRestrictedNAT:
+		return "port-restricted"
 	default:
 		return fmt.Sprintf("NATMode(%d)", int(m))
 	}
@@ -177,6 +165,10 @@ var (
 	// ErrSpliceTimeout indicates simultaneous open did not complete in
 	// time (typically because a NAT mangled the predicted endpoint).
 	ErrSpliceTimeout = errors.New("emunet: TCP splice timed out")
+	// ErrSpliceCanceled indicates the caller withdrew a simultaneous
+	// open before it completed (e.g. another establishment method won a
+	// race against it).
+	ErrSpliceCanceled = errors.New("emunet: TCP splice canceled")
 	// ErrClosed indicates the host, listener or fabric has been closed.
 	ErrClosed = errors.New("emunet: closed")
 	// ErrEgressDenied indicates a strict firewall refused an outgoing

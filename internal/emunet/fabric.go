@@ -91,6 +91,15 @@ type SiteConfig struct {
 	// AllowedEgress lists destination addresses reachable through a
 	// Strict firewall (typically the site's SOCKS proxy or a relay).
 	AllowedEgress []Address
+	// SpliceHostile marks an asymmetrically filtering firewall:
+	// ordinary outgoing connections work, but the firewall does not
+	// treat an outgoing SYN as establishing state that would admit the
+	// peer's simultaneous SYN, so TCP splicing silently times out. Such
+	// firewalls are indistinguishable from splice-friendly ones in the
+	// connectivity profile (outbound probing looks identical), which is
+	// exactly why the establishment layer must be prepared for a
+	// preferred method that hangs rather than fails fast.
+	SpliceHostile bool
 }
 
 // Site is a collection of hosts sharing a firewall and NAT device.
@@ -382,7 +391,10 @@ type natMapping struct {
 // endpoint-independent and port-preserving where possible, so its
 // mappings are predictable; BrokenNAT picks a fresh random external port
 // for every new destination, which is what defeats TCP splicing in the
-// paper's experiments.
+// paper's experiments. PortRestrictedNAT is endpoint-independent like
+// CompliantNAT but shifts every mapping into a disjoint port range, so
+// the host's port-preserving prediction is always wrong — splicing is
+// attempted (the profile looks fine) and then deterministically fails.
 type natState struct {
 	mu       sync.Mutex
 	mode     NATMode
@@ -417,6 +429,21 @@ func (n *natState) translate(internal Endpoint, dst Endpoint) int {
 			return m.external
 		}
 		ext := internal.Port
+		for n.used[ext] {
+			ext++
+		}
+		n.mappings[internal] = natMapping{external: ext}
+		n.reverse[ext] = internal
+		n.used[ext] = true
+		return ext
+	case PortRestrictedNAT:
+		// Endpoint-independent, so the mapping is reused across
+		// destinations, but shifted out of the internal port range: the
+		// host's port-preserving prediction never matches.
+		if m, ok := n.mappings[internal]; ok {
+			return m.external
+		}
+		ext := internal.Port + portRestrictedShift
 		for n.used[ext] {
 			ext++
 		}
@@ -459,12 +486,16 @@ func (n *natState) predict(internal Endpoint) int {
 		}
 		return ext
 	default:
-		// The broken NAT also advertises the port-preserving prediction;
-		// the actual mapping will differ, which is exactly the failure
-		// mode observed in the paper.
+		// Broken and port-restricted NATs also advertise the
+		// port-preserving prediction; the actual mapping will differ,
+		// which is exactly the failure mode observed in the paper.
 		return internal.Port
 	}
 }
+
+// portRestrictedShift is the offset a PortRestrictedNAT applies to every
+// mapping, guaranteeing the port-preserving prediction misses.
+const portRestrictedShift = 5000
 
 // lookup resolves an external port back to the internal endpoint, for
 // inbound traffic on an established mapping.

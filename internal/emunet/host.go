@@ -315,6 +315,15 @@ func (h *Host) PredictExternalEndpoint(localPort int) Endpoint {
 // admits the peer's request, so the connection succeeds even when both
 // sites block unsolicited inbound traffic.
 func (h *Host) SpliceDial(localPort int, target Endpoint, timeout time.Duration) (net.Conn, error) {
+	return h.SpliceDialCancel(localPort, target, timeout, nil)
+}
+
+// SpliceDialCancel is SpliceDial with an additional cancellation
+// channel: when cancel fires before the simultaneous open completes, the
+// pending offer is withdrawn and ErrSpliceCanceled returned. The racing
+// establishment layer uses it to abandon an in-flight splice the moment
+// another method wins, instead of blocking until the splice timeout.
+func (h *Host) SpliceDialCancel(localPort int, target Endpoint, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
 	if h.isClosed() {
 		return nil, ErrClosed
 	}
@@ -331,18 +340,23 @@ func (h *Host) SpliceDial(localPort int, target Endpoint, timeout time.Duration)
 	if matched := h.fabric.registerSplice(offer); matched {
 		// Peer was already waiting; conn delivered on the channel.
 	}
-	select {
-	case c := <-offer.ready:
-		return c, nil
-	case <-time.After(timeout):
+	withdraw := func(err error) (net.Conn, error) {
 		h.fabric.cancelSplice(offer)
-		// A connection may have raced with the timeout.
+		// A connection may have raced with the withdrawal.
 		select {
 		case c := <-offer.ready:
 			return c, nil
 		default:
 		}
-		return nil, ErrSpliceTimeout
+		return nil, err
+	}
+	select {
+	case c := <-offer.ready:
+		return c, nil
+	case <-cancel: // nil cancel blocks forever, i.e. never fires
+		return withdraw(ErrSpliceCanceled)
+	case <-time.After(timeout):
+		return withdraw(ErrSpliceTimeout)
 	}
 }
 
@@ -356,16 +370,27 @@ func spliceKeyOf(actual, target Endpoint) string {
 // endpoint. A NAT that mangles the predicted port therefore breaks the
 // match, and both sides time out — reproducing the behaviour that forced
 // the paper's authors to fall back to SOCKS proxies behind broken NATs.
+// A splice-hostile firewall on either side likewise prevents the match:
+// the hostile side's offer is registered (its SYN goes out) but never
+// paired, because its firewall drops the peer's simultaneous SYN.
 func (f *Fabric) registerSplice(offer *spliceOffer) bool {
 	f.mu.Lock()
 	if f.splices == nil {
 		f.splices = make(map[string]*spliceOffer)
 	}
+	if offer.host.site.cfg.SpliceHostile {
+		// The peer's SYN is dropped at our firewall: park the offer so it
+		// times out (or is canceled), exactly as on real hardware.
+		f.splices[spliceKeyOf(offer.actual, offer.target)] = offer
+		f.mu.Unlock()
+		return false
+	}
 	// Our counterpart, if present, registered with actual == our target
-	// and target == our actual.
+	// and target == our actual. A counterpart behind a splice-hostile
+	// firewall stays parked: its firewall drops our SYN, so no match.
 	peerKey := spliceKeyOf(offer.target, offer.actual)
 	peer, ok := f.splices[peerKey]
-	if !ok {
+	if !ok || peer.host.site.cfg.SpliceHostile {
 		f.splices[spliceKeyOf(offer.actual, offer.target)] = offer
 		f.mu.Unlock()
 		return false
@@ -388,6 +413,16 @@ func (f *Fabric) cancelSplice(offer *spliceOffer) {
 	if f.splices[key] == offer {
 		delete(f.splices, key)
 	}
+}
+
+// PendingSplices reports the number of simultaneous-open offers
+// currently waiting for their counterpart. Diagnostics: after an
+// establishment (raced or not) has settled, no withdrawn offers should
+// linger here; the lost-race cleanup tests assert exactly that.
+func (f *Fabric) PendingSplices() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.splices)
 }
 
 // HostByAddress returns the host owning addr, if any.

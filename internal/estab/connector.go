@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"netibis/internal/emunet"
@@ -14,21 +15,34 @@ import (
 )
 
 // Brokering protocol message types, carried in wire.KindHandshake frames
-// over the service link.
+// over the service link. msgProfile..msgAbort form the per-method
+// conversation vocabulary; msgPlan..msgRaceDone are the racing-control
+// messages added on top (see race.go and DESIGN.md, "Racing
+// establishment").
 const (
-	msgProfile byte = iota + 1
-	msgListen       // "I am listening at this endpoint, dial me"
-	msgSplice       // "my predicted external endpoint for the splice is ..."
-	msgRouted       // "open a routed link to my relay ID"
-	msgAbort        // establishment failed on my side
+	msgProfile  byte = iota + 1
+	msgListen        // "I am listening at this endpoint, dial me"
+	msgSplice        // "my predicted external endpoint for the splice is ..."
+	msgRouted        // "open a routed link to my relay ID"
+	msgAbort         // establishment failed on my side
+	msgPlan          // initiator -> acceptor: ordered candidate list for the next round
+	msgRace          // one tagged per-method conversation message (method, inner type, body)
+	msgElect         // initiator -> acceptor: winner of the current round (MethodNone = round failed)
+	msgRaceDone      // all of this side's conversations for the round have settled
 )
 
 // DefaultSpliceTimeout bounds how long a simultaneous open waits for the
-// peer's connection request.
+// peer's connection request. It applies whenever Connector.SpliceTimeout
+// is zero (or negative); the same zero-value rule governs
+// DefaultAcceptTimeout and Connector.AcceptTimeout, so the two knobs
+// behave identically.
 const DefaultSpliceTimeout = 2 * time.Second
 
 // DefaultAcceptTimeout bounds how long the listening side of a brokered
-// client/server or proxy establishment waits for the peer to arrive.
+// client/server or proxy establishment (and the accepting side of a
+// routed establishment) waits for the peer to arrive. It applies
+// whenever Connector.AcceptTimeout is zero (or negative), mirroring the
+// DefaultSpliceTimeout rule.
 const DefaultAcceptTimeout = 10 * time.Second
 
 // routedRetryDelay spaces the retries of a refused cross-relay routed
@@ -40,7 +54,8 @@ const routedRetryDelay = 20 * time.Millisecond
 // mean "the directory gossip announcing the peer is still in flight"
 // and a detachment "my relay attachment is being resumed", so both are
 // worth a bounded wait; every other error is final. done, when non-nil,
-// aborts the wait early (e.g. the owning node closing).
+// aborts the wait early (e.g. the owning node closing, or the
+// establishment race being lost).
 func RetryRoutedDial(dial func(peerID string, timeout time.Duration) (net.Conn, error), peerID string, timeout time.Duration, done <-chan struct{}) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -75,6 +90,9 @@ var (
 	// ErrNoProxy is returned when the proxy method is selected but no
 	// SOCKS proxy is configured.
 	ErrNoProxy = errors.New("estab: proxy method selected but no SOCKS proxy configured")
+	// errRaceLost is returned inside a losing method attempt when the
+	// race controller cancels it; it never escapes to callers.
+	errRaceLost = errors.New("estab: establishment attempt canceled (lost the race)")
 )
 
 // Connector is the socket-factory side of one endpoint: it knows the
@@ -92,22 +110,59 @@ type Connector struct {
 	ProxyAddr emunet.Endpoint
 	// ProxyCreds are optional SOCKS credentials.
 	ProxyCreds *socks.Credentials
-	// SpliceTimeout overrides DefaultSpliceTimeout when positive.
+	// SpliceTimeout bounds a simultaneous open. Zero (or negative)
+	// selects DefaultSpliceTimeout; the zero-value rule is identical to
+	// AcceptTimeout's, so a zero-valued Connector gets consistent,
+	// documented defaults for both.
 	SpliceTimeout time.Duration
-	// AcceptTimeout overrides DefaultAcceptTimeout when positive.
+	// AcceptTimeout bounds the passive side of brokered establishments
+	// (waiting for the peer's connection, proxy CONNECT or routed open).
+	// Zero (or negative) selects DefaultAcceptTimeout, exactly as
+	// SpliceTimeout defaults to DefaultSpliceTimeout.
 	AcceptTimeout time.Duration
+	// RaceStagger is the delay between launching successive candidate
+	// methods of a racing establishment: the preferred method gets a
+	// head start of one stagger per precedence rank before the next
+	// candidate is tried concurrently. Zero selects
+	// DefaultRaceStagger; a negative value launches all candidates at
+	// once (no head starts).
+	RaceStagger time.Duration
+	// Cache, when non-nil, remembers the winning method per peer so a
+	// reconnect can skip the race (see Cache). It is consulted and
+	// updated only when EstablishOpts.PeerKey identifies the peer.
+	Cache *Cache
+	// Sequential disables racing: methods are tried strictly one at a
+	// time in precedence order, as the pre-racing implementation did.
+	// Both endpoints of an establishment must agree on this setting; it
+	// exists for the establishment-latency benchmarks and ablations.
+	Sequential bool
 	// AcceptRouted, when set, is used instead of Relay.Accept to obtain
 	// the incoming routed link during a routed establishment (the
 	// integration layer multiplexes a single relay attachment between
-	// many concurrent establishments).
-	AcceptRouted func(peerID string, timeout time.Duration) (net.Conn, error)
+	// many concurrent establishments). cancel, when it fires, means the
+	// establishment raced and lost: the wait must end promptly.
+	AcceptRouted func(peerID string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error)
 	// DialRouted, when set, is used instead of Relay.Dial to open the
 	// outgoing routed link; the integration layer uses it to stamp the
 	// link with a purpose header before the driver stack takes over.
-	DialRouted func(peerID string, timeout time.Duration) (net.Conn, error)
+	// cancel has the same lost-race semantics as in AcceptRouted; a
+	// canceled dial must abandon the open so the far side does not keep
+	// a half-open accept (relay.Client.DialCancel does this).
+	DialRouted func(peerID string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error)
 	// ForcedMethod, when non-zero, skips the decision tree and forces a
 	// specific method; used by benchmarks and ablation experiments.
 	ForcedMethod Method
+
+	// relayAccepts is the single long-lived pump over Relay.Accept used
+	// when no AcceptRouted hook is installed; see acceptRelayDirect.
+	relayAcceptOnce sync.Once
+	relayAccepts    chan relayAccept
+}
+
+// relayAccept is one result of the Relay.Accept pump.
+type relayAccept struct {
+	conn net.Conn
+	err  error
 }
 
 // Profile reports this endpoint's connectivity profile.
@@ -158,11 +213,23 @@ func (c *Connector) Bootstrap(dst emunet.Endpoint) (net.Conn, error) {
 
 // --- brokered factory ---------------------------------------------------------------
 
+// brokerIO is the conversation surface a method establishment runs
+// against: the plain broker during sequential establishment, or a
+// per-method tagged view of the race session during a racing one.
+type brokerIO interface {
+	send(msgType byte, body []byte) error
+	recv() (byte, []byte, error)
+}
+
 // broker wraps the service link with the frame protocol used during
-// establishment negotiation.
+// establishment negotiation. Sends are serialised so the concurrent
+// method attempts of a race can share the link; reads are owned by a
+// single reader at a time (the conversation itself when sequential, the
+// race round reader when racing).
 type broker struct {
-	r *wire.Reader
-	w *wire.Writer
+	r   *wire.Reader
+	wmu sync.Mutex
+	w   *wire.Writer
 }
 
 func newBroker(service io.ReadWriter) *broker {
@@ -170,6 +237,8 @@ func newBroker(service io.ReadWriter) *broker {
 }
 
 func (b *broker) send(msgType byte, body []byte) error {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
 	return b.w.WriteFrame(wire.KindHandshake, msgType, body)
 }
 
@@ -186,28 +255,53 @@ func (b *broker) recv() (byte, []byte, error) {
 	}
 }
 
+// EstablishOpts carries per-peer context into an establishment.
+type EstablishOpts struct {
+	// PeerKey is a stable identifier for the peer endpoint (the
+	// integration layer uses the peer's relay node ID). When non-empty,
+	// the connectivity cache is consulted before racing and updated with
+	// the winner afterwards.
+	PeerKey string
+	// PeerClass is the peer's reachability class as published in its
+	// name-service record (ClassUnknown when not known). It prunes
+	// candidates that the class proves impossible and guards cached
+	// entries against a peer whose connectivity changed since the cache
+	// entry was written.
+	PeerClass ReachClass
+}
+
 // EstablishInitiator negotiates and establishes a data link with the
 // peer at the other end of the service link. The initiator is the side
 // that wants the new link (in IPL terms: the send port connecting to a
 // receive port). It returns the established link and the method used.
 func (c *Connector) EstablishInitiator(service io.ReadWriter) (net.Conn, Method, error) {
-	return c.establish(service, true)
+	return c.EstablishInitiatorOpts(service, EstablishOpts{})
+}
+
+// EstablishInitiatorOpts is EstablishInitiator with per-peer context:
+// a cache key for the connectivity cache and the peer's published
+// reachability class.
+func (c *Connector) EstablishInitiatorOpts(service io.ReadWriter, opts EstablishOpts) (net.Conn, Method, error) {
+	if c.Sequential {
+		return c.establishSequential(service, true)
+	}
+	return c.establishRacing(service, true, opts)
 }
 
 // EstablishAcceptor is the passive counterpart of EstablishInitiator; it
 // must be called on the peer for every EstablishInitiator call.
 func (c *Connector) EstablishAcceptor(service io.ReadWriter) (net.Conn, Method, error) {
-	return c.establish(service, false)
+	if c.Sequential {
+		return c.establishSequential(service, false)
+	}
+	return c.establishRacing(service, false, EstablishOpts{})
 }
 
-func (c *Connector) establish(service io.ReadWriter, initiator bool) (net.Conn, Method, error) {
-	b := newBroker(service)
-
-	// Phase 1: exchange connectivity profiles. The exchange is ordered
-	// (initiator first, acceptor in response) so that it also works over
-	// strictly synchronous service links.
-	local := c.Profile()
-	var remote Profile
+// exchangeProfiles runs phase 1 of every establishment: the ordered
+// profile exchange (initiator first, acceptor in response), which also
+// works over strictly synchronous service links.
+func (c *Connector) exchangeProfiles(b *broker, initiator bool) (local, remote Profile, err error) {
+	local = c.Profile()
 	recvProfile := func() error {
 		t, body, err := b.recv()
 		if err != nil {
@@ -224,66 +318,92 @@ func (c *Connector) establish(service io.ReadWriter, initiator bool) (net.Conn, 
 	}
 	if initiator {
 		if err := b.send(msgProfile, local.Encode()); err != nil {
-			return nil, MethodNone, err
+			return local, remote, err
 		}
 		if err := recvProfile(); err != nil {
-			return nil, MethodNone, err
+			return local, remote, err
 		}
 	} else {
 		if err := recvProfile(); err != nil {
-			return nil, MethodNone, err
+			return local, remote, err
 		}
 		if err := b.send(msgProfile, local.Encode()); err != nil {
-			return nil, MethodNone, err
+			return local, remote, err
 		}
 	}
+	return local, remote, nil
+}
 
-	// Phase 2: both sides run the same decision tree on the same inputs,
-	// so they agree on the method without a further round trip.
+// establishSequential is the pre-racing establishment: both sides run
+// the same decision tree on the same exchanged profiles, agree on the
+// candidate order without a further round trip, and try the methods
+// strictly one at a time — each candidate runs to success or to its full
+// failure (timeout included) before the next one starts. Kept (behind
+// Connector.Sequential) as the baseline the establishment-latency
+// benchmarks compare the race against: on a pair whose preferred method
+// hangs, this path pays the whole timeout on every connect.
+func (c *Connector) establishSequential(service io.ReadWriter, initiator bool) (net.Conn, Method, error) {
+	b := newBroker(service)
+
+	local, remote, err := c.exchangeProfiles(b, initiator)
+	if err != nil {
+		return nil, MethodNone, err
+	}
+
 	var initiatorProfile, acceptorProfile Profile
 	if initiator {
 		initiatorProfile, acceptorProfile = local, remote
 	} else {
 		initiatorProfile, acceptorProfile = remote, local
 	}
-	method := c.ForcedMethod
-	if method == MethodNone {
-		var derr error
-		method, derr = Decide(initiatorProfile, acceptorProfile, false)
-		if derr != nil {
-			// The peer runs the same decision on the same inputs and
-			// reaches the same conclusion; no abort message is needed
-			// (and sending one could block on synchronous service links).
-			return nil, MethodNone, derr
+	methods := []Method{c.ForcedMethod}
+	if c.ForcedMethod == MethodNone {
+		// The peer ranks the same candidates from the same inputs and
+		// walks them in the same order; no coordination message is
+		// needed (and sending one could block on synchronous service
+		// links). Both sides stay in lockstep because every method's
+		// conversation is strictly ordered and every method fails on
+		// both sides before the next begins.
+		methods = RankCandidates(initiatorProfile, acceptorProfile, false)
+		if len(methods) == 0 {
+			return nil, MethodNone, ErrNoMethod
 		}
 	}
+	var lastMethod Method
+	var lastErr error
+	for _, m := range methods {
+		conn, err := c.runMethod(b, m, local, remote, initiator, nil)
+		if err == nil {
+			return conn, m, nil
+		}
+		lastMethod, lastErr = m, err
+	}
+	return nil, lastMethod, lastErr
+}
 
-	// Phase 3: run the selected method.
-	var conn net.Conn
-	var err error
+// runMethod runs one establishment method's conversation over b. cancel,
+// when it fires, means the attempt lost a race and must wind down
+// promptly (nil during sequential establishment).
+func (c *Connector) runMethod(b brokerIO, method Method, local, remote Profile, initiator bool, cancel <-chan struct{}) (net.Conn, error) {
 	switch method {
 	case ClientServer:
-		conn, err = c.establishClientServer(b, local, remote, initiator)
+		return c.establishClientServer(b, local, remote, initiator, cancel)
 	case Splicing:
-		conn, err = c.establishSplicing(b, initiator)
+		return c.establishSplicing(b, initiator, cancel)
 	case Proxy:
-		conn, err = c.establishProxy(b, local, remote)
+		return c.establishProxy(b, local, remote, cancel)
 	case Routed:
-		conn, err = c.establishRouted(b, remote, initiator)
+		return c.establishRouted(b, remote, initiator, cancel)
 	default:
-		err = ErrNoMethod
+		return nil, ErrNoMethod
 	}
-	if err != nil {
-		return nil, method, err
-	}
-	return conn, method, nil
 }
 
 // establishClientServer: the dialable side listens on a fresh port and
 // advertises it; the other side dials. Which side listens is decided
 // deterministically from the two profiles, so no extra negotiation is
 // needed.
-func (c *Connector) establishClientServer(b *broker, local, remote Profile, initiator bool) (net.Conn, error) {
+func (c *Connector) establishClientServer(b brokerIO, local, remote Profile, initiator bool, cancel <-chan struct{}) (net.Conn, error) {
 	// Prefer the acceptor as the listening side (matching the IPL's
 	// receive-port-listens convention) but fall back to whichever
 	// direction is dialable.
@@ -310,7 +430,7 @@ func (c *Connector) establishClientServer(b *broker, local, remote Profile, init
 			l.Close()
 			return nil, err
 		}
-		conn, err := acceptWithTimeout(l, c.acceptTimeout())
+		conn, err := acceptWithTimeout(l, c.acceptTimeout(), cancel)
 		l.Close()
 		return conn, err
 	}
@@ -332,7 +452,25 @@ func (c *Connector) establishClientServer(b *broker, local, remote Profile, init
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
-	return c.Host.Dial(emunet.Endpoint{Addr: emunet.Address(addr), Port: port})
+	conn, err := c.Host.Dial(emunet.Endpoint{Addr: emunet.Address(addr), Port: port})
+	if err != nil {
+		// In a race, let the listening side give up instead of waiting
+		// out its accept timeout.
+		notifyRaceAbort(b)
+		return nil, err
+	}
+	return conn, nil
+}
+
+// notifyRaceAbort sends a failure notice to the counterpart conversation
+// — but only during a race, where the message is tagged with its method.
+// The sequential protocol cannot carry it: its counterpart may be deep
+// in a blocking accept, and an untagged abort left in the stream would
+// desynchronise the next method's lockstep conversation.
+func notifyRaceAbort(b brokerIO) {
+	if mb, ok := b.(*methodBroker); ok {
+		mb.send(msgAbort, nil)
+	}
 }
 
 // establishSplicing: both sides reserve a local port, advertise the
@@ -340,7 +478,7 @@ func (c *Connector) establishClientServer(b *broker, local, remote Profile, init
 // requests towards each other's prediction. The exchange is ordered
 // (initiator advertises first) so it works over synchronous service
 // links; the connection requests themselves are simultaneous.
-func (c *Connector) establishSplicing(b *broker, initiator bool) (net.Conn, error) {
+func (c *Connector) establishSplicing(b brokerIO, initiator bool, cancel <-chan struct{}) (net.Conn, error) {
 	localPort := c.Host.AllocatePort()
 	predicted := c.Host.PredictExternalEndpoint(localPort)
 	body := wire.AppendString(nil, string(predicted.Addr))
@@ -382,12 +520,12 @@ func (c *Connector) establishSplicing(b *broker, initiator bool) (net.Conn, erro
 	if err != nil {
 		return nil, err
 	}
-	return c.Host.SpliceDial(localPort, target, c.spliceTimeout())
+	return c.Host.SpliceDialCancel(localPort, target, c.spliceTimeout(), cancel)
 }
 
 // establishProxy: the side with a SOCKS proxy dials out through it; the
 // reachable side listens and advertises its endpoint.
-func (c *Connector) establishProxy(b *broker, local, remote Profile) (net.Conn, error) {
+func (c *Connector) establishProxy(b brokerIO, local, remote Profile, cancel <-chan struct{}) (net.Conn, error) {
 	proxySide := local.HasProxy && remote.Reachable()
 	if proxySide {
 		// Wait for the peer's listener endpoint, then CONNECT through the
@@ -419,6 +557,7 @@ func (c *Connector) establishProxy(b *broker, local, remote Profile) (net.Conn, 
 		}
 		if err := socks.Connect(proxyConn, addr, port, c.ProxyCreds); err != nil {
 			proxyConn.Close()
+			notifyRaceAbort(b)
 			return nil, err
 		}
 		return proxyConn, nil
@@ -437,14 +576,16 @@ func (c *Connector) establishProxy(b *broker, local, remote Profile) (net.Conn, 
 		l.Close()
 		return nil, err
 	}
-	conn, err := acceptWithTimeout(l, c.acceptTimeout())
+	conn, err := acceptWithTimeout(l, c.acceptTimeout(), cancel)
 	l.Close()
 	return conn, err
 }
 
 // establishRouted: the initiator opens a routed virtual link through the
-// relay; the acceptor waits for it.
-func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (net.Conn, error) {
+// relay; the acceptor waits for it. A canceled (race-lost) routed open
+// is abandoned — the far side receives an abandon frame and discards its
+// half of the link instead of keeping a half-open accept.
+func (c *Connector) establishRouted(b brokerIO, remote Profile, initiator bool, cancel <-chan struct{}) (net.Conn, error) {
 	if c.Relay == nil {
 		b.send(msgAbort, nil)
 		return nil, ErrNoRelay
@@ -454,9 +595,12 @@ func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (
 		if err := b.send(msgRouted, wire.AppendString(nil, c.Relay.ID())); err != nil {
 			return nil, err
 		}
-		dial := c.Relay.Dial
-		if c.DialRouted != nil {
-			dial = c.DialRouted
+		dial := c.DialRouted
+		if dial == nil {
+			dial = c.Relay.DialCancel
+		}
+		dialC := func(peerID string, timeout time.Duration) (net.Conn, error) {
+			return dial(peerID, timeout, cancel)
 		}
 		// When both endpoints are attached to the same relay of the mesh
 		// no directory gossip is involved, so a refusal is authoritative
@@ -469,12 +613,12 @@ func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (
 		// has not reached my relay yet" — the acceptor is already
 		// waiting, so the retries cover exactly the propagation window.
 		if remote.HomeRelay != "" && remote.HomeRelay == c.Relay.ServerID() {
-			conn, err := dial(remote.RelayID, c.acceptTimeout())
+			conn, err := dialC(remote.RelayID, c.acceptTimeout())
 			if !errors.Is(err, relay.ErrDetached) {
 				return conn, err
 			}
 		}
-		return RetryRoutedDial(dial, remote.RelayID, c.acceptTimeout(), nil)
+		return RetryRoutedDial(dialC, remote.RelayID, c.acceptTimeout(), cancel)
 	}
 	t, body, err := b.recv()
 	if err != nil {
@@ -492,13 +636,62 @@ func (c *Connector) establishRouted(b *broker, remote Profile, initiator bool) (
 		return nil, d.Err()
 	}
 	if c.AcceptRouted != nil {
-		return c.AcceptRouted(peerID, c.acceptTimeout())
+		return c.AcceptRouted(peerID, c.acceptTimeout(), cancel)
 	}
-	return c.Relay.Accept()
+	return c.acceptRelayDirect(cancel)
 }
 
-// acceptWithTimeout waits for one connection on l or gives up.
-func acceptWithTimeout(l *emunet.Listener, timeout time.Duration) (net.Conn, error) {
+// acceptRelayDirect accepts the next routed link straight off the relay
+// attachment, made cancelable for the race. All waits share one
+// long-lived pump goroutine over the unbuffered relayAccepts channel: a
+// canceled or timed-out wait simply stops receiving, the pump keeps
+// holding the next link for the next waiter, and no goroutine per
+// attempt is spawned that could later steal (and close) a legitimate
+// link from a future establishment. Links whose initiator abandoned
+// them (lost races) are discarded here.
+func (c *Connector) acceptRelayDirect(cancel <-chan struct{}) (net.Conn, error) {
+	c.relayAcceptOnce.Do(func() {
+		c.relayAccepts = make(chan relayAccept, 1)
+		go func() {
+			for {
+				conn, err := c.Relay.Accept()
+				if err != nil {
+					// Deposit the terminal error if a slot is free and
+					// exit either way, so the pump never outlives the
+					// relay attachment.
+					select {
+					case c.relayAccepts <- relayAccept{err: err}:
+					default:
+					}
+					return
+				}
+				c.relayAccepts <- relayAccept{conn: conn}
+			}
+		}()
+	})
+	deadline := time.After(c.acceptTimeout())
+	for {
+		select {
+		case r := <-c.relayAccepts:
+			if r.err != nil {
+				return nil, r.err
+			}
+			if ab, ok := r.conn.(interface{ Abandoned() bool }); ok && ab.Abandoned() {
+				r.conn.Close()
+				continue
+			}
+			return r.conn, nil
+		case <-cancel:
+			return nil, errRaceLost
+		case <-deadline:
+			return nil, fmt.Errorf("estab: timed out waiting for routed link")
+		}
+	}
+}
+
+// acceptWithTimeout waits for one connection on l or gives up — on
+// timeout, or early when cancel (the lost-race signal) fires.
+func acceptWithTimeout(l *emunet.Listener, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
 	type result struct {
 		c   net.Conn
 		err error
@@ -508,15 +701,27 @@ func acceptWithTimeout(l *emunet.Listener, timeout time.Duration) (net.Conn, err
 		c, err := l.Accept()
 		ch <- result{c, err}
 	}()
-	select {
-	case r := <-ch:
-		return r.c, r.err
-	case <-time.After(timeout):
+	settle := func(fallback error) (net.Conn, error) {
 		l.Close()
 		r := <-ch
 		if r.err == nil {
+			// A connection raced with the timeout/cancellation; hand it
+			// up (a canceled caller discards it through the normal
+			// loser-cleanup path).
 			return r.c, nil
 		}
-		return nil, fmt.Errorf("estab: timed out waiting for peer connection: %w", r.err)
+		return nil, fallback
+	}
+	select {
+	case r := <-ch:
+		return r.c, r.err
+	case <-cancel: // nil cancel never fires
+		return settle(errRaceLost)
+	case <-time.After(timeout):
+		conn, err := settle(nil)
+		if err == nil && conn != nil {
+			return conn, nil
+		}
+		return nil, fmt.Errorf("estab: timed out waiting for peer connection")
 	}
 }

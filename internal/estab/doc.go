@@ -1,0 +1,33 @@
+// Package estab implements NetIbis connection establishment: the four
+// methods of paper Section 3 (client/server TCP, TCP splicing, TCP
+// proxies, routed messages), the property matrix of Table 1, the
+// decision tree of Figure 4, and the bootstrap and brokered socket
+// factories of Section 5.2 that put them to work.
+//
+// Establishment is strictly separated from link utilization: the
+// factories produce plain net.Conn links; the driver stacks of package
+// driver consume them. This separation is the paper's central design
+// point, because it is what makes compression, parallel streams and
+// encryption composable with whichever establishment method the
+// topology requires.
+//
+// On top of the decision tree the package adds two latency mechanisms
+// the paper's analysis motivates but does not implement:
+//
+//   - Racing establishment (race.go): instead of committing to the
+//     single method the profiles predict, the ranked candidate list is
+//     launched with staggered head starts, the first success wins, and
+//     the losers are canceled and cleaned up on both sides. This bounds
+//     the setup cost of a pair whose preferred method hangs — an
+//     asymmetric splice-hostile firewall, an unpredictable NAT — to one
+//     stagger tier instead of a full method timeout.
+//   - A per-pair connectivity cache (cache.go): the winning method is
+//     remembered with a TTL, so a reconnect runs the winner alone and
+//     skips the race entirely; a failure invalidates the entry and
+//     falls back to the full race.
+//
+// The brokering wire protocol, the racing rounds and the cache
+// semantics are specified in DESIGN.md ("Racing establishment and the
+// connectivity cache"); the measured latency comparison lives in the
+// establishment suite of package bench (BENCH_estab.json).
+package estab

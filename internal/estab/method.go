@@ -1,15 +1,3 @@
-// Package estab implements NetIbis connection establishment: the four
-// methods of paper Section 3 (client/server TCP, TCP splicing, TCP
-// proxies, routed messages), the property matrix of Table 1, the
-// decision tree of Figure 4, and the bootstrap and brokered socket
-// factories of Section 5.2 that put them to work.
-//
-// Establishment is strictly separated from link utilization: the
-// factories produce plain net.Conn links; the driver stacks of package
-// driver consume them. This separation is the paper's central design
-// point, because it is what makes compression, parallel streams and
-// encryption composable with whichever establishment method the
-// topology requires.
 package estab
 
 import (
@@ -346,4 +334,95 @@ func Decide(initiator, acceptor Profile, bootstrap bool) (Method, error) {
 		}
 	}
 	return MethodNone, ErrNoMethod
+}
+
+// RankCandidates returns every method that can connect the two
+// endpoints, in precedence order. Decide returns the head of this list;
+// the racing establishment (race.go) uses the whole list as its
+// staggered launch plan.
+func RankCandidates(initiator, acceptor Profile, bootstrap bool) []Method {
+	var out []Method
+	for _, m := range Precedence {
+		if bootstrap && !Table1[m].Bootstrap {
+			continue
+		}
+		if Possible(m, initiator, acceptor, bootstrap) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// --- reachability classes ----------------------------------------------------------
+
+// ReachClass is the coarse reachability classification a node publishes
+// in its name-service record (see core.Node): enough for a peer to prune
+// establishment methods that cannot possibly work before racing, without
+// revealing the full topology, and available even before the profile
+// exchange of an establishment.
+type ReachClass byte
+
+const (
+	// ClassUnknown means no classification is available (old records,
+	// unknown peers); nothing is pruned.
+	ClassUnknown ReachClass = iota
+	// ClassPublic: the node accepts unsolicited inbound connections
+	// (open firewall, routable address, no NAT).
+	ClassPublic
+	// ClassFirewalled: inbound connections are filtered (stateful or
+	// strict firewall, or an unroutable address), but there is no NAT.
+	ClassFirewalled
+	// ClassNATed: the node sits behind network address translation (and
+	// so is also unreachable for unsolicited inbound connections).
+	ClassNATed
+)
+
+// String implements fmt.Stringer.
+func (r ReachClass) String() string {
+	switch r {
+	case ClassUnknown:
+		return "unknown"
+	case ClassPublic:
+		return "public"
+	case ClassFirewalled:
+		return "firewalled"
+	case ClassNATed:
+		return "nated"
+	default:
+		return fmt.Sprintf("ReachClass(%d)", int(r))
+	}
+}
+
+// Class derives the endpoint's reachability class from its profile.
+func (p Profile) Class() ReachClass {
+	switch {
+	case p.NAT != emunet.NoNAT:
+		return ClassNATed
+	case p.Firewalled || p.PrivateAddr:
+		return ClassFirewalled
+	default:
+		return ClassPublic
+	}
+}
+
+// PruneForClass drops candidate methods that the peer's published
+// reachability class proves impossible: a direct client/server
+// connection needs at least one dialable end, so when the peer is not
+// public and the local endpoint is not reachable either, the method is
+// pruned before the race ever spends a listener on it. The check is
+// deliberately conservative — only contradictions are pruned, everything
+// else races. (Same-site shortcuts are handled by the caller, which has
+// both full profiles.)
+func PruneForClass(cands []Method, local Profile, peer ReachClass) []Method {
+	if peer == ClassUnknown {
+		return cands
+	}
+	out := make([]Method, 0, len(cands))
+	for _, m := range cands {
+		if m == ClientServer && peer != ClassPublic && !local.Reachable() {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
 }

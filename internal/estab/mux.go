@@ -15,7 +15,11 @@ package estab
 // the acceptor; each side numbers its streams 0,1,2,… in Open order, and
 // any establishment conversation is valid against any other (the
 // parallel-streams driver reassembles by fragment sequence number, not
-// sub-stream identity), so concurrent Open order does not matter.
+// sub-stream identity), so concurrent Open order does not matter. This
+// holds for the racing protocol too: the race plan travels inside each
+// conversation (race.go), so every stream is self-describing, and the
+// connectivity cache deduplicates the races of sibling streams (the
+// first becomes the leader, the rest reuse its winner).
 //
 // Lifecycle: the mux owns the service connection from construction until
 // Finish has returned on both sides. Each side sends a done marker when

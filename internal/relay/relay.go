@@ -1,30 +1,3 @@
-// Package relay implements the "routed messages" connection method of
-// the paper (Section 3.3, Figure 3).
-//
-// A relay runs on a gateway machine that every node can reach with an
-// ordinary outgoing connection — even nodes behind firewalls, NAT or
-// SOCKS proxies. Each node keeps a single persistent connection to the
-// relay. On top of that connection the relay offers virtual links: a
-// node asks the relay to open a link to another node (identified by a
-// location-independent node ID), the relay forwards the request over
-// the target's persistent connection, and from then on relays data
-// frames in both directions.
-//
-// Routed links have modest performance (every byte crosses the relay,
-// which adds a receive/forward hop and makes the relay a shared
-// bottleneck), so NetIbis uses them for bootstrap and service links and
-// for data only as a last resort — exactly as the paper prescribes.
-//
-// A single relay is also a single point of failure and a shared
-// bottleneck. Package overlay federates several relay Servers into a
-// mesh: a Server exposes a Forwarder hook that is consulted for frames
-// addressed to nodes not attached locally, and an Inject entry point
-// through which the mesh delivers frames that arrived from peer relays.
-// The Client correspondingly supports Resume, which re-attaches the same
-// node identity over a fresh connection to a (possibly different) relay
-// while keeping the established virtual links alive: routing is purely
-// by node ID, so links survive a relay failover as long as both
-// endpoints stay attached somewhere in the mesh.
 package relay
 
 import (
@@ -50,6 +23,7 @@ const (
 	KindOpenFail                        // open failed (unknown node, refused)
 	KindData                            // data on a virtual link
 	KindShut                            // half-close of a virtual link
+	KindAbandon                         // discard a virtual link opened for a lost establishment race
 )
 
 // Errors.
@@ -67,6 +41,14 @@ var (
 	// ErrDetached is returned while the client has lost its relay
 	// connection and has not yet been resumed on a new one.
 	ErrDetached = errors.New("relay: detached from relay")
+	// ErrAbandoned is returned on a virtual link whose peer discarded it
+	// with an abandon frame: the link was opened for a connection
+	// establishment that lost a race, and its far side must not treat it
+	// as a usable (or half-open) connection.
+	ErrAbandoned = errors.New("relay: link abandoned by peer")
+	// ErrDialCanceled is returned by DialCancel when the caller withdrew
+	// the open before the peer answered.
+	ErrDialCanceled = errors.New("relay: dial canceled")
 )
 
 // maxDataFrame bounds the payload of a single routed data frame; larger
@@ -439,7 +421,7 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 			return
 		}
 		switch kind {
-		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut:
+		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut, KindAbandon:
 			s.route(peer, kind, b.Bytes())
 		case wire.KindKeepAlive:
 			peer.send(wire.KindKeepAlive, nil)
@@ -793,6 +775,16 @@ func (c *Client) Close() error {
 
 // Dial opens a routed virtual link to the node attached under peerID.
 func (c *Client) Dial(peerID string, timeout time.Duration) (net.Conn, error) {
+	return c.DialCancel(peerID, timeout, nil)
+}
+
+// DialCancel is Dial with a cancellation channel: when cancel fires
+// before the peer answers, the open is withdrawn, an abandon frame is
+// sent so the far side discards any link it may already have accepted,
+// and ErrDialCanceled is returned. The racing establishment layer uses
+// it to call off an in-flight routed open the moment another method
+// wins.
+func (c *Client) DialCancel(peerID string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -822,12 +814,42 @@ func (c *Client) Dial(peerID string, timeout time.Duration) (net.Conn, error) {
 			return nil, ErrRefused
 		}
 		return rc, nil
+	case <-cancel: // nil cancel blocks forever, i.e. never fires
+		return nil, c.abandonDial(key, wait)
 	case <-time.After(timeout):
 		c.mu.Lock()
 		delete(c.pending, key)
 		c.mu.Unlock()
 		return nil, ErrUnknownPeer
 	}
+}
+
+// abandonDial withdraws a canceled open. The OpenOK may already have
+// crossed (the dispatch loop registers the link before handing it to the
+// waiter), so both outcomes are covered: a link that materialised is
+// aborted with the abandon handshake, a still-pending open gets a bare
+// abandon frame so the peer's accepted half is discarded when (if) its
+// OpenOK arrives at a dead letter box.
+func (c *Client) abandonDial(key linkID, wait chan *routedConn) error {
+	c.mu.Lock()
+	delete(c.pending, key)
+	rc := c.links[key]
+	c.mu.Unlock()
+	if rc == nil {
+		// Dispatch may have grabbed the waiter just before we deleted it.
+		select {
+		case rc = <-wait:
+		default:
+		}
+	}
+	if rc != nil {
+		rc.Abort()
+		return ErrDialCanceled
+	}
+	body := wire.AppendString(nil, c.id)
+	body = wire.AppendUvarint(body, uint64(roleInitiator))
+	c.send(KindAbandon, AppendRouted(nil, key.peer, key.channel, body))
+	return ErrDialCanceled
 }
 
 // Accept returns the next incoming routed virtual link.
@@ -966,6 +988,37 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		if rc != nil {
 			rc.peerClosed()
 		}
+	case KindAbandon:
+		// The peer discarded the link (it lost an establishment race).
+		// Unlike KindShut this is not a half-close: the link is removed
+		// entirely and marked abandoned, so a consumer that finds it in
+		// an accept queue knows to skip it rather than use a dead conn.
+		d := wire.NewDecoder(body)
+		from := d.String()
+		role := byte(d.Uvarint())
+		if d.Err() != nil {
+			return
+		}
+		key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+		c.mu.Lock()
+		rc := c.links[key]
+		delete(c.links, key)
+		// An abandon can also cross an OpenOK still in flight the other
+		// way; fail the pending dial like a refusal.
+		var failed []chan *routedConn
+		for pkey, wait := range c.pending {
+			if pkey.peer == from && pkey.channel == hdr.channel {
+				failed = append(failed, wait)
+				delete(c.pending, pkey)
+			}
+		}
+		c.mu.Unlock()
+		if rc != nil {
+			rc.abandonedByPeer()
+		}
+		for _, wait := range failed {
+			wait <- nil
+		}
 	}
 }
 
@@ -1026,6 +1079,15 @@ func (c *Client) dropLink(key linkID) {
 	c.mu.Unlock()
 }
 
+// LinkCount reports the number of currently open virtual links.
+// Diagnostics: the lost-race cleanup tests assert that abandoned links
+// do not linger after an establishment race has settled.
+func (c *Client) LinkCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.links)
+}
+
 // --- routed virtual connection ----------------------------------------------------
 
 // routedConn is one virtual link routed through the relay. It implements
@@ -1071,6 +1133,49 @@ func (rc *routedConn) peerClosed() {
 	}
 	rc.cond.Broadcast()
 	rc.mu.Unlock()
+}
+
+// abandonedByPeer marks the link abandoned: reads fail with ErrAbandoned
+// and Abandoned reports true, so a consumer holding the conn (e.g. in an
+// accept backlog) can recognise and discard it.
+func (rc *routedConn) abandonedByPeer() {
+	rc.mu.Lock()
+	rc.closed = true
+	if rc.rerr == nil {
+		rc.rerr = ErrAbandoned
+	}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+// Abandoned reports whether the peer discarded this link with an abandon
+// frame (it lost an establishment race on the peer's side).
+func (rc *routedConn) Abandoned() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.rerr == ErrAbandoned
+}
+
+// Abort discards the link as part of losing an establishment race: the
+// peer receives an abandon frame (not a half-close), telling it the link
+// must not be treated as a usable or half-open connection.
+func (rc *routedConn) Abort() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	if rc.rerr == nil {
+		rc.rerr = ErrAbandoned
+	}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	body := wire.AppendString(nil, rc.client.id)
+	body = wire.AppendUvarint(body, uint64(rc.role()))
+	rc.client.send(KindAbandon, AppendRouted(nil, rc.peer, rc.channel, body))
+	rc.client.dropLink(linkID{peer: rc.peer, channel: rc.channel, outbound: rc.outbound})
+	return nil
 }
 
 func (rc *routedConn) closeWithError(err error) {

@@ -1,23 +1,3 @@
-// Package simtcp models the throughput behaviour of TCP connections on
-// wide-area links.
-//
-// The paper's quantitative evaluation (Figures 9 and 10) was run on real
-// WAN links between Amsterdam–Rennes and Delft–Sophia. What makes those
-// figures interesting is not the absolute numbers but TCP's behaviour:
-// a single vanilla TCP stream cannot fill a high bandwidth-delay-product
-// path because its send window is clamped by the operating system and
-// because congestion-control recovery after a loss is slow at high RTT,
-// while multiple parallel streams aggregate their windows and recover
-// independently, approaching the link capacity.
-//
-// simtcp reproduces this behaviour with a per-round (one round-trip time
-// per step) fluid model of TCP Reno-style congestion control: slow
-// start, additive increase, multiplicative decrease on loss, a receiver
-// /OS window clamp, random packet loss, and loss caused by overflowing
-// the bottleneck buffer when the aggregate of all parallel streams
-// exceeds the link capacity. The model is deliberately simple — it is a
-// substrate for regenerating the *shape* of the paper's results, not a
-// packet-level network simulator.
 package simtcp
 
 import (

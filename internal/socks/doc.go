@@ -1,0 +1,16 @@
+// Package socks implements the subset of the SOCKS5 protocol (RFC 1928)
+// that NetIbis needs: the CONNECT command with "no authentication" and
+// "username/password" (RFC 1929) methods, both as a client and as a
+// proxy server.
+//
+// The paper (Section 3.3) lists SOCKS as the main general-purpose TCP
+// proxy: it lets a host behind a firewall or NAT open an *outgoing*
+// connection to a destination outside, via a gateway that is connected
+// on both sides. NetIbis falls back to a SOCKS proxy when TCP splicing
+// is impossible (strict firewalls, broken NAT implementations); in the
+// racing establishment of package estab the proxy method is one of the
+// staggered candidates between splicing and routed messages.
+//
+// The server's dial function is pluggable, so the same proxy code serves
+// real TCP sockets (cmd/netibis-socks) and the emulated internetwork.
+package socks

@@ -1,16 +1,3 @@
-// Package socks implements the subset of the SOCKS5 protocol (RFC 1928)
-// that NetIbis needs: the CONNECT command with "no authentication" and
-// "username/password" (RFC 1929) methods, both as a client and as a
-// proxy server.
-//
-// The paper lists SOCKS as the main general-purpose TCP proxy: it lets a
-// host behind a firewall or NAT open an *outgoing* connection to a
-// destination outside, via a gateway that is connected on both sides.
-// NetIbis falls back to a SOCKS proxy when TCP splicing is impossible
-// (strict firewalls, broken NAT implementations).
-//
-// The server's dial function is pluggable, so the same proxy code serves
-// real TCP sockets (cmd/netibis-socks) and the emulated internetwork.
 package socks
 
 import (

@@ -1,0 +1,13 @@
+// Package workload generates the synthetic application payloads used by
+// the evaluation (paper Sections 4.3 and 6, where the compressibility
+// of the shipped data decides whether compression helps or hurts).
+//
+// The paper's measurements ship application data whose compressibility
+// matters (zlib level 1 roughly triples the effective bandwidth on the
+// Amsterdam–Rennes link), so the generators produce data with
+// controllable redundancy: text-like payloads comparable to serialized
+// scientific records, and incompressible payloads comparable to
+// already-compressed input. The message-size ladders of Figures 9 and
+// 10 live here too, so every experiment sweeps the same sizes the paper
+// plots.
+package workload

@@ -1,10 +1,3 @@
-// Package workload generates the synthetic application payloads used by
-// the evaluation. The paper's measurements ship application data whose
-// compressibility matters (zlib level 1 roughly triples the effective
-// bandwidth on the Amsterdam–Rennes link), so the generators produce
-// data with controllable redundancy: text-like payloads comparable to
-// serialized scientific records, and incompressible payloads comparable
-// to already-compressed input.
 package workload
 
 import (
