@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|estab|all]
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|estab|flowcontrol|all]
 package main
 
 import (
@@ -48,6 +48,8 @@ func main() {
 		datapath()
 	case "estab":
 		estabLatency()
+	case "flowcontrol":
+		flowcontrol()
 	case "all":
 		table1()
 		lan()
@@ -62,9 +64,10 @@ func main() {
 		failover()
 		datapath()
 		estabLatency()
+		flowcontrol()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath estab all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath estab flowcontrol all")
 		os.Exit(2)
 	}
 }
@@ -185,6 +188,22 @@ func estabLatency() {
 	path, err := bench.WriteEstabReport(rep, "")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "estab: writing report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", path)
+}
+
+func flowcontrol() {
+	header("Measured flow control: healthy routed links vs one stalled receiver on a shared relay")
+	rep, err := bench.RunFlowcontrolSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flowcontrol: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatFlowcontrol(rep))
+	path, err := bench.WriteFlowcontrolReport(rep, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flowcontrol: writing report: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("report written to %s\n", path)

@@ -38,6 +38,8 @@ func main() {
 	nameserver := flag.String("nameserver", "", "Ibis Name Service address for mesh registration and discovery")
 	join := flag.String("join", "", "comma-separated peer relay addresses to join statically")
 	advertise := flag.String("advertise", "", "address peers and nodes dial to reach this relay (defaults to the listen address)")
+	egressQueue := flag.Int("egress-queue", relay.DefaultEgressQueueFrames,
+		"per-source egress queue bound towards each attached node (frames); overflow backpressures the offending link only")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -45,6 +47,7 @@ func main() {
 		log.Fatalf("netibis-relay: listen %s: %v", *addr, err)
 	}
 	srv := relay.NewServer()
+	srv.SetEgressQueue(*egressQueue)
 	log.Printf("netibis-relay: listening on %s", l.Addr())
 
 	var mesh *overlay.Relay

@@ -1,0 +1,384 @@
+package bench
+
+// This file is the measured flow-control suite: the routed-messages path
+// under a deliberately stalled receiver. It stands up a relay on an
+// emulated gateway, runs N healthy sender/receiver pairs of routed
+// virtual links through it, and measures their aggregate throughput
+// twice — once undisturbed (the baseline), once while an additional
+// pair's receiver socket is frozen mid-transfer. The acceptance shape
+// (ISSUE 4 / EXPERIMENTS.md): the stalled link's sender blocks at the
+// credit window with its in-flight bytes bounded, the relay's backlog
+// for the stalled node stays within the egress queue bound, and the
+// healthy pairs keep their baseline throughput. Results are written to
+// BENCH_flowcontrol.json at the repository root.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netibis/internal/emunet"
+	"netibis/internal/relay"
+)
+
+// fcSocketBuffer is the emulated socket buffer used by the suite: small
+// enough that a stalled receiver's socket fills (and thus exercises the
+// relay's egress queue) after few frames.
+const fcSocketBuffer = 64 << 10
+
+// fcChunk is the write size used by the suite's senders.
+const fcChunk = 64 << 10
+
+// sendWindower is implemented by routed virtual links; it exposes the
+// remaining send credit and the peer's advertised window.
+type sendWindower interface {
+	SendWindow() (avail, size int)
+}
+
+// FlowcontrolResult is the measured outcome of one suite run.
+type FlowcontrolResult struct {
+	// HealthyPairs is the number of concurrently transferring pairs.
+	HealthyPairs int `json:"healthy_pairs"`
+	// BytesPerPair is the payload volume each healthy pair moved.
+	BytesPerPair int64 `json:"bytes_per_pair"`
+	// WindowBytes is the credit window advertised on every link.
+	WindowBytes int `json:"window_bytes"`
+	// BaselineMBps is the healthy pairs' aggregate rate with no stall.
+	BaselineMBps float64 `json:"baseline_mbps"`
+	// StalledMBps is the same measurement with one stalled receiver
+	// sharing the relay.
+	StalledMBps float64 `json:"stalled_mbps"`
+	// HealthyRatio is StalledMBps / BaselineMBps: 1.0 means the stalled
+	// destination cost the healthy links nothing.
+	HealthyRatio float64 `json:"healthy_ratio"`
+	// StalledInFlightBytes is the stalled link's sender-resident backlog
+	// (bytes sent beyond what the frozen reader drained), sampled while
+	// the healthy pairs transferred. Bounded by WindowBytes.
+	StalledInFlightBytes int `json:"stalled_inflight_bytes"`
+	// StalledSenderBlocked reports that the stalled sender made no
+	// progress during the healthy transfer (it sat at the window).
+	StalledSenderBlocked bool `json:"stalled_sender_blocked"`
+	// RelayBacklogFrames is the relay's queued frame count towards the
+	// stalled node, sampled during the healthy transfer. Bounded by the
+	// egress queue limit.
+	RelayBacklogFrames int `json:"relay_backlog_frames"`
+}
+
+// FlowcontrolReport is the full suite written to BENCH_flowcontrol.json.
+type FlowcontrolReport struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	// EgressQueueFrames is the relay's per-source egress bound.
+	EgressQueueFrames int               `json:"egress_queue_frames"`
+	Result            FlowcontrolResult `json:"result"`
+}
+
+// fcWorld is one emulated deployment of the suite: a relay on a public
+// gateway plus attachable nodes in firewalled sites.
+type fcWorld struct {
+	fabric  *emunet.Fabric
+	server  *relay.Server
+	relayEP emunet.Endpoint
+	nextID  int
+	clients []*relay.Client
+}
+
+func newFlowcontrolWorld(seed int64) (*fcWorld, error) {
+	f := emunet.NewFabric(emunet.WithSeed(seed), emunet.WithSocketBuffer(fcSocketBuffer))
+	gw := f.AddSite("fc-gateway", emunet.SiteConfig{Firewall: emunet.Open}).AddHost("fc-relay")
+	l, err := gw.Listen(4500)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	srv := relay.NewServer()
+	go srv.Serve(l)
+	return &fcWorld{
+		fabric:  f,
+		server:  srv,
+		relayEP: emunet.Endpoint{Addr: gw.Address(), Port: 4500},
+	}, nil
+}
+
+func (w *fcWorld) close() {
+	for _, c := range w.clients {
+		c.Close()
+	}
+	w.server.Close()
+	w.fabric.Close()
+}
+
+// attach joins a fresh node (in its own firewalled site) to the relay
+// and returns the client plus its underlying emulated connection.
+func (w *fcWorld) attach(id string, window int) (*relay.Client, *emunet.Conn, error) {
+	w.nextID++
+	site := w.fabric.AddSite(fmt.Sprintf("fc-site-%d", w.nextID), emunet.SiteConfig{Firewall: emunet.Stateful})
+	h := site.AddHost(id)
+	conn, err := h.Dial(w.relayEP)
+	if err != nil {
+		return nil, nil, err
+	}
+	cli, err := relay.Attach(conn, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	cli.SetWindow(window)
+	w.clients = append(w.clients, cli)
+	return cli, conn.(*emunet.Conn), nil
+}
+
+// fcPair is one established routed link between a sender and a receiver
+// client.
+type fcPair struct {
+	send net.Conn
+	recv net.Conn
+}
+
+func (w *fcWorld) dialPair(sender, receiver *relay.Client, receiverID string) (fcPair, error) {
+	accepted := make(chan net.Conn, 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		c, err := receiver.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		accepted <- c
+	}()
+	sc, err := sender.Dial(receiverID, 5*time.Second)
+	if err != nil {
+		return fcPair{}, err
+	}
+	select {
+	case rc := <-accepted:
+		return fcPair{send: sc, recv: rc}, nil
+	case err := <-acceptErr:
+		return fcPair{}, err
+	case <-time.After(5 * time.Second):
+		return fcPair{}, fmt.Errorf("flowcontrol: accept timed out")
+	}
+}
+
+// transferAll pushes bytesPerPair through every pair concurrently and
+// returns the wall-clock time for all of them to finish.
+func transferAll(pairs []fcPair, bytesPerPair int64) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(pairs))
+	chunk := make([]byte, fcChunk)
+	start := time.Now()
+	for _, p := range pairs {
+		wg.Add(2)
+		go func(c net.Conn) {
+			defer wg.Done()
+			for sent := int64(0); sent < bytesPerPair; sent += int64(len(chunk)) {
+				if _, err := c.Write(chunk); err != nil {
+					errs <- fmt.Errorf("flowcontrol: healthy write: %w", err)
+					return
+				}
+			}
+		}(p.send)
+		go func(c net.Conn) {
+			defer wg.Done()
+			if _, err := io.CopyN(io.Discard, c, bytesPerPair); err != nil {
+				errs <- fmt.Errorf("flowcontrol: healthy read: %w", err)
+			}
+		}(p.recv)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return elapsed, err
+	}
+	return elapsed, nil
+}
+
+// measurePhase builds a world, establishes the healthy pairs (plus,
+// when stall is set, one extra pair whose receiver socket is frozen
+// mid-transfer) and measures the healthy pairs' transfer time. With
+// stall set it also samples the stalled link's sender-resident backlog
+// and the relay's queued frames towards the frozen node.
+func measurePhase(pairs int, bytesPerPair int64, window int, stall bool) (time.Duration, FlowcontrolResult, error) {
+	var res FlowcontrolResult
+	w, err := newFlowcontrolWorld(43)
+	if err != nil {
+		return 0, res, err
+	}
+	defer w.close()
+
+	healthy := make([]fcPair, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		s, _, err := w.attach(fmt.Sprintf("h-send-%d", i), window)
+		if err != nil {
+			return 0, res, err
+		}
+		r, _, err := w.attach(fmt.Sprintf("h-recv-%d", i), window)
+		if err != nil {
+			return 0, res, err
+		}
+		p, err := w.dialPair(s, r, fmt.Sprintf("h-recv-%d", i))
+		if err != nil {
+			return 0, res, err
+		}
+		healthy = append(healthy, p)
+	}
+
+	var stallLink sendWindower
+	var stallWritten atomic.Int64
+	if stall {
+		s, _, err := w.attach("stall-send", window)
+		if err != nil {
+			return 0, res, err
+		}
+		r, rconn, err := w.attach("stall-recv", window)
+		if err != nil {
+			return 0, res, err
+		}
+		p, err := w.dialPair(s, r, "stall-recv")
+		if err != nil {
+			return 0, res, err
+		}
+		// Freeze the receiver's socket, then push until the window shuts
+		// the sender out. The writer goroutine unblocks at teardown, when
+		// closing its client fails the blocked Write.
+		rconn.SetReadStall(true)
+		go func() {
+			chunk := make([]byte, 16<<10)
+			for {
+				n, err := p.send.Write(chunk)
+				stallWritten.Add(int64(n))
+				if err != nil {
+					return
+				}
+			}
+		}()
+		sw, ok := p.send.(sendWindower)
+		if !ok {
+			return 0, res, fmt.Errorf("flowcontrol: routed conn does not expose its send window")
+		}
+		stallLink = sw
+		// Wait (bounded) for the sender to hit the window before timing
+		// the healthy pairs, so the stall is fully established.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if avail, size := sw.SendWindow(); size > 0 && avail == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, res, fmt.Errorf("flowcontrol: stalled sender never exhausted its window")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// The window is exhausted, but the write that consumed the last
+		// credit may still be accounting itself; wait until the written
+		// counter is quiescent so the "no progress during the healthy
+		// transfer" check is not racing a completing Write.
+		for prev := int64(-1); ; {
+			cur := stallWritten.Load()
+			if cur == prev {
+				break
+			}
+			prev = cur
+			if time.Now().After(deadline) {
+				return 0, res, fmt.Errorf("flowcontrol: stalled sender never quiesced at the window")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	writtenBefore := stallWritten.Load()
+	elapsed, err := transferAll(healthy, bytesPerPair)
+	if err != nil {
+		return 0, res, err
+	}
+	if stall {
+		avail, size := stallLink.SendWindow()
+		res.StalledInFlightBytes = size - avail
+		res.StalledSenderBlocked = stallWritten.Load() == writtenBefore
+		res.RelayBacklogFrames = w.server.EgressBacklog("stall-recv")
+	}
+	return elapsed, res, nil
+}
+
+// runFlowcontrolSuite measures the baseline and the stalled phase.
+func runFlowcontrolSuite(pairs int, bytesPerPair int64, window int) (FlowcontrolReport, error) {
+	rep := FlowcontrolReport{
+		GeneratedAt:       time.Now(),
+		GoVersion:         runtime.Version(),
+		EgressQueueFrames: relay.DefaultEgressQueueFrames,
+	}
+	baseElapsed, _, err := measurePhase(pairs, bytesPerPair, window, false)
+	if err != nil {
+		return rep, fmt.Errorf("flowcontrol baseline: %w", err)
+	}
+	stallElapsed, res, err := measurePhase(pairs, bytesPerPair, window, true)
+	if err != nil {
+		return rep, fmt.Errorf("flowcontrol stalled phase: %w", err)
+	}
+	res.HealthyPairs = pairs
+	res.BytesPerPair = bytesPerPair
+	res.WindowBytes = window
+	total := float64(bytesPerPair) * float64(pairs)
+	res.BaselineMBps = total / baseElapsed.Seconds() / 1e6
+	res.StalledMBps = total / stallElapsed.Seconds() / 1e6
+	if res.BaselineMBps > 0 {
+		res.HealthyRatio = res.StalledMBps / res.BaselineMBps
+	}
+	rep.Result = res
+	return rep, nil
+}
+
+// RunFlowcontrolSuite measures the flow-control suite with the default
+// knobs: four healthy pairs moving 16 MiB each, the default window.
+func RunFlowcontrolSuite() (FlowcontrolReport, error) {
+	return runFlowcontrolSuite(4, 16<<20, relay.DefaultWindowBytes)
+}
+
+// FormatFlowcontrol renders the report as text.
+func FormatFlowcontrol(rep FlowcontrolReport) string {
+	var b strings.Builder
+	r := rep.Result
+	fmt.Fprintf(&b, "%d healthy pairs x %d MiB, window %d KiB, egress queue %d frames/source\n",
+		r.HealthyPairs, r.BytesPerPair>>20, r.WindowBytes>>10, rep.EgressQueueFrames)
+	fmt.Fprintf(&b, "  healthy aggregate, no stall:      %8.2f MB/s\n", r.BaselineMBps)
+	fmt.Fprintf(&b, "  healthy aggregate, one stalled:   %8.2f MB/s  (%.0f%% of baseline)\n",
+		r.StalledMBps, r.HealthyRatio*100)
+	blocked := "no"
+	if r.StalledSenderBlocked {
+		blocked = "yes"
+	}
+	fmt.Fprintf(&b, "  stalled sender blocked at window: %s (in flight %d of %d bytes)\n",
+		blocked, r.StalledInFlightBytes, r.WindowBytes)
+	fmt.Fprintf(&b, "  relay backlog for stalled node:   %d frames (bound %d)\n",
+		r.RelayBacklogFrames, rep.EgressQueueFrames)
+	return b.String()
+}
+
+// WriteFlowcontrolReport writes the report as JSON. An empty path
+// selects BENCH_flowcontrol.json at the repository root.
+func WriteFlowcontrolReport(rep FlowcontrolReport, path string) (string, error) {
+	if path == "" {
+		root, err := findRepoRoot()
+		if err != nil {
+			return "", err
+		}
+		path = filepath.Join(root, "BENCH_flowcontrol.json")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"netibis/internal/relay"
+)
+
+// TestFlowcontrolSuiteSmoke runs the flow-control suite at a reduced
+// volume and checks the acceptance shape: the stalled link's sender
+// blocks at the credit window with bounded in-flight bytes, the relay's
+// backlog for the frozen node stays within the egress bound, and the
+// healthy pairs keep (most of) their baseline throughput. CI runs this
+// as the flowcontrol bench smoke; the committed BENCH_flowcontrol.json
+// records the full-volume run, whose acceptance bar is the 10%-of-
+// baseline criterion of ISSUE 4.
+func TestFlowcontrolSuiteSmoke(t *testing.T) {
+	rep, err := runFlowcontrolSuite(2, 4<<20, relay.DefaultWindowBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Result
+
+	if !r.StalledSenderBlocked {
+		t.Error("stalled sender kept making progress against a frozen reader")
+	}
+	if r.StalledInFlightBytes > r.WindowBytes {
+		t.Errorf("stalled sender's in-flight bytes = %d, window is %d", r.StalledInFlightBytes, r.WindowBytes)
+	}
+	if r.RelayBacklogFrames > rep.EgressQueueFrames {
+		t.Errorf("relay queued %d frames for the stalled node, bound is %d",
+			r.RelayBacklogFrames, rep.EgressQueueFrames)
+	}
+	// The full-volume bench holds the healthy links within 10% of
+	// baseline; the smoke run is short and CI machines noisy, so the
+	// gate here is deliberately looser — it still catches a relapse into
+	// head-of-line blocking, where the healthy pairs would sit behind
+	// the stalled destination and the ratio would collapse.
+	if r.HealthyRatio < 0.5 {
+		t.Errorf("healthy throughput collapsed to %.0f%% of baseline with one stalled receiver",
+			r.HealthyRatio*100)
+	}
+}

@@ -264,6 +264,28 @@ func RelayFailover() (FailoverResult, error) {
 		return FailoverResult{}, err
 	}
 
+	// Drain the receive port continuously, watching for the recovery
+	// marker. With credit-based flow control a sender without a consumer
+	// (correctly) blocks at the routed link's window, so the streaming
+	// goroutine below only makes progress while this side drains — and
+	// it must be able to reach its stop check after the failover.
+	recovered := make(chan struct{})
+	go func() {
+		seen := false
+		for {
+			msg, err := rp.Receive()
+			if err != nil {
+				return // port closed by the deferred cleanup
+			}
+			if !seen && msg.Remaining() < 1024 {
+				if s, err := msg.ReadString(); err == nil && s == "recovered" {
+					seen = true
+					close(recovered)
+				}
+			}
+		}
+	}()
+
 	// Stream through the doomed relay. The stream may die with it or —
 	// because resumed attachments keep established links alive — survive
 	// the failover; either way it is stopped once the node has moved.
@@ -306,7 +328,6 @@ func RelayFailover() (FailoverResult, error) {
 	}
 	res.ReattachedTo = src.HomeRelay()
 	close(stop)
-	res.MessagesBeforeKill = <-streamed
 
 	sp2, err := src.CreateSendPort(pt)
 	if err != nil {
@@ -323,18 +344,13 @@ func RelayFailover() (FailoverResult, error) {
 	if err := wm.Finish(); err != nil {
 		return res, err
 	}
-	for {
-		msg, err := rp.Receive()
-		if err != nil {
-			return res, fmt.Errorf("relay failover: receive after reattach: %w", err)
-		}
-		if msg.Remaining() < 1024 {
-			if s, err := msg.ReadString(); err == nil && s == "recovered" {
-				break
-			}
-		}
+	select {
+	case <-recovered:
+	case <-time.After(10 * time.Second):
+		return res, fmt.Errorf("relay failover: recovery marker never arrived")
 	}
 	res.Recovery = time.Since(killAt)
+	res.MessagesBeforeKill = <-streamed
 	return res, nil
 }
 

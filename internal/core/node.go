@@ -130,6 +130,13 @@ type Config struct {
 	// pool must agree on this setting; it exists for the
 	// establishment-latency benchmarks and ablations.
 	SequentialEstablish bool
+	// RoutedWindowBytes is the receive window this node advertises on
+	// relay-routed virtual links (credit-based flow control: a peer
+	// sending to this node blocks once that many bytes are in flight
+	// unread). Zero means relay.DefaultWindowBytes. Larger windows keep
+	// fatter pipes busy; smaller ones bound the memory a slow consumer
+	// can pin per link.
+	RoutedWindowBytes int
 }
 
 func (c Config) validate() error {
@@ -228,6 +235,7 @@ func Join(cfg Config) (*Node, error) {
 	// reattaches to a surviving relay of the mesh, keeping its virtual
 	// links and node identity.
 	relayCli.SetDetachHandler(n.onRelayDetach)
+	relayCli.SetWindow(cfg.RoutedWindowBytes)
 	n.connector = &estab.Connector{
 		Host:          cfg.Host,
 		Relay:         relayCli,

@@ -125,6 +125,73 @@ func TestCrossRelayTransfer(t *testing.T) {
 	}
 }
 
+// TestRoutedFlowControlAcrossMesh: credit frames are routed frames like
+// any other, forwarded opaquely relay-to-relay, so flow control works
+// end to end across a multi-relay route. The window is set far below the
+// transfer size: if the mesh dropped or misrouted a single credit frame,
+// the sender would wedge at the window and the test would time out.
+func TestRoutedFlowControlAcrossMesh(t *testing.T) {
+	g := newFederatedGrid(t, 2)
+	smallWindow := func(c *Config) {
+		noProxy(c)
+		c.RoutedWindowBytes = 16 * 1024
+	}
+	a := g.nodeOnRelay("fcm-a", "site-fcm-a", emunet.SiteConfig{Firewall: emunet.Stateful, NAT: emunet.BrokenNAT}, 0, smallWindow)
+	b := g.nodeOnRelay("fcm-b", "site-fcm-b", emunet.SiteConfig{Firewall: emunet.Stateful}, 1, smallWindow)
+
+	pt := ipl.PortType{Name: "fcmesh", Stack: "tcpblk"}
+	sp, rp := channel(t, a, b, pt, "fcm-inbox")
+	for _, method := range SendPortMethods(sp) {
+		if method != estab.Routed {
+			t.Fatalf("expected routed data link, got %v", method)
+		}
+	}
+
+	const messages = 32
+	chunk := bytes.Repeat([]byte("mesh-credit "), 64*1024/12) // ~64 KiB, 4x the window
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < messages; i++ {
+			m, err := sp.NewMessage()
+			if err != nil {
+				sendErr <- err
+				return
+			}
+			m.WriteBytes(chunk)
+			if err := m.Finish(); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+	for i := 0; i < messages; i++ {
+		msg, err := rp.Receive()
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		got, err := msg.ReadBytes()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, chunk) {
+			t.Fatalf("message %d corrupted across the windowed mesh route", i)
+		}
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+
+	// The route (and therefore the credits) really crossed the mesh.
+	forwarded := int64(0)
+	for _, ri := range g.dep.Relays {
+		forwarded += ri.Server.Stats().FramesForwarded
+	}
+	if forwarded == 0 {
+		t.Fatal("no frames were forwarded relay-to-relay")
+	}
+}
+
 // TestRelayFailoverMidStream kills a node's relay while a transfer is in
 // flight; the node must reattach to a surviving relay and a subsequent
 // Dial (a fresh send port connecting through the full establishment
@@ -141,10 +208,37 @@ func TestRelayFailoverMidStream(t *testing.T) {
 		t.Fatalf("pre-crash message: %q", got)
 	}
 
+	// Drain the receive port continuously, hunting for the post-failover
+	// marker. The concurrent drain matters since credit-based flow
+	// control: a sender without a consumer now (correctly) blocks at the
+	// routed link's window instead of buffering unboundedly, so the
+	// streaming goroutine below only makes progress while this side
+	// consumes. A stream whose framing the crash corrupted tears its
+	// source down instead, which closes the link and likewise unblocks
+	// the sender — both outcomes are fine, the test only requires that a
+	// subsequent Dial succeeds and its message gets through.
+	marker := make(chan struct{})
+	go func() {
+		seen := false
+		for {
+			msg, err := rp.Receive()
+			if err != nil {
+				return // port closed by the test's cleanup
+			}
+			if !seen && msg.Remaining() < 1024 {
+				if s, err := msg.ReadString(); err == nil && s == "after the failover" {
+					seen = true
+					close(marker)
+				}
+			}
+			// Keep draining: the interrupted stream's sender needs the
+			// credit flow to reach its stop check.
+		}
+	}()
+
 	// Stream messages through the doomed relay. The stream may break
 	// with the crash or — established links survive a resumed
-	// attachment — keep flowing through the new relay; both are fine,
-	// the test only requires that a subsequent Dial succeeds.
+	// attachment — keep flowing through the new relay; both are fine.
 	stop := make(chan struct{})
 	streamDone := make(chan int, 1)
 	go func() {
@@ -176,8 +270,6 @@ func TestRelayFailoverMidStream(t *testing.T) {
 		return a.HomeRelay() == "relay-1" && !a.relayCli.Detached()
 	})
 	close(stop)
-	sent := <-streamDone
-	t.Logf("streamed %d messages around the relay crash", sent)
 
 	// A subsequent Dial over the full path succeeds: new send port, new
 	// brokering over the (resumed) service link, new routed data link.
@@ -190,24 +282,13 @@ func TestRelayFailoverMidStream(t *testing.T) {
 	}
 	sendText(t, sp2, "after the failover")
 
-	// Drain whatever the interrupted stream delivered until the marker
-	// arrives.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			t.Fatal("post-failover message never arrived")
-		}
-		msg, err := rp.Receive()
-		if err != nil {
-			t.Fatalf("receive after failover: %v", err)
-		}
-		if msg.Remaining() < 1024 {
-			s, err := msg.ReadString()
-			if err == nil && s == "after the failover" {
-				break
-			}
-		}
+	select {
+	case <-marker:
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-failover message never arrived")
 	}
+	sent := <-streamDone
+	t.Logf("streamed %d messages around the relay crash", sent)
 
 	// Reverse direction still works too (b's links survived untouched).
 	if _, err := b.Ping("fo-a"); err != nil {

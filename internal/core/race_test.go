@@ -3,13 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
 	"netibis/internal/emunet"
 	"netibis/internal/estab"
 	"netibis/internal/ipl"
+	"netibis/internal/testutil"
 )
 
 // TestLostRaceLeavesNothingBehind is the lost-race cleanup regression
@@ -70,17 +70,7 @@ func TestLostRaceLeavesNothingBehind(t *testing.T) {
 		t.Fatalf("expected 3 candidate methods for the open pair, got %v", cands)
 	}
 
-	settle := func(cond func() (bool, string)) string {
-		var why string
-		for i := 0; i < 100; i++ {
-			var ok bool
-			if ok, why = cond(); ok {
-				return ""
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		return why
-	}
+	settle := testutil.Settle
 
 	// Warm up once: the first connect creates the long-lived service
 	// link (itself a relay virtual link) and its handler goroutine;
@@ -104,7 +94,9 @@ func TestLostRaceLeavesNothingBehind(t *testing.T) {
 	linkBaseS := sender.relayCli.LinkCount()
 	linkBaseR := receiver.relayCli.LinkCount()
 
-	baseline := runtime.NumGoroutine()
+	// Goroutines must return to the pre-race baseline (losers' helpers
+	// all unwound); allow a small slack for runtime background ones.
+	checkLeaks := testutil.LeakCheck(t, 3)
 	for i := 0; i < 100; i++ {
 		sp, err := sender.CreateSendPort(pt)
 		if err != nil {
@@ -183,15 +175,7 @@ func TestLostRaceLeavesNothingBehind(t *testing.T) {
 		}
 	}
 
-	// Goroutines return to the pre-race baseline (losers' helpers all
-	// unwound). Allow a small slack for runtime background goroutines.
-	if why := settle(func() (bool, string) {
-		now := runtime.NumGoroutine()
-		return now <= baseline+3, fmt.Sprintf("goroutines: baseline %d, now %d", baseline, now)
-	}); why != "" {
-		buf := make([]byte, 1<<20)
-		t.Errorf("%s\n%s", why, buf[:runtime.Stack(buf, true)])
-	}
+	checkLeaks()
 }
 
 // TestServiceLinkBrokenErrorSurfacesCause: when both connect attempts

@@ -60,6 +60,11 @@ func (sh *shaper) sendDelay(n int) time.Duration {
 	return sh.nextFree.Add(oneWay).Sub(now)
 }
 
+// DefaultSocketBuffer is the per-direction in-flight byte bound of an
+// emulated connection (the "socket buffer"); WithSocketBuffer overrides
+// it fabric-wide.
+const DefaultSocketBuffer = 4 << 20
+
 // halfPipe is one direction of an emulated connection: an in-memory byte
 // buffer with blocking reads, close semantics and read deadlines.
 type halfPipe struct {
@@ -67,14 +72,18 @@ type halfPipe struct {
 	cond     *sync.Cond
 	buf      []byte
 	closed   bool
+	stalled  bool
 	deadline time.Time
 	// maxBuffered bounds the in-flight data to model a socket buffer and
 	// give the writer backpressure.
 	maxBuffered int
 }
 
-func newHalfPipe() *halfPipe {
-	hp := &halfPipe{maxBuffered: 4 << 20}
+func newHalfPipe(maxBuffered int) *halfPipe {
+	if maxBuffered <= 0 {
+		maxBuffered = DefaultSocketBuffer
+	}
+	hp := &halfPipe{maxBuffered: maxBuffered}
 	hp.cond = sync.NewCond(&hp.mu)
 	return hp
 }
@@ -108,7 +117,7 @@ func (hp *halfPipe) read(p []byte) (int, error) {
 	hp.mu.Lock()
 	defer hp.mu.Unlock()
 	for {
-		if len(hp.buf) > 0 {
+		if len(hp.buf) > 0 && !hp.stalled {
 			n := copy(p, hp.buf)
 			hp.buf = hp.buf[n:]
 			if len(hp.buf) == 0 {
@@ -155,6 +164,13 @@ func (hp *halfPipe) setDeadline(t time.Time) {
 	hp.mu.Unlock()
 }
 
+func (hp *halfPipe) setStall(stalled bool) {
+	hp.mu.Lock()
+	hp.stalled = stalled
+	hp.cond.Broadcast()
+	hp.mu.Unlock()
+}
+
 // Conn is an emulated, reliable, bidirectional byte-stream connection.
 // It implements net.Conn, so TLS, frame readers and every NetIbis driver
 // can run over it unchanged.
@@ -169,10 +185,11 @@ type Conn struct {
 }
 
 // newConnPair creates the two ends of an emulated connection between the
-// given endpoints, shaped by sh.
-func newConnPair(epA, epB Endpoint, sh *shaper, _ float64) (*Conn, *Conn) {
-	aToB := newHalfPipe()
-	bToA := newHalfPipe()
+// given endpoints, shaped by sh, each direction buffering at most
+// sockBuf in-flight bytes (0 selects DefaultSocketBuffer).
+func newConnPair(epA, epB Endpoint, sh *shaper, sockBuf int) (*Conn, *Conn) {
+	aToB := newHalfPipe(sockBuf)
+	bToA := newHalfPipe(sockBuf)
 	a := &Conn{recv: bToA, send: aToB, local: epA, remote: epB, sh: sh}
 	b := &Conn{recv: aToB, send: bToA, local: epB, remote: epA, sh: sh}
 	return a, b
@@ -180,6 +197,15 @@ func newConnPair(epA, epB Endpoint, sh *shaper, _ float64) (*Conn, *Conn) {
 
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// SetReadStall freezes (or thaws) this end's inbound byte stream: while
+// stalled, Read blocks even when data is buffered, as if the consuming
+// process stopped draining its socket. In-flight data accumulates up to
+// the socket buffer, after which the peer's writes block — the emulated
+// equivalent of TCP's receive window closing on an unresponsive host.
+// The slow-consumer scenarios of the flow-control benchmarks are built
+// on this knob.
+func (c *Conn) SetReadStall(stalled bool) { c.recv.setStall(stalled) }
 
 // Write implements net.Conn. When shaping is enabled the write stalls to
 // model the link's serialization delay and one-way latency.

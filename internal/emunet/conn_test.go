@@ -273,3 +273,57 @@ func TestConcurrentDialsManyClients(t *testing.T) {
 	wg.Wait()
 	l.Close()
 }
+
+// TestReadStallFreezesConsumerAndBackpressuresWriter: the slow-consumer
+// knob. A stalled end's Read blocks even with data buffered; the peer
+// can keep writing until the (small, configured) socket buffer fills
+// and then blocks, exactly like TCP against a closed receive window;
+// clearing the stall drains everything intact.
+func TestReadStallFreezesConsumerAndBackpressuresWriter(t *testing.T) {
+	const sockBuf = 8 << 10
+	a := Endpoint{Addr: "198.51.1.2", Port: 1}
+	b := Endpoint{Addr: "198.51.2.2", Port: 2}
+	ca, cb := newConnPair(a, b, newShaper(DefaultLAN, 0), sockBuf)
+
+	cb.SetReadStall(true)
+
+	// Reads block while stalled, even once data is buffered.
+	if _, err := ca.Write([]byte("frozen")); err != nil {
+		t.Fatal(err)
+	}
+	cb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := cb.Read(make([]byte, 4)); err != ErrTimeout {
+		t.Fatalf("read on a stalled conn = %v, want ErrTimeout", err)
+	}
+	cb.SetReadDeadline(time.Time{})
+
+	// The writer fills the socket buffer and then blocks.
+	written := make(chan int, 1)
+	go func() {
+		n, _ := ca.Write(make([]byte, 4*sockBuf))
+		written <- n
+	}()
+	select {
+	case n := <-written:
+		t.Fatalf("writer pushed %d bytes past a stalled reader's %d-byte socket buffer", n+6, sockBuf)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Unstall: everything drains, intact and in order.
+	cb.SetReadStall(false)
+	got := make([]byte, 0, 6+4*sockBuf)
+	buf := make([]byte, 1024)
+	for len(got) < 6+4*sockBuf {
+		n, err := cb.Read(buf)
+		if err != nil {
+			t.Fatalf("read after unstall: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got[:6]) != "frozen" {
+		t.Fatalf("drained prefix = %q", got[:6])
+	}
+	if n := <-written; n != 4*sockBuf {
+		t.Fatalf("writer completed %d bytes, want %d", n, 4*sockBuf)
+	}
+}

@@ -17,6 +17,7 @@ type Fabric struct {
 	shapers   map[linkKey]*shaper
 	defLink   LinkParams
 	timeScale float64
+	sockBuf   int
 	rng       *rand.Rand
 	closed    bool
 
@@ -51,6 +52,17 @@ func WithTimeScale(scale float64) Option {
 // no explicit link configured.
 func WithDefaultLink(p LinkParams) Option {
 	return func(f *Fabric) { f.defLink = p }
+}
+
+// WithSocketBuffer bounds the in-flight bytes of each connection
+// direction (the emulated socket buffer; DefaultSocketBuffer when
+// unset). Writers block once the peer's unread backlog reaches the
+// bound, so a small buffer makes a stalled reader (SetReadStall)
+// backpressure its sender after realistically few bytes — the
+// slow-consumer scenarios of the flow-control suite shrink it to make a
+// stalled destination socket bite quickly.
+func WithSocketBuffer(bytes int) Option {
+	return func(f *Fabric) { f.sockBuf = bytes }
 }
 
 // WithSeed fixes the random seed used for NAT port assignment and loss,

@@ -259,7 +259,7 @@ func (h *Host) connectLocal(src Endpoint, dstHost *Host, dst Endpoint) (net.Conn
 		return nil, ErrConnRefused
 	}
 	sh := h.fabric.shaperFor(h.site.name, dstHost.site.name)
-	cLocal, cRemote := newConnPair(src, dst, sh, h.fabric.timeScale)
+	cLocal, cRemote := newConnPair(src, dst, sh, h.fabric.sockBuf)
 	if !l.deliver(cRemote) {
 		return nil, ErrConnRefused
 	}
@@ -274,7 +274,7 @@ func (h *Host) completeDial(extSrc Endpoint, dstHost *Host, dst Endpoint) (net.C
 		return nil, ErrConnRefused
 	}
 	sh := h.fabric.shaperFor(h.site.name, dstHost.site.name)
-	cLocal, cRemote := newConnPair(extSrc, dst, sh, h.fabric.timeScale)
+	cLocal, cRemote := newConnPair(extSrc, dst, sh, h.fabric.sockBuf)
 	if !l.deliver(cRemote) {
 		return nil, ErrConnRefused
 	}
@@ -399,7 +399,7 @@ func (f *Fabric) registerSplice(offer *spliceOffer) bool {
 	f.mu.Unlock()
 
 	sh := f.shaperFor(offer.host.site.name, peer.host.site.name)
-	cA, cB := newConnPair(offer.actual, peer.actual, sh, f.timeScale)
+	cA, cB := newConnPair(offer.actual, peer.actual, sh, f.sockBuf)
 	offer.ready <- cA
 	peer.ready <- cB
 	return true

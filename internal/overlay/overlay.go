@@ -81,35 +81,46 @@ type Relay struct {
 	// Delta gossip is broadcast from a dedicated goroutine fed through
 	// this queue: NodeAttached/NodeDetached are called from the relay's
 	// attach path, which must never block on a stalled peer-link write.
-	// The queue is unbounded — entries are tiny and the broadcaster only
-	// falls behind while a peer conn stalls, which the next conn failure
-	// resolves. Ordering is preserved per relay; receivers merge by
-	// version, so cross-relay interleaving is already safe.
+	// The queue is bounded by construction: it holds at most one pending
+	// entry per node, because a newer directory version for a node
+	// supersedes the queued one in place (receivers merge by version, so
+	// an intermediate delta that never leaves the queue was never needed
+	// on the wire). Ordering per node is preserved; cross-node ordering
+	// does not matter to the merge.
 	gmu     sync.Mutex
 	gcond   *sync.Cond
-	gqueue  []Entry
+	gpend   map[string]Entry // pending delta per node, superseded in place
+	gorder  []string         // FIFO of nodes with a pending delta
 	gclosed bool
 }
 
-// peerLink is an established link to another relay of the mesh.
+// peerLink is an established link to another relay of the mesh. All
+// post-handshake frames go through its egress scheduler (the same
+// bounded, source-fair machinery that decouples an attached node's
+// connection): a stalled peer relay backpressures only the source links
+// whose frames head its way, never the relay's own attach path or the
+// traffic towards other relays.
 type peerLink struct {
 	id   string
 	conn net.Conn
-	wmu  sync.Mutex
-	w    *wire.Writer
+	eg   *relay.Egress
 }
 
+// send schedules one self-originated frame (gossip, NACKs) on the peer
+// link. payload must be a fresh slice the egress may keep.
 func (p *peerLink) send(kind byte, payload []byte) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return p.w.WriteFrame(kind, 0, payload)
+	return p.eg.Enqueue("", kind, nil, payload, nil)
 }
 
-// sendForward emits a forward envelope around a routed payload as one
-// vectored write: the envelope header is assembled in a small stack
-// buffer and the routed payload bytes are re-emitted verbatim — the
-// relay-to-relay leg of cut-through forwarding never copies them.
-func (p *peerLink) sendForward(origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte) error {
+// sendForward emits a forward envelope around a routed payload: the
+// envelope header is assembled in a small stack buffer (copied into the
+// egress slot) while the routed payload bytes are re-emitted verbatim —
+// the relay-to-relay leg of cut-through forwarding never copies them.
+// owner is the pooled buffer backing routed; sendForward retains it for
+// the egress (the caller's own release stays valid). Frames are queued
+// under the source node's link, so one link's backlog towards a slow
+// peer relay blocks only that link's reader.
+func (p *peerLink) sendForward(origin, firstHop, srcNode string, hops uint64, kind byte, routed []byte, owner *wire.Buf) error {
 	var arr [128]byte
 	head := arr[:0]
 	head = wire.AppendString(head, origin)
@@ -118,9 +129,10 @@ func (p *peerLink) sendForward(origin, firstHop, srcNode string, hops uint64, ki
 	head = wire.AppendUvarint(head, hops)
 	head = append(head, kind)
 	head = wire.AppendUvarint(head, uint64(len(routed)))
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return p.w.WriteFrameParts(kindForward, 0, head, routed)
+	if owner != nil {
+		owner.Retain()
+	}
+	return p.eg.Enqueue(srcNode, kindForward, head, routed, owner)
 }
 
 // New federates the given relay server into the mesh: it installs the
@@ -147,6 +159,7 @@ func New(cfg Config) (*Relay, error) {
 		dir:   newDirectory(cfg.ID),
 		peers: make(map[string]*peerLink),
 		done:  make(chan struct{}),
+		gpend: make(map[string]Entry),
 	}
 	o.gcond = sync.NewCond(&o.gmu)
 	cfg.Server.SetID(cfg.ID)
@@ -218,6 +231,7 @@ func (o *Relay) shutdown(unregister bool) {
 	o.gcond.Broadcast()
 	for _, p := range peers {
 		p.conn.Close()
+		p.eg.Close()
 	}
 	if unregister && o.cfg.Registry != nil {
 		o.cfg.Registry.Unregister(RegistryPrefix + o.cfg.ID)
@@ -337,17 +351,21 @@ func (o *Relay) handlePeerConn(first wire.Frame, conn net.Conn, r *wire.Reader) 
 // startPeer registers an established peer link, pushes our directory
 // snapshot over it and starts its read loop.
 func (o *Relay) startPeer(peerID string, conn net.Conn, w *wire.Writer, r *wire.Reader) error {
-	p := &peerLink{id: peerID, conn: conn, w: w}
+	// The handshake used w synchronously; from here on the egress writer
+	// owns the connection.
+	p := &peerLink{id: peerID, conn: conn, eg: relay.NewEgress(conn, w, 0)}
 	o.mu.Lock()
 	if o.closed {
 		o.mu.Unlock()
 		conn.Close()
+		p.eg.Close()
 		return ErrClosed
 	}
 	if old := o.peers[peerID]; old != nil {
 		// A reconnect replaces a link whose failure we have not noticed
 		// yet; closing the stale conn unblocks its read loop.
 		old.conn.Close()
+		old.eg.Close()
 	}
 	o.peers[peerID] = p
 	o.wg.Add(1)
@@ -381,6 +399,7 @@ func (o *Relay) removePeer(p *peerLink) {
 		return
 	}
 	p.conn.Close()
+	p.eg.Close()
 	// Everything homed at the lost relay is unreachable until its nodes
 	// reattach elsewhere (which bumps their versions past these records).
 	o.dir.dropRelay(p.id)
@@ -408,9 +427,9 @@ func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
 				o.dir.merge(e)
 			}
 		case kindForward:
-			o.handleForward(p, b.Bytes())
+			o.handleForward(p, b)
 		case kindNack:
-			o.handleNack(p, b.Bytes())
+			o.handleNack(p, b)
 		case wire.KindKeepAlive:
 			// Deliberately not echoed: both ends of a peer link run this
 			// loop, so an echo would ping-pong a single keepalive frame
@@ -428,7 +447,10 @@ func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
 
 // ForwardFrame implements relay.Forwarder: the local relay server calls
 // it for routed frames addressed to nodes that are not attached here.
-func (o *Relay) ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte) (string, bool) {
+// owner (when non-nil) is the pooled buffer backing payload; it is
+// retained for the peer link's egress queue, so the payload crosses the
+// relay-to-relay leg without a copy.
+func (o *Relay) ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte, owner *wire.Buf) (string, bool) {
 	home, ok := o.dir.lookup(dstNode)
 	if !ok || home == o.cfg.ID {
 		// Unknown, or the directory claims the node is local while the
@@ -439,20 +461,21 @@ func (o *Relay) ForwardFrame(srcNode, dstNode string, channel uint64, kind byte,
 	if p == nil {
 		return "", false
 	}
-	if err := p.sendForward(o.cfg.ID, home, srcNode, 1, kind, payload); err != nil {
+	if err := p.sendForward(o.cfg.ID, home, srcNode, 1, kind, payload, owner); err != nil {
 		return "", false
 	}
 	return home, true
 }
 
 // handleForward delivers (or re-forwards, or NACKs) a frame that arrived
-// over a peer link.
-func (o *Relay) handleForward(from *peerLink, body []byte) {
-	origin, firstHop, srcNode, hops, kind, routed, err := decodeForward(body)
+// over a peer link. b is the frame's pooled payload buffer, released by
+// the caller; delivery and re-forwarding retain it as needed.
+func (o *Relay) handleForward(from *peerLink, b *wire.Buf) {
+	origin, firstHop, srcNode, hops, kind, routed, err := decodeForward(b.Bytes())
 	if err != nil {
 		return
 	}
-	if o.cfg.Server.Inject(kind, routed) {
+	if o.cfg.Server.Inject(from.id, kind, routed, b) {
 		return
 	}
 	dst, channel, ok := relay.ParseRouted(routed)
@@ -466,7 +489,7 @@ func (o *Relay) handleForward(from *peerLink, body []byte) {
 		// the open without another round trip.
 		o.dir.invalidate(dst, firstHop)
 		if kind == relay.KindOpen {
-			o.cfg.Server.Inject(relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil))
+			o.cfg.Server.Inject("", relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil), nil)
 		}
 		return
 	}
@@ -475,7 +498,7 @@ func (o *Relay) handleForward(from *peerLink, body []byte) {
 	// together these make forwarding loops impossible.
 	if home, ok := o.dir.lookup(dst); ok && home != o.cfg.ID && home != from.id && int(hops) < o.cfg.MaxHops {
 		if p := o.peer(home); p != nil {
-			if p.sendForward(origin, firstHop, srcNode, hops+1, kind, routed) == nil {
+			if p.sendForward(origin, firstHop, srcNode, hops+1, kind, routed, b) == nil {
 				return
 			}
 		}
@@ -490,7 +513,8 @@ func (o *Relay) handleForward(from *peerLink, body []byte) {
 // is the relay our route for dst pointed at, so that entry is stale —
 // repair it, pass the notice towards the origin, and at the origin
 // synthesise the open-failure towards the dialing node.
-func (o *Relay) handleNack(from *peerLink, body []byte) {
+func (o *Relay) handleNack(from *peerLink, b *wire.Buf) {
+	body := b.Bytes()
 	origin, dst, srcNode, channel, kind, err := decodeNack(body)
 	if err != nil {
 		return
@@ -500,12 +524,13 @@ func (o *Relay) handleNack(from *peerLink, body []byte) {
 		// We were an intermediate hop; pass the notice towards the
 		// origin (at most once — the origin never re-forwards a NACK).
 		if p := o.peer(origin); p != nil && p != from {
-			p.send(kindNack, body)
+			b.Retain()
+			p.eg.Enqueue("", kindNack, nil, body, b)
 		}
 		return
 	}
 	if kind == relay.KindOpen {
-		o.cfg.Server.Inject(relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil))
+		o.cfg.Server.Inject("", relay.KindOpenFail, relay.AppendRouted(nil, srcNode, channel, nil), nil)
 	}
 }
 
@@ -525,37 +550,51 @@ func (o *Relay) NodeDetached(id string) {
 	}
 }
 
+// enqueueGossip queues one directory delta for broadcast, coalescing
+// with any delta for the same node still waiting in the queue: versions
+// are monotonic per node and receivers merge by version, so a queued
+// delta the broadcaster has not picked up yet is superseded in place by
+// the newer one. The queue is thereby bounded by the number of distinct
+// nodes, however fast attachments churn against a slow peer link.
 func (o *Relay) enqueueGossip(e Entry) {
 	o.gmu.Lock()
-	o.gqueue = append(o.gqueue, e)
+	if old, queued := o.gpend[e.Node]; !queued {
+		o.gorder = append(o.gorder, e.Node)
+		o.gpend[e.Node] = e
+	} else if e.Version >= old.Version {
+		o.gpend[e.Node] = e // supersede in place, keeping the queue position
+	}
 	o.gmu.Unlock()
 	o.gcond.Signal()
 }
 
-// broadcastLoop drains the gossip queue towards all peer links.
+// broadcastLoop drains the gossip queue towards all peer links. Each
+// drain ships the whole pending batch as a single gossip frame per peer.
 func (o *Relay) broadcastLoop() {
 	defer o.wg.Done()
 	o.gmu.Lock()
 	for {
-		for len(o.gqueue) == 0 && !o.gclosed {
+		for len(o.gorder) == 0 && !o.gclosed {
 			o.gcond.Wait()
 		}
 		if o.gclosed {
 			o.gmu.Unlock()
 			return
 		}
-		batch := o.gqueue
-		o.gqueue = nil
-		o.gmu.Unlock()
-		for _, e := range batch {
-			o.broadcast(e)
+		batch := make([]Entry, 0, len(o.gorder))
+		for _, node := range o.gorder {
+			batch = append(batch, o.gpend[node])
+			delete(o.gpend, node)
 		}
+		o.gorder = o.gorder[:0]
+		o.gmu.Unlock()
+		o.broadcast(batch)
 		o.gmu.Lock()
 	}
 }
 
-func (o *Relay) broadcast(e Entry) {
-	payload := encodeGossip([]Entry{e})
+func (o *Relay) broadcast(batch []Entry) {
+	payload := encodeGossip(batch)
 	o.mu.Lock()
 	peers := make([]*peerLink, 0, len(o.peers))
 	for _, p := range o.peers {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -708,5 +709,48 @@ func TestMaxHopsBoundsForwarding(t *testing.T) {
 	}
 	if total > int64(DefaultMaxHops)+1 {
 		t.Fatalf("cycle forwarded %d frames, hop bound %d violated", total, DefaultMaxHops)
+	}
+}
+
+// --- gossip queue coalescing -------------------------------------------------------
+
+// TestGossipQueueCoalescesSupersededVersions: the broadcast queue keeps
+// at most one pending delta per node. A node that attaches, detaches and
+// reattaches faster than the broadcaster drains (e.g. while a peer link
+// stalls) occupies one slot whose entry is superseded in place, instead
+// of growing the queue by one frame per churn event.
+func TestGossipQueueCoalescesSupersededVersions(t *testing.T) {
+	o := &Relay{
+		cfg:   Config{ID: "relay-q"},
+		dir:   newDirectory("relay-q"),
+		peers: make(map[string]*peerLink),
+		gpend: make(map[string]Entry),
+	}
+	o.gcond = sync.NewCond(&o.gmu)
+	// No broadcastLoop is started: the queue only fills, as it would
+	// while every peer link stalls.
+	for i := 0; i < 100; i++ {
+		o.enqueueGossip(o.dir.localUpdate("churner", "relay-q", true))
+		if e, ok := o.dir.localDetach("churner", "relay-q"); ok {
+			o.enqueueGossip(e)
+		}
+	}
+	o.enqueueGossip(o.dir.localUpdate("steady", "relay-q", true))
+
+	o.gmu.Lock()
+	defer o.gmu.Unlock()
+	if len(o.gorder) != 2 || len(o.gpend) != 2 {
+		t.Fatalf("queue holds %d/%d entries after churn, want 2 (one per node)", len(o.gorder), len(o.gpend))
+	}
+	churn := o.gpend["churner"]
+	if churn.Version != 200 || churn.Present {
+		t.Fatalf("churner's pending delta = %+v, want the latest (version 200, absent)", churn)
+	}
+	// An out-of-order older delta must not clobber the newer pending one.
+	o.gmu.Unlock()
+	o.enqueueGossip(Entry{Node: "churner", Home: "relay-q", Version: 5, Present: true})
+	o.gmu.Lock()
+	if e := o.gpend["churner"]; e.Version != 200 {
+		t.Fatalf("stale delta clobbered the pending one: %+v", e)
 	}
 }

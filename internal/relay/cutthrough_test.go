@@ -3,6 +3,8 @@ package relay
 import (
 	"bytes"
 	"net"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,18 +13,19 @@ import (
 
 // aliasConn is a net.Conn stub that records whether a Write handed it
 // the exact backing array of an expected payload (i.e. the bytes were
-// re-emitted verbatim, not copied).
+// re-emitted verbatim, not copied). Writes arrive from the egress writer
+// goroutine, so the fields are accessed atomically.
 type aliasConn struct {
 	expect  []byte
-	aliased bool
-	writes  int
+	aliased atomic.Bool
+	writes  atomic.Int64
 }
 
 func (c *aliasConn) Write(p []byte) (int, error) {
-	c.writes++
 	if len(p) > 0 && len(c.expect) > 0 && &p[0] == &c.expect[0] {
-		c.aliased = true
+		c.aliased.Store(true)
 	}
+	c.writes.Add(1)
 	return len(p), nil
 }
 func (c *aliasConn) Read([]byte) (int, error)         { return 0, nil }
@@ -33,30 +36,58 @@ func (c *aliasConn) SetDeadline(time.Time) error      { return nil }
 func (c *aliasConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *aliasConn) SetWriteDeadline(time.Time) error { return nil }
 
+// newTestPeer builds a serverPeer with a running egress over conn.
+func newTestPeer(id string, conn net.Conn) *serverPeer {
+	return &serverPeer{id: id, conn: conn, eg: NewEgress(conn, wire.NewWriter(conn), 0)}
+}
+
 // routeFixture builds a Server with two directly registered peers whose
-// connections discard writes, plus a routed data payload addressed to
-// the target.
-func routeFixture(payloadBytes int) (*Server, *serverPeer, *aliasConn, []byte) {
+// connections discard writes, plus a routed data payload (owned by a
+// pooled Buf, as on the live read path) addressed to the target.
+func routeFixture(t testing.TB, payloadBytes int) (*Server, *serverPeer, *aliasConn, *wire.Buf) {
 	s := NewServer()
 	sink := &aliasConn{}
-	target := &serverPeer{id: "dst-node", conn: sink, w: wire.NewWriter(sink)}
-	source := &serverPeer{id: "src-node", conn: &aliasConn{}, w: wire.NewWriter(&aliasConn{})}
+	target := newTestPeer("dst-node", sink)
+	source := newTestPeer("src-node", &aliasConn{})
 	s.nodes["dst-node"] = target
 	s.nodes["src-node"] = source
+	t.Cleanup(func() {
+		target.eg.Close()
+		source.eg.Close()
+	})
 
-	body := bytes.Repeat([]byte{0x5c}, payloadBytes)
-	payload := AppendRouted(nil, "dst-node", 9, body)
-	sink.expect = payload
-	return s, source, sink, payload
+	payload := AppendRouted(nil, "dst-node", 9, bytes.Repeat([]byte{0x5c}, payloadBytes))
+	b := wire.GetBuf(len(payload))
+	copy(b.Bytes(), payload)
+	sink.expect = b.Bytes()
+	return s, source, sink, b
+}
+
+// drainEgress waits until the sink has seen writes for n more frames
+// (each frame is one header write plus one payload write on the vectored
+// path). It polls without allocating, so it is safe inside AllocsPerRun.
+func drainEgress(sink *aliasConn, want int64) bool {
+	for i := 0; i < 1_000_000; i++ {
+		if sink.writes.Load() >= want {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
 }
 
 // TestRouteForwardPathZeroCopy asserts the cut-through property: the
 // routed payload bytes leave the relay as the very slice they arrived
-// in — zero payload copies per forwarded frame.
+// in — zero payload copies per forwarded frame, across the egress
+// scheduler's queue.
 func TestRouteForwardPathZeroCopy(t *testing.T) {
-	s, source, sink, payload := routeFixture(32 * 1024)
-	s.route(source, KindData, payload)
-	if !sink.aliased {
+	s, source, sink, b := routeFixture(t, 32*1024)
+	defer b.Release()
+	s.route(source, KindData, b)
+	if !drainEgress(sink, 1) {
+		t.Fatal("egress never emitted the routed frame")
+	}
+	if !sink.aliased.Load() {
 		t.Fatal("routed payload was copied on its way through the relay (no Write aliased the input)")
 	}
 	if st := s.Stats(); st.FramesRouted != 1 {
@@ -66,13 +97,24 @@ func TestRouteForwardPathZeroCopy(t *testing.T) {
 
 // TestRouteForwardPathZeroAllocs is the AllocsPerRun regression gate of
 // the relay forward path: routing one data frame to a locally attached
-// node performs zero heap allocations (and therefore zero payload
-// copies into freshly allocated buffers).
+// node — enqueue, source-fair dequeue and vectored emission included —
+// performs zero heap allocations in steady state (and therefore zero
+// payload copies into freshly allocated buffers).
 func TestRouteForwardPathZeroAllocs(t *testing.T) {
-	s, source, _, payload := routeFixture(32 * 1024)
+	s, source, sink, b := routeFixture(t, 32*1024)
+	defer b.Release()
+	var emitted int64
 	allocs := testing.AllocsPerRun(500, func() {
-		s.route(source, KindData, payload)
+		before := sink.writes.Load()
+		s.route(source, KindData, b)
+		if !drainEgress(sink, before+1) {
+			t.Fatal("egress never emitted the routed frame")
+		}
+		emitted++
 	})
+	if emitted == 0 {
+		t.Fatal("no frames emitted")
+	}
 	if allocs != 0 {
 		t.Fatalf("relay forward path allocates %.1f objects per routed frame, want 0", allocs)
 	}
@@ -82,10 +124,15 @@ func TestRouteForwardPathZeroAllocs(t *testing.T) {
 // frame arriving from a peer relay is delivered to the local node
 // without allocating.
 func TestInjectZeroAllocs(t *testing.T) {
-	s, _, _, payload := routeFixture(32 * 1024)
+	s, _, sink, b := routeFixture(t, 32*1024)
+	defer b.Release()
 	allocs := testing.AllocsPerRun(500, func() {
-		if !s.Inject(KindData, payload) {
+		before := sink.writes.Load()
+		if !s.Inject("peer-relay", KindData, b.Bytes(), b) {
 			t.Fatal("inject failed")
+		}
+		if !drainEgress(sink, before+1) {
+			t.Fatal("egress never emitted the injected frame")
 		}
 	})
 	if allocs != 0 {
@@ -93,12 +140,15 @@ func TestInjectZeroAllocs(t *testing.T) {
 	}
 }
 
-// BenchmarkRouteForward measures the relay's per-frame forwarding cost.
+// BenchmarkRouteForward measures the relay's per-frame forwarding cost,
+// including the egress queue crossing.
 func BenchmarkRouteForward(b *testing.B) {
-	s, source, _, payload := routeFixture(32 * 1024)
-	b.SetBytes(int64(len(payload)))
+	s, source, sink, buf := routeFixture(b, 32*1024)
+	defer buf.Release()
+	b.SetBytes(int64(buf.Len()))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.route(source, KindData, payload)
+		s.route(source, KindData, buf)
 	}
+	drainEgress(sink, int64(b.N))
 }

@@ -32,4 +32,15 @@
 // establishment that lost the race is discarded outright — the far side
 // marks it Abandoned and its consumers skip it — rather than half-closed
 // like a used connection. The frame format is documented in DESIGN.md.
+//
+// Virtual links are flow controlled (KindCredit): each side advertises
+// a receive window at open time, a sender blocks once the peer's window
+// is exhausted (routed conns honour real read/write deadlines), and the
+// reader grants drained bytes back in credit frames — so a fast sender
+// over a slow or stalled reader holds bounded memory end to end. Inside
+// the Server, frames towards each attached node cross a bounded,
+// source-fair egress scheduler (Egress) drained by a per-node writer
+// goroutine: one stalled destination connection backpressures only the
+// links feeding it, never unrelated traffic through the relay. See
+// DESIGN.md, "Flow control on routed links".
 package relay

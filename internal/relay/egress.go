@@ -1,0 +1,270 @@
+package relay
+
+import (
+	"net"
+	"sync"
+
+	"netibis/internal/wire"
+)
+
+// DefaultEgressQueueFrames bounds the number of frames one source link
+// may have queued towards one destination connection. Conforming senders
+// never reach the bound: the end-to-end credit window (DefaultWindowBytes
+// over maxDataFrame-sized frames) keeps a link's in-flight backlog well
+// below it. The bound is the safety net against misbehaving or
+// pre-flow-control senders; hitting it blocks only the offending source's
+// reader, which turns into TCP backpressure on that one link.
+const DefaultEgressQueueFrames = 64
+
+// egressEntry is one queued frame. The payload either aliases owner (a
+// retained pooled Buf, released after emission) or is a caller-owned heap
+// slice that the caller hands over for good.
+type egressEntry struct {
+	kind    byte
+	hdr     []byte // frame-body prefix, copied into the slot's storage
+	payload []byte
+	owner   *wire.Buf
+}
+
+// egressSource is the FIFO of one source link's pending frames towards a
+// destination, implemented as a ring so steady-state enqueue/dequeue
+// allocates nothing.
+type egressSource struct {
+	entries []egressEntry
+	head    int // index of the oldest entry
+	n       int // number of queued entries
+}
+
+func (q *egressSource) push(e egressEntry) {
+	slot := &q.entries[(q.head+q.n)%len(q.entries)]
+	slot.kind = e.kind
+	slot.hdr = append(slot.hdr[:0], e.hdr...)
+	slot.payload = e.payload
+	slot.owner = e.owner
+	q.n++
+}
+
+// Egress is the bounded, source-fair frame scheduler draining onto one
+// connection. Frames enqueued by different source links are emitted
+// round-robin (one frame per source per turn), which preserves per-link
+// frame order while preventing any single source from monopolising the
+// destination; frames from the same source stay strictly FIFO. Each
+// source's queue is bounded: Enqueue blocks the caller (the source's
+// reader goroutine) while its queue is full, so overflow backpressures
+// only the offending link. A dedicated writer goroutine performs the
+// actual writes, so a stalled destination connection never blocks a
+// source's reader beyond its own bounded queue.
+type Egress struct {
+	conn  net.Conn
+	w     *wire.Writer
+	limit int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sources map[string]*egressSource
+	order   []*egressSource // round-robin ring over the known sources
+	next    int             // round-robin cursor into order
+	pending int             // total queued entries across sources
+	empties int             // sources whose queue is currently empty
+	closed  bool
+	scratch []byte // writer-local header copy, reused across frames
+}
+
+// egressCompactThreshold bounds how many empty source queues may
+// accumulate before they are reclaimed. Source identities churn (nodes
+// detach, reattach elsewhere, mesh peers come and go); without
+// reclamation a long-lived destination would keep one idle ring per
+// identity it ever heard from. Active sources briefly empty between
+// frames are far fewer than the threshold, so the steady-state fast
+// path never compacts (and never re-allocates a busy source's ring).
+const egressCompactThreshold = 16
+
+// NewEgress creates the scheduler for conn, writing frames through w
+// (which must not be used by anyone else from this point on), and starts
+// its writer goroutine. limit <= 0 selects DefaultEgressQueueFrames.
+func NewEgress(conn net.Conn, w *wire.Writer, limit int) *Egress {
+	if limit <= 0 {
+		limit = DefaultEgressQueueFrames
+	}
+	e := &Egress{
+		conn:    conn,
+		w:       w,
+		limit:   limit,
+		sources: make(map[string]*egressSource),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+// Enqueue schedules one frame whose body is hdr followed by payload.
+// hdr is copied (it may live on the caller's stack); payload is not.
+// When owner is non-nil the entry holds one reference to it (the caller
+// must have retained it for the egress) and releases it after the frame
+// is written or discarded. Enqueue blocks while the source's queue is
+// full and returns ErrClosed once the egress has shut down.
+func (e *Egress) Enqueue(src string, kind byte, hdr, payload []byte, owner *wire.Buf) error {
+	e.mu.Lock()
+	q := e.sources[src]
+	created := q == nil
+	if created {
+		q = &egressSource{entries: make([]egressEntry, e.limit)}
+		e.sources[src] = q
+		e.order = append(e.order, q)
+	}
+	for q.n == e.limit && !e.closed {
+		e.cond.Wait()
+	}
+	if e.closed {
+		e.mu.Unlock()
+		if owner != nil {
+			owner.Release()
+		}
+		return ErrClosed
+	}
+	if q.n == 0 && !created {
+		// Enqueues for one source are sequential (they come off that
+		// source link's single reader goroutine), so an existing empty
+		// queue is either still registered — about to become non-empty —
+		// or was reclaimed by compaction while this enqueuer waited out
+		// a full ring and must be re-registered.
+		if e.sources[src] == nil {
+			e.sources[src] = q
+			e.order = append(e.order, q)
+		} else {
+			e.empties--
+		}
+	}
+	q.push(egressEntry{kind: kind, hdr: hdr, payload: payload, owner: owner})
+	e.pending++
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	return nil
+}
+
+// pickLocked returns the next non-empty source queue in round-robin
+// order, or nil when nothing is pending.
+func (e *Egress) pickLocked() *egressSource {
+	for i := 0; i < len(e.order); i++ {
+		q := e.order[(e.next+i)%len(e.order)]
+		if q.n > 0 {
+			e.next = (e.next + i + 1) % len(e.order)
+			return q
+		}
+	}
+	return nil
+}
+
+// run is the writer goroutine: it drains the queues round-robin onto the
+// connection until the egress is closed or a write fails.
+func (e *Egress) run() {
+	for {
+		e.mu.Lock()
+		var q *egressSource
+		for {
+			if e.closed {
+				e.mu.Unlock()
+				return
+			}
+			if q = e.pickLocked(); q != nil {
+				break
+			}
+			e.cond.Wait()
+		}
+		slot := &q.entries[q.head]
+		kind := slot.kind
+		e.scratch = append(e.scratch[:0], slot.hdr...)
+		payload := slot.payload
+		owner := slot.owner
+		slot.payload = nil
+		slot.owner = nil
+		q.head = (q.head + 1) % len(q.entries)
+		q.n--
+		e.pending--
+		if q.n == 0 {
+			e.empties++
+			if e.empties > egressCompactThreshold {
+				e.compactLocked()
+			}
+		}
+		e.mu.Unlock()
+		e.cond.Broadcast() // wake enqueuers blocked on the freed slot
+
+		err := e.w.WriteFrameParts(kind, 0, e.scratch, payload)
+		if owner != nil {
+			owner.Release()
+		}
+		if err != nil {
+			// The destination connection is dead: close it so its reader
+			// (the peer handler) exits, and shut the scheduler down so
+			// blocked enqueuers fail instead of waiting forever.
+			e.conn.Close()
+			e.shutdown()
+			return
+		}
+	}
+}
+
+// compactLocked drops the empty source queues (their rings and grown
+// header storage with them), keeping only sources with frames pending.
+// Source identities churn with node and relay lifetimes; this bounds a
+// long-lived destination's idle-queue footprint at the threshold.
+func (e *Egress) compactLocked() {
+	keep := len(e.sources) - e.empties
+	if keep < 0 {
+		keep = 0
+	}
+	sources := make(map[string]*egressSource, keep)
+	order := make([]*egressSource, 0, keep)
+	for id, q := range e.sources {
+		if q.n > 0 {
+			sources[id] = q
+			order = append(order, q)
+		}
+	}
+	e.sources = sources
+	e.order = order
+	e.next = 0
+	e.empties = 0
+}
+
+// shutdown marks the egress closed and releases every queued payload.
+func (e *Egress) shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, q := range e.order {
+		for q.n > 0 {
+			slot := &q.entries[q.head]
+			if slot.owner != nil {
+				slot.owner.Release()
+			}
+			slot.payload = nil
+			slot.owner = nil
+			q.head = (q.head + 1) % len(q.entries)
+			q.n--
+			e.pending--
+		}
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Close shuts the scheduler down: queued frames are discarded, blocked
+// enqueuers return ErrClosed and the writer goroutine exits. The
+// connection itself is closed by the caller (or was already); Close does
+// not wait for an in-flight write to finish before returning.
+func (e *Egress) Close() {
+	e.shutdown()
+}
+
+// Backlog reports the total number of queued frames (diagnostics and
+// tests).
+func (e *Egress) Backlog() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pending
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ const (
 	KindData                            // data on a virtual link
 	KindShut                            // half-close of a virtual link
 	KindAbandon                         // discard a virtual link opened for a lost establishment race
+	KindCredit                          // flow control: the reader returns drained window bytes to the sender
 )
 
 // Errors.
@@ -56,6 +58,29 @@ var (
 // from hogging the relay connection.
 const maxDataFrame = 32 * 1024
 
+// Capability bits a relay announces in its attach ack (a uvarint
+// trailing the server ID; absent on servers predating it).
+const (
+	// capCreditFlow: this relay routes KindCredit frames. Clients only
+	// advertise receive windows — and only grant credit — when their own
+	// relay has the capability: the two edge relays of a route are where
+	// credit frames would otherwise be dropped on the floor (a server
+	// without the kind in its routing switch discards it silently), and
+	// a dropped credit wedges the sender at the window forever. Mesh
+	// intermediates are safe either way: the forward envelope carries
+	// the inner kind opaquely.
+	capCreditFlow = 1 << 0
+)
+
+// DefaultWindowBytes is the default receive window of a routed virtual
+// link: the number of bytes the peer may send beyond what the local
+// reader has drained. A sender facing a slow (or stalled) reader blocks
+// at the window instead of buffering unboundedly — on the reader, on the
+// sender, and in every relay egress queue along the route. The default
+// covers eight maxDataFrame frames in flight, enough to keep a WAN pipe
+// busy while bounding a stalled link's memory to a quarter megabyte.
+const DefaultWindowBytes = 256 * 1024
+
 // --- server --------------------------------------------------------------------
 
 // Forwarder extends a Server with inter-relay routing. The overlay mesh
@@ -65,9 +90,12 @@ type Forwarder interface {
 	// is not attached to this relay. srcNode is the locally attached
 	// node the frame arrived from; payload is the complete routed
 	// payload (still prefixed with dst and channel) and is only valid
-	// for the duration of the call. It returns the ID of the peer relay
-	// the frame was handed to, and whether forwarding succeeded.
-	ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte) (peerRelay string, ok bool)
+	// for the duration of the call unless the implementation retains
+	// owner (the pooled buffer backing payload; nil for synthesized
+	// frames, in which case payload must be copied to outlive the
+	// call). It returns the ID of the peer relay the frame was handed
+	// to, and whether forwarding succeeded.
+	ForwardFrame(srcNode, dstNode string, channel uint64, kind byte, payload []byte, owner *wire.Buf) (peerRelay string, ok bool)
 	// NodeAttached is called after a node registered with this relay.
 	NodeAttached(id string)
 	// NodeDetached is called after a node's attachment ended.
@@ -114,6 +142,10 @@ type Server struct {
 	listeners []net.Listener
 	wg        sync.WaitGroup
 
+	// egressLimit is the per-source queue bound applied to every
+	// attached node's egress scheduler (0 = DefaultEgressQueueFrames).
+	egressLimit int
+
 	framesRouted    atomic.Int64
 	bytesRouted     atomic.Int64
 	framesForwarded atomic.Int64
@@ -122,27 +154,23 @@ type Server struct {
 	forwardedByPeer map[string]int64
 }
 
+// serverPeer is one attached node. All post-attach frames towards the
+// node go through its egress scheduler, which decouples the writers (the
+// other nodes' reader goroutines and the mesh) from the node's possibly
+// stalled connection: one slow destination no longer head-of-line-blocks
+// every link crossing the relay.
 type serverPeer struct {
 	id   string
 	conn net.Conn
-	wmu  sync.Mutex
-	w    *wire.Writer
+	eg   *Egress
 }
 
-// send writes one frame to the peer, serialising concurrent senders.
-func (p *serverPeer) send(kind byte, payload []byte) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return p.w.WriteFrame(kind, 0, payload)
-}
-
-// sendNoCopy writes one frame whose payload is re-emitted verbatim as a
-// vectored write — the cut-through path of the relay: routed payload
-// bytes cross the relay without ever being copied.
-func (p *serverPeer) sendNoCopy(kind byte, payload []byte) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return p.w.WriteFrameNoCopy(kind, 0, payload)
+// enqueue schedules one frame towards the peer on behalf of the given
+// source link. When owner is non-nil the egress takes the reference the
+// caller retained for it; payload then aliases owner (cut-through: the
+// bytes are re-emitted verbatim, never copied).
+func (p *serverPeer) enqueue(src string, kind byte, payload []byte, owner *wire.Buf) error {
+	return p.eg.Enqueue(src, kind, nil, payload, owner)
 }
 
 // NewServer creates a relay with no attached nodes.
@@ -167,6 +195,21 @@ func (s *Server) ID() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.id
+}
+
+// SetEgressQueue overrides the per-source egress queue bound applied to
+// nodes attaching from now on (frames; <= 0 restores the default). It is
+// meant to be set before Serve.
+func (s *Server) SetEgressQueue(frames int) {
+	s.mu.Lock()
+	s.egressLimit = frames
+	s.mu.Unlock()
+}
+
+func (s *Server) egressQueue() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.egressLimit
 }
 
 // SetForwarder installs the inter-relay forwarding hook.
@@ -225,6 +268,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	for _, p := range peers {
 		p.conn.Close()
+		p.eg.Close()
 	}
 	s.lnMu.Lock()
 	for _, l := range s.listeners {
@@ -258,6 +302,18 @@ func (s *Server) countForward(peerRelay string) {
 	s.statsMu.Unlock()
 }
 
+// EgressBacklog reports the number of frames currently queued towards
+// one attached node across all source links (0 when the node is not
+// attached). Diagnostics: the flow-control suite asserts the backlog for
+// a stalled destination stays bounded.
+func (s *Server) EgressBacklog(id string) int {
+	p := s.lookup(id)
+	if p == nil {
+		return 0
+	}
+	return p.eg.Backlog()
+}
+
 // AttachedNodes returns the IDs of the currently attached nodes.
 func (s *Server) AttachedNodes() []string {
 	s.mu.Lock()
@@ -286,8 +342,14 @@ func (s *Server) lookupKey(id []byte) *serverPeer {
 
 // Inject delivers a frame that arrived from a peer relay to a locally
 // attached node. It reports false when the destination is not attached
-// here (the caller then NACKs so stale routes get repaired).
-func (s *Server) Inject(kind byte, payload []byte) bool {
+// here (the caller then NACKs so stale routes get repaired). src labels
+// the link the frame arrived on (the peer relay's ID; empty for frames
+// the caller synthesised) and selects the egress queue that backpressures
+// when the destination stalls. When owner is non-nil it is the pooled
+// buffer backing payload; Inject retains it for the egress, so the
+// caller's own release stays valid. A nil owner means payload is a
+// caller-allocated slice handed over for good.
+func (s *Server) Inject(src string, kind byte, payload []byte, owner *wire.Buf) bool {
 	dst, _, ok := parseRoutedZero(payload)
 	if !ok {
 		return false
@@ -298,9 +360,10 @@ func (s *Server) Inject(kind byte, payload []byte) bool {
 	}
 	s.framesRouted.Add(1)
 	s.bytesRouted.Add(int64(len(payload)))
-	if err := target.sendNoCopy(kind, payload); err != nil {
-		target.conn.Close()
+	if owner != nil {
+		owner.Retain()
 	}
+	target.enqueue(src, kind, payload, owner)
 	return true
 }
 
@@ -344,7 +407,8 @@ func (s *Server) handle(c net.Conn) {
 
 func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	defer c.Close()
-	peer := &serverPeer{conn: c, w: wire.NewWriter(c)}
+	w := wire.NewWriter(c)
+	peer := &serverPeer{conn: c}
 
 	d := wire.NewDecoder(attach.Payload)
 	id := d.String()
@@ -367,10 +431,16 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	// Acknowledge before publishing the node: the instant it appears in
 	// s.nodes (and the mesh directory), forwarded frames may be injected
 	// into this connection, and they must not precede the attach ack the
-	// client's handshake is waiting for.
-	if err := peer.send(KindAttachOK, wire.AppendString(nil, s.ID())); err != nil {
+	// client's handshake is waiting for. The ack is written directly;
+	// only then does the egress writer take over the connection, so the
+	// ordering holds by construction.
+	ack := wire.AppendString(nil, s.ID())
+	ack = wire.AppendUvarint(ack, capCreditFlow)
+	if err := w.WriteFrame(KindAttachOK, 0, ack); err != nil {
 		return
 	}
+	peer.eg = NewEgress(c, w, s.egressQueue())
+	defer peer.eg.Close()
 
 	s.attachMu.Lock()
 	s.mu.Lock()
@@ -421,10 +491,10 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 			return
 		}
 		switch kind {
-		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut, KindAbandon:
-			s.route(peer, kind, b.Bytes())
+		case KindOpen, KindOpenOK, KindOpenFail, KindData, KindShut, KindAbandon, KindCredit:
+			s.route(peer, kind, b)
 		case wire.KindKeepAlive:
-			peer.send(wire.KindKeepAlive, nil)
+			peer.enqueue(peer.id, wire.KindKeepAlive, nil, nil)
 		case wire.KindClose:
 			b.Release()
 			return
@@ -435,10 +505,16 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 
 // route delivers one routed frame arriving from a locally attached node:
 // cut-through to another local node, hand-off to the mesh, or an
-// open-failure back to the sender. The payload is parsed in place and
-// re-emitted verbatim; on the local-delivery path route performs no
-// allocation and no payload copy (gated by a regression test).
-func (s *Server) route(from *serverPeer, kind byte, payload []byte) {
+// open-failure back to the sender. b holds the routed payload; route
+// borrows it for the duration of the call and retains it itself when the
+// frame is queued (the caller's release stays valid either way). The
+// payload is parsed in place and re-emitted verbatim; on the
+// local-delivery path route performs no allocation and no payload copy
+// (gated by a regression test). Delivery enqueues on the destination's
+// egress scheduler: a stalled destination backpressures this source once
+// its bounded queue fills, without delaying any other link.
+func (s *Server) route(from *serverPeer, kind byte, b *wire.Buf) {
+	payload := b.Bytes()
 	dst, channel, ok := parseRoutedZero(payload)
 	if !ok {
 		return
@@ -447,22 +523,21 @@ func (s *Server) route(from *serverPeer, kind byte, payload []byte) {
 	if target == nil {
 		// Not attached here: try the mesh.
 		if fwd := s.forwarder(); fwd != nil {
-			if peerRelay, ok := fwd.ForwardFrame(from.id, string(dst), channel, kind, payload); ok {
+			if peerRelay, ok := fwd.ForwardFrame(from.id, string(dst), channel, kind, payload, b); ok {
 				s.countForward(peerRelay)
 				return
 			}
 		}
 		if kind == KindOpen {
 			// Tell the originator the peer is unknown.
-			from.send(KindOpenFail, AppendRouted(nil, from.id, channel, nil))
+			from.enqueue(from.id, KindOpenFail, AppendRouted(nil, from.id, channel, nil), nil)
 		}
 		return
 	}
 	s.framesRouted.Add(1)
 	s.bytesRouted.Add(int64(len(payload)))
-	if err := target.sendNoCopy(kind, payload); err != nil {
-		target.conn.Close()
-	}
+	b.Retain()
+	target.enqueue(from.id, kind, payload, b)
 }
 
 // routedHeader is the routing prefix of every routed frame: the
@@ -527,10 +602,12 @@ type Client struct {
 
 	mu       sync.Mutex
 	serverID string
+	caps     uint64 // capability bits of the relay currently attached to
 	links    map[linkID]*routedConn
 	accepts  chan *routedConn
 	pending  map[linkID]chan *routedConn
 	nextChan uint64
+	window   int // receive window advertised on new links
 	closed   bool
 	detached bool
 	gen      int // incremented on every (re)attach; stale readLoops are ignored
@@ -555,35 +632,51 @@ const (
 )
 
 // handshake performs the attach exchange on conn and returns the framing
-// objects plus the relay server's announced ID.
-func handshake(conn net.Conn, nodeID string) (*wire.Writer, *wire.Reader, string, error) {
+// objects plus the relay server's announced ID and capability bits.
+func handshake(conn net.Conn, nodeID string) (*wire.Writer, *wire.Reader, string, uint64, error) {
 	w := wire.NewWriter(conn)
 	if err := w.WriteFrame(KindAttach, 0, wire.AppendString(nil, nodeID)); err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", 0, err
 	}
 	r := wire.NewReader(conn)
 	f, err := r.ReadFrame()
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", 0, err
 	}
 	if f.Kind != KindAttachOK {
 		if f.Kind == KindOpenFail {
 			// Current servers never refuse a duplicate attach (the latest
 			// attachment wins, see handleNode); the mapping is kept for
 			// servers predating latest-wins, which signalled it this way.
-			return nil, nil, "", ErrDuplicateID
+			return nil, nil, "", 0, ErrDuplicateID
 		}
-		return nil, nil, "", fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
+		return nil, nil, "", 0, fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
 	}
-	serverID := ""
-	if len(f.Payload) > 0 {
-		d := wire.NewDecoder(f.Payload)
-		serverID = d.String()
-		if d.Err() != nil {
-			serverID = ""
+	serverID, caps := parseAttachAck(f.Payload)
+	return w, r, serverID, caps, nil
+}
+
+// parseAttachAck decodes the attach ack's server ID and capability bits.
+// Servers predating the ID send an empty payload; servers predating the
+// capabilities send a bare ID — both decode to zero capabilities, so a
+// client attached through an old relay runs its links uncredited instead
+// of waiting on credit frames the relay would silently drop.
+func parseAttachAck(payload []byte) (serverID string, caps uint64) {
+	if len(payload) == 0 {
+		return "", 0
+	}
+	d := wire.NewDecoder(payload)
+	serverID = d.String()
+	if d.Err() != nil {
+		return "", 0
+	}
+	if d.Remaining() > 0 {
+		c := d.Uvarint()
+		if d.Err() == nil {
+			caps = c
 		}
 	}
-	return w, r, serverID, nil
+	return serverID, caps
 }
 
 // ProbeRTT measures the round-trip time to a relay over an established
@@ -610,7 +703,7 @@ func ProbeRTT(conn net.Conn) (time.Duration, error) {
 // Attach connects this node (with the given location-independent node
 // ID) to the relay over an already established connection.
 func Attach(conn net.Conn, nodeID string) (*Client, error) {
-	w, r, serverID, err := handshake(conn, nodeID)
+	w, r, serverID, caps, err := handshake(conn, nodeID)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -620,9 +713,11 @@ func Attach(conn net.Conn, nodeID string) (*Client, error) {
 		conn:     conn,
 		w:        w,
 		serverID: serverID,
+		caps:     caps,
 		links:    make(map[linkID]*routedConn),
 		accepts:  make(chan *routedConn, 64),
 		pending:  make(map[linkID]chan *routedConn),
+		window:   DefaultWindowBytes,
 		gen:      1,
 	}
 	go c.readLoop(r, 1)
@@ -631,6 +726,34 @@ func Attach(conn net.Conn, nodeID string) (*Client, error) {
 
 // ID returns the node ID this client attached under.
 func (c *Client) ID() string { return c.id }
+
+// SetWindow changes the receive window advertised on links opened or
+// accepted from now on (bytes; <= 0 restores DefaultWindowBytes).
+// Existing links keep the window they were created with.
+func (c *Client) SetWindow(bytes int) {
+	if bytes <= 0 {
+		bytes = DefaultWindowBytes
+	}
+	c.mu.Lock()
+	c.window = bytes
+	c.mu.Unlock()
+}
+
+func (c *Client) recvWindow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window
+}
+
+// creditSupported reports whether the relay currently attached to routes
+// credit frames (capCreditFlow). Windows are only advertised — and
+// credit only granted — when it does; through an older relay, links run
+// uncredited rather than waiting on frames the relay would drop.
+func (c *Client) creditSupported() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caps&capCreditFlow != 0
+}
 
 // ServerID returns the ID announced by the relay the client is currently
 // attached to (empty for relays that have no ID set).
@@ -674,7 +797,7 @@ func (c *Client) Resume(conn net.Conn) error {
 	}
 	c.mu.Unlock()
 
-	w, r, serverID, err := handshake(conn, c.id)
+	w, r, serverID, caps, err := handshake(conn, c.id)
 	if err != nil {
 		conn.Close()
 		return err
@@ -689,6 +812,7 @@ func (c *Client) Resume(conn net.Conn) error {
 	c.gen++
 	gen := c.gen
 	c.serverID = serverID
+	c.caps = caps
 	// Install the new connection before clearing the detached flag (both
 	// under mu, the conn swap additionally under wmu): a concurrent send
 	// that observes detached == false must already see the new writer.
@@ -704,6 +828,26 @@ func (c *Client) Resume(conn net.Conn) error {
 		old.Close()
 	}
 	go c.readLoop(r, gen)
+
+	// Frames in flight across the failure were lost — data and credit
+	// grants alike. Left alone, that would wedge flow control on the
+	// surviving links: our writers would wait forever on credit the old
+	// relay swallowed, and the peers' writers on grants that never left.
+	// Resync every link: lift our send windows back to the advertised
+	// initial value and re-grant the peers our current free receive
+	// space. Both are over-grants of at most one window (the in-flight
+	// amount that was *not* lost), so a link's memory bound is 2x the
+	// window transiently after a failover, never unbounded — and never a
+	// deadlock.
+	c.mu.Lock()
+	links := make([]*routedConn, 0, len(c.links))
+	for _, rc := range c.links {
+		links = append(links, rc)
+	}
+	c.mu.Unlock()
+	for _, rc := range links {
+		rc.resyncAfterResume()
+	}
 	return nil
 }
 
@@ -801,7 +945,14 @@ func (c *Client) DialCancel(peerID string, timeout time.Duration, cancel <-chan 
 	c.pending[key] = wait
 	c.mu.Unlock()
 
-	body := wire.AppendString(nil, c.id) // tell the peer who we are
+	// The body tells the peer who we are plus — when our relay routes
+	// credit frames — our receive window (the credit it starts with for
+	// sends towards us). Peers predating flow control ignore the
+	// trailing varint; omitting it keeps the peer's sends uncredited.
+	body := wire.AppendString(nil, c.id)
+	if c.creditSupported() {
+		body = wire.AppendUvarint(body, uint64(c.recvWindow()))
+	}
 	if err := c.send(KindOpen, AppendRouted(nil, peerID, ch, body)); err != nil {
 		c.mu.Lock()
 		delete(c.pending, key)
@@ -886,14 +1037,16 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 	}
 	switch kind {
 	case KindOpen:
-		// body carries the originator's node ID.
+		// body carries the originator's node ID and (since flow control)
+		// its receive window — our initial send credit on this link.
 		d := wire.NewDecoder(body)
 		from := d.String()
 		if d.Err() != nil {
 			return
 		}
+		peerWindow := decodeWindow(d)
 		key := linkID{peer: from, channel: hdr.channel, outbound: false}
-		rc := newRoutedConn(c, from, hdr.channel, false)
+		rc := newRoutedConn(c, from, hdr.channel, false, peerWindow, c.recvWindow())
 		c.mu.Lock()
 		closed := c.closed
 		if !closed {
@@ -908,6 +1061,9 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		// closing the channel, so a sender either completes first or
 		// observes closed — never a send on a closed channel.
 		ack := wire.AppendString(nil, c.id)
+		if c.creditSupported() {
+			ack = wire.AppendUvarint(ack, uint64(rc.recvWindow))
+		}
 		c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
 		delivered := false
 		c.mu.Lock()
@@ -930,13 +1086,15 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		if d.Err() != nil {
 			return
 		}
+		peerWindow := decodeWindow(d)
 		key := linkID{peer: from, channel: hdr.channel, outbound: true}
 		c.mu.Lock()
 		wait := c.pending[key]
 		delete(c.pending, key)
 		var rc *routedConn
 		if wait != nil {
-			rc = newRoutedConn(c, from, hdr.channel, true)
+			// c.mu is held: read the window field directly.
+			rc = newRoutedConn(c, from, hdr.channel, true, peerWindow, c.window)
 			c.links[key] = rc
 		}
 		c.mu.Unlock()
@@ -973,6 +1131,23 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		c.mu.Unlock()
 		if rc != nil {
 			rc.deliver(data)
+		}
+	case KindCredit:
+		// The peer's reader drained bytes and returns them to our send
+		// window.
+		d := wire.NewDecoder(body)
+		from := d.String()
+		role := byte(d.Uvarint())
+		amount := d.Uvarint()
+		if d.Err() != nil {
+			return
+		}
+		key := linkID{peer: from, channel: hdr.channel, outbound: role == roleAcceptor}
+		c.mu.Lock()
+		rc := c.links[key]
+		c.mu.Unlock()
+		if rc != nil {
+			rc.addCredit(int(amount))
 		}
 	case KindShut:
 		d := wire.NewDecoder(body)
@@ -1020,6 +1195,21 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 			wait <- nil
 		}
 	}
+}
+
+// decodeWindow reads the optional receive-window advertisement trailing
+// an open or open-OK body. A peer predating flow control sends no
+// window; its links run uncredited (unlimitedWindow), preserving the old
+// send-without-bound behaviour for mixed-version pools.
+func decodeWindow(d *wire.Decoder) int {
+	if d.Remaining() == 0 {
+		return unlimitedWindow
+	}
+	w := d.Uvarint()
+	if d.Err() != nil || w == 0 {
+		return unlimitedWindow
+	}
+	return int(w)
 }
 
 // disconnected handles a read-loop failure: in resumable mode the client
@@ -1090,8 +1280,21 @@ func (c *Client) LinkCount() int {
 
 // --- routed virtual connection ----------------------------------------------------
 
+// unlimitedWindow marks a link whose peer predates flow control: it
+// advertised no receive window, so it grants no credit and our sends
+// must not wait for any.
+const unlimitedWindow = -1
+
 // routedConn is one virtual link routed through the relay. It implements
 // net.Conn so the rest of NetIbis treats it like any other link.
+//
+// Flow control: each side advertises its receive window when the link is
+// opened. A sender consumes window for every data byte and blocks (up to
+// the write deadline) once the peer's window is exhausted; the reader
+// returns drained bytes with credit frames. The receive buffer is
+// thereby bounded by the advertised window — a fast sender over a slow
+// reader holds bounded memory on both ends and in every relay queue
+// between them, instead of growing without limit.
 type routedConn struct {
 	client   *Client
 	peer     string
@@ -1099,15 +1302,35 @@ type routedConn struct {
 	outbound bool // true on the side that dialed
 
 	mu     sync.Mutex
-	cond   *sync.Cond
+	cond   *sync.Cond // readers: data arrival, close, deadline wake-ups
+	wcond  *sync.Cond // writers: credit arrival, close, deadline wake-ups
 	buf    []byte
 	rerr   error
 	closed bool
+
+	recvWindow int // our advertised window; deliver never exceeds it (conforming peers)
+	unacked    int // bytes drained by Read but not yet returned as credit
+	sendWindow int // remaining credit for sends; unlimitedWindow for legacy peers
+	sendInit   int // the peer's advertised window (0 when unlimited), for diagnostics
+
+	rdeadline time.Time
+	wdeadline time.Time
 }
 
-func newRoutedConn(c *Client, peer string, channel uint64, outbound bool) *routedConn {
-	rc := &routedConn{client: c, peer: peer, channel: channel, outbound: outbound}
+func newRoutedConn(c *Client, peer string, channel uint64, outbound bool, peerWindow, recvWindow int) *routedConn {
+	rc := &routedConn{
+		client:     c,
+		peer:       peer,
+		channel:    channel,
+		outbound:   outbound,
+		recvWindow: recvWindow,
+		sendWindow: peerWindow,
+	}
+	if peerWindow != unlimitedWindow {
+		rc.sendInit = peerWindow
+	}
 	rc.cond = sync.NewCond(&rc.mu)
+	rc.wcond = sync.NewCond(&rc.mu)
 	return rc
 }
 
@@ -1119,10 +1342,24 @@ func (rc *routedConn) role() byte {
 	return roleAcceptor
 }
 
+// deliver appends received payload to the link's receive buffer. The
+// buffer is bounded by the flow-control invariant, not by a check here:
+// outstanding credit plus buffered bytes never exceeds recvWindow for a
+// conforming peer, because credit is only granted as Read drains.
 func (rc *routedConn) deliver(p []byte) {
 	rc.mu.Lock()
 	rc.buf = append(rc.buf, p...)
 	rc.cond.Broadcast()
+	rc.mu.Unlock()
+}
+
+// addCredit returns drained bytes to the send window.
+func (rc *routedConn) addCredit(n int) {
+	rc.mu.Lock()
+	if rc.sendWindow != unlimitedWindow {
+		rc.sendWindow += n
+	}
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 }
 
@@ -1131,7 +1368,13 @@ func (rc *routedConn) peerClosed() {
 	if rc.rerr == nil {
 		rc.rerr = io.EOF
 	}
+	// The peer closed: it dropped the link, so no more credit will ever
+	// arrive and frames we send are discarded at the far end. Lift the
+	// window so a writer does not block forever on a dead link (writes
+	// keep "succeeding" into the void, exactly as before flow control).
+	rc.sendWindow = unlimitedWindow
 	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 }
 
@@ -1145,6 +1388,7 @@ func (rc *routedConn) abandonedByPeer() {
 		rc.rerr = ErrAbandoned
 	}
 	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 }
 
@@ -1170,6 +1414,7 @@ func (rc *routedConn) Abort() error {
 		rc.rerr = ErrAbandoned
 	}
 	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 	body := wire.AppendString(nil, rc.client.id)
 	body = wire.AppendUvarint(body, uint64(rc.role()))
@@ -1185,44 +1430,156 @@ func (rc *routedConn) closeWithError(err error) {
 		rc.rerr = err
 	}
 	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 }
 
-// Read implements net.Conn.
+// waitDeadline blocks on cond (mu held) until a broadcast, arranging a
+// wake-up when the deadline passes; it returns os.ErrDeadlineExceeded
+// once the deadline has expired. A zero deadline never expires.
+func waitDeadline(cond *sync.Cond, mu *sync.Mutex, deadline time.Time) error {
+	if deadline.IsZero() {
+		cond.Wait()
+		return nil
+	}
+	now := time.Now()
+	if !now.Before(deadline) {
+		return os.ErrDeadlineExceeded
+	}
+	t := time.AfterFunc(deadline.Sub(now), func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	cond.Wait()
+	t.Stop()
+	return nil
+}
+
+// Read implements net.Conn. Draining the buffer grants credit back to
+// the sender once half the window has been consumed (batching the grants
+// keeps the credit-frame overhead at two frames per window, not one per
+// Read).
 func (rc *routedConn) Read(p []byte) (int, error) {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	for {
 		if len(rc.buf) > 0 {
 			n := copy(p, rc.buf)
 			rc.buf = rc.buf[n:]
+			grant := 0
+			if rc.rerr == nil && !rc.closed && rc.client.creditSupported() {
+				rc.unacked += n
+				if 2*rc.unacked >= rc.recvWindow {
+					grant = rc.unacked
+					rc.unacked = 0
+				}
+			}
+			rc.mu.Unlock()
+			if grant > 0 {
+				rc.sendCredit(grant)
+			}
 			return n, nil
 		}
 		if rc.rerr != nil {
-			return 0, rc.rerr
+			err := rc.rerr
+			rc.mu.Unlock()
+			return 0, err
 		}
+		if rc.closed {
+			rc.mu.Unlock()
+			return 0, ErrClosed
+		}
+		if err := waitDeadline(rc.cond, &rc.mu, rc.rdeadline); err != nil {
+			rc.mu.Unlock()
+			return 0, err
+		}
+	}
+}
+
+// sendCredit returns drained bytes to the peer's send window. Failures
+// are ignored: they mean the relay attachment is dying, which every
+// in-flight operation observes through its own error path.
+func (rc *routedConn) sendCredit(n int) {
+	body := wire.AppendString(nil, rc.client.id)
+	body = wire.AppendUvarint(body, uint64(rc.role()))
+	body = wire.AppendUvarint(body, uint64(n))
+	rc.client.send(KindCredit, AppendRouted(nil, rc.peer, rc.channel, body))
+}
+
+// resyncAfterResume re-arms flow control after the client resumed its
+// attachment on a fresh relay connection (see Resume): the send window
+// is reset to the peer's advertisement and the peer is re-granted our
+// free receive space, compensating for data and credit frames lost with
+// the old relay.
+func (rc *routedConn) resyncAfterResume() {
+	credit := rc.client.creditSupported()
+	rc.mu.Lock()
+	if rc.closed || rc.sendWindow == unlimitedWindow {
+		rc.mu.Unlock()
+		return
+	}
+	if !credit {
+		// Resumed onto a relay that drops credit frames: the link cannot
+		// stay credited, so lift the window for good rather than wait on
+		// grants that will never arrive.
+		rc.sendWindow = unlimitedWindow
+		rc.wcond.Broadcast()
+		rc.mu.Unlock()
+		return
+	}
+	rc.sendWindow = rc.sendInit
+	grant := rc.recvWindow - len(rc.buf) - rc.unacked
+	rc.unacked = 0
+	rc.wcond.Broadcast()
+	rc.mu.Unlock()
+	if grant > 0 {
+		rc.sendCredit(grant)
+	}
+}
+
+// reserve blocks until the link may carry up to want more payload bytes
+// and returns how many were granted (at most one frame's worth). It
+// re-checks closure on every call, so a Write overtaken by a concurrent
+// Close or Abort stops mid-loop instead of emitting frames on a dead
+// link, and it honours the write deadline while waiting for credit.
+func (rc *routedConn) reserve(want int) (int, error) {
+	if want > maxDataFrame {
+		want = maxDataFrame
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for {
 		if rc.closed {
 			return 0, ErrClosed
 		}
-		rc.cond.Wait()
+		if rc.sendWindow == unlimitedWindow {
+			return want, nil
+		}
+		if rc.sendWindow > 0 {
+			n := want
+			if n > rc.sendWindow {
+				n = rc.sendWindow
+			}
+			rc.sendWindow -= n
+			return n, nil
+		}
+		if err := waitDeadline(rc.wcond, &rc.mu, rc.wdeadline); err != nil {
+			return 0, err
+		}
 	}
 }
 
 // Write implements net.Conn. Large writes are split into moderate relay
 // frames so that concurrent virtual links share the relay connection
-// fairly.
+// fairly; each frame first reserves send credit, so a write against an
+// exhausted window blocks (up to the write deadline) with the partial
+// count reported on failure.
 func (rc *routedConn) Write(p []byte) (int, error) {
-	rc.mu.Lock()
-	if rc.closed {
-		rc.mu.Unlock()
-		return 0, ErrClosed
-	}
-	rc.mu.Unlock()
 	total := 0
 	for len(p) > 0 {
-		n := len(p)
-		if n > maxDataFrame {
-			n = maxDataFrame
+		n, err := rc.reserve(len(p))
+		if err != nil {
+			return total, err
 		}
 		// Routing header and data-frame body prefix in one small stack
 		// buffer; the payload itself rides along as a second vector and
@@ -1243,6 +1600,20 @@ func (rc *routedConn) Write(p []byte) (int, error) {
 	return total, nil
 }
 
+// SendWindow reports the link's remaining send credit and the window the
+// peer advertised when the link was opened (0, 0 when the peer predates
+// flow control and the link runs uncredited). size minus avail is the
+// sender-resident backlog: bytes sent but not yet drained by the peer's
+// reader — the quantity the flow-control benchmarks assert stays bounded.
+func (rc *routedConn) SendWindow() (avail, size int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sendWindow == unlimitedWindow {
+		return 0, 0
+	}
+	return rc.sendWindow, rc.sendInit
+}
+
 // Close implements net.Conn.
 func (rc *routedConn) Close() error {
 	rc.mu.Lock()
@@ -1252,6 +1623,7 @@ func (rc *routedConn) Close() error {
 	}
 	rc.closed = true
 	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 	rc.mu.Unlock()
 	body := wire.AppendString(nil, rc.client.id)
 	body = wire.AppendUvarint(body, uint64(rc.role()))
@@ -1272,14 +1644,38 @@ func (rc *routedConn) LocalAddr() net.Addr { return routedAddr{id: rc.client.id}
 // RemoteAddr implements net.Conn.
 func (rc *routedConn) RemoteAddr() net.Addr { return routedAddr{id: rc.peer} }
 
-// SetDeadline implements net.Conn (not supported on routed links).
-func (rc *routedConn) SetDeadline(time.Time) error { return nil }
+// SetDeadline implements net.Conn: it bounds both pending and future
+// reads and writes, which fail with os.ErrDeadlineExceeded once the
+// deadline passes. A zero time clears the deadline.
+func (rc *routedConn) SetDeadline(t time.Time) error {
+	rc.mu.Lock()
+	rc.rdeadline = t
+	rc.wdeadline = t
+	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
+	rc.mu.Unlock()
+	return nil
+}
 
-// SetReadDeadline implements net.Conn (not supported on routed links).
-func (rc *routedConn) SetReadDeadline(time.Time) error { return nil }
+// SetReadDeadline implements net.Conn.
+func (rc *routedConn) SetReadDeadline(t time.Time) error {
+	rc.mu.Lock()
+	rc.rdeadline = t
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	return nil
+}
 
-// SetWriteDeadline implements net.Conn (not supported on routed links).
-func (rc *routedConn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn. Writes block when the peer's
+// receive window is exhausted, so the deadline is what bounds a write
+// into a stalled link.
+func (rc *routedConn) SetWriteDeadline(t time.Time) error {
+	rc.mu.Lock()
+	rc.wdeadline = t
+	rc.wcond.Broadcast()
+	rc.mu.Unlock()
+	return nil
+}
 
 // Peer returns the node ID of the remote end of the routed link.
 func (rc *routedConn) Peer() string { return rc.peer }

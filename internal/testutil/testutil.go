@@ -1,0 +1,53 @@
+// Package testutil holds small test helpers shared across packages:
+// polling for asynchronous conditions and asserting that a scenario's
+// goroutines unwound (the teardown-leak gate used by the lost-race and
+// stalled-link regression tests).
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Settle polls cond every 20 ms for up to two seconds, returning the
+// empty string once it holds, or the last failure description once the
+// budget is exhausted. Asynchronous teardown (goroutines unwinding,
+// queues draining) is asserted by settling on the condition rather than
+// sleeping a fixed, flaky amount.
+func Settle(cond func() (bool, string)) string {
+	var why string
+	for i := 0; i < 100; i++ {
+		var ok bool
+		if ok, why = cond(); ok {
+			return ""
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return why
+}
+
+// LeakCheck snapshots the current goroutine count and returns a function
+// that fails t when the count has not settled back to the baseline
+// (plus slack for runtime background goroutines) — with a full stack
+// dump, so the leaked goroutine is named in the failure, not hunted
+// afterwards. Typical use:
+//
+//	check := testutil.LeakCheck(t, 3)
+//	... scenario that must clean up after itself ...
+//	check()
+func LeakCheck(t testing.TB, slack int) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		if why := Settle(func() (bool, string) {
+			now := runtime.NumGoroutine()
+			return now <= baseline+slack, fmt.Sprintf("goroutines: baseline %d, now %d", baseline, now)
+		}); why != "" {
+			buf := make([]byte, 1<<20)
+			t.Errorf("leaked goroutines — %s\n%s", why, buf[:runtime.Stack(buf, true)])
+		}
+	}
+}
