@@ -12,11 +12,16 @@ import (
 	"os/signal"
 	"syscall"
 
+	"netibis/internal/identity"
 	"netibis/internal/nameservice"
 )
 
 func main() {
 	addr := flag.String("listen", ":4000", "TCP address to listen on")
+	identityFile := flag.String("identity", "",
+		"Ed25519 identity file for this registry (generated and persisted on first use); reserved for future signed registry responses, today it only pins the daemon's name")
+	trustFile := flag.String("trust", "",
+		"trust file (netibis-trust-v1); enforces the signed-record policy: relay and node records must carry a valid signature from the identity they name")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -24,6 +29,21 @@ func main() {
 		log.Fatalf("netibis-nameserver: listen %s: %v", *addr, err)
 	}
 	srv := nameservice.NewServer()
+	if *identityFile != "" {
+		if _, created, err := identity.LoadOrGenerate(*identityFile, "nameserver/"+l.Addr().String()); err != nil {
+			log.Fatalf("netibis-nameserver: identity %s: %v", *identityFile, err)
+		} else if created {
+			log.Printf("netibis-nameserver: generated identity in %s", *identityFile)
+		}
+	}
+	if *trustFile != "" {
+		trust, err := identity.LoadTrust(*trustFile)
+		if err != nil {
+			log.Fatalf("netibis-nameserver: trust %s: %v", *trustFile, err)
+		}
+		srv.SetVerifier(identity.RegistryVerifier(trust))
+		log.Printf("netibis-nameserver: signed-record policy enforced (relay and node records must verify)")
+	}
 	log.Printf("netibis-nameserver: listening on %s", l.Addr())
 
 	go func() {

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"netibis/internal/identity"
 	"netibis/internal/nameservice"
 	"netibis/internal/overlay"
 	"netibis/internal/relay"
@@ -40,6 +41,10 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers and nodes dial to reach this relay (defaults to the listen address)")
 	egressQueue := flag.Int("egress-queue", relay.DefaultEgressQueueFrames,
 		"per-source egress queue bound towards each attached node (frames); overflow backpressures the offending link only")
+	identityFile := flag.String("identity", "",
+		"Ed25519 identity file for this relay (generated and persisted on first use); enables signed registry records and lets the relay prove itself to nodes and peers")
+	trustFile := flag.String("trust", "",
+		"trust file (netibis-trust-v1: 'authority <hex>' / 'pin <name> <hex>' lines); makes node attaches and peer links mandatory-authenticated and discovery signature-checked")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -49,6 +54,41 @@ func main() {
 	srv := relay.NewServer()
 	srv.SetEgressQueue(*egressQueue)
 	log.Printf("netibis-relay: listening on %s", l.Addr())
+
+	var relayIdent *identity.Identity
+	var trust *identity.TrustStore
+	if *identityFile != "" {
+		name := *id
+		if name == "" {
+			name = l.Addr().String()
+		}
+		var created bool
+		relayIdent, created, err = identity.LoadOrGenerate(*identityFile, name)
+		if err != nil {
+			log.Fatalf("netibis-relay: identity %s: %v", *identityFile, err)
+		}
+		if created {
+			log.Printf("netibis-relay: generated identity %q in %s (pin or certify its public key to trust it)", name, *identityFile)
+		} else if relayIdent.Name != name {
+			log.Fatalf("netibis-relay: identity file %s is named %q, want %q", *identityFile, relayIdent.Name, name)
+		}
+	}
+	if *trustFile != "" {
+		trust, err = identity.LoadTrust(*trustFile)
+		if err != nil {
+			log.Fatalf("netibis-relay: trust %s: %v", *trustFile, err)
+		}
+		log.Printf("netibis-relay: trust loaded; node attaches and peer links must authenticate")
+	}
+	if relayIdent != nil || trust != nil {
+		srv.SetAuth(relay.AuthConfig{Identity: relayIdent, Trust: trust})
+	}
+	if relayIdent != nil {
+		// The attach transcript binds the server ID the relay announces;
+		// it must match the name the identity is certified for even when
+		// the overlay (which normally sets the ID) is not enabled.
+		srv.SetID(relayIdent.Name)
+	}
 
 	var mesh *overlay.Relay
 	// Any federation flag enables the overlay. A bare -id is enough: such
@@ -90,6 +130,8 @@ func main() {
 			Dial: func(addr string) (net.Conn, error) {
 				return net.DialTimeout("tcp", addr, 10*time.Second)
 			},
+			Identity: relayIdent,
+			Trust:    trust,
 		})
 		if err != nil {
 			log.Fatalf("netibis-relay: overlay: %v", err)

@@ -162,6 +162,9 @@ type DatapathReport struct {
 	Stacks []DatapathResult `json:"stacks"`
 	// Relay holds the measured relay forwarding results (1 vs 3 relays).
 	Relay []MultiRelayResult `json:"relay,omitempty"`
+	// Routed holds the routed-path security comparison: plaintext vs
+	// end-to-end sealed frames through a live TCP relay.
+	Routed []RoutedResult `json:"routed,omitempty"`
 }
 
 // RunDatapathSuite measures every stack permutation at the given message
@@ -181,6 +184,11 @@ func RunDatapathSuite(msgSize, messages int, withRelay bool) (DatapathReport, er
 			return rep, fmt.Errorf("relay scaling: %w", err)
 		}
 		rep.Relay = relay
+		routed, err := CompareRoutedSecurity(8 << 20)
+		if err != nil {
+			return rep, fmt.Errorf("routed security: %w", err)
+		}
+		rep.Routed = routed
 	}
 	return rep, nil
 }
@@ -232,6 +240,9 @@ func FormatDatapath(rep DatapathReport) string {
 	}
 	if len(rep.Relay) > 0 {
 		out += FormatMultiRelay(rep.Relay)
+	}
+	if len(rep.Routed) > 0 {
+		out += FormatRouted(rep.Routed)
 	}
 	return out
 }

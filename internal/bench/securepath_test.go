@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestSecureRoutedRetention is the acceptance gate of the end-to-end
+// security work: the sealed routed stack must retain at least 70% of
+// the plaintext routed throughput. AES-GCM runs at multiple GB/s with
+// AES-NI while the routed path's framing, windowing and loopback TCP
+// dominate, so the seal should cost well under the budget; the gate
+// catches an accidental copy or a per-frame allocation creeping into
+// the seal path.
+func TestSecureRoutedRetention(t *testing.T) {
+	const transfer = 16 << 20
+	best := 0.0
+	// The measurement runs on shared CI machines; take the best of three
+	// to shed scheduler noise before judging the ratio.
+	for attempt := 0; attempt < 3; attempt++ {
+		rows, err := CompareRoutedSecurity(transfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, sealed := rows[0], rows[1]
+		if plain.MBps <= 0 || sealed.MBps <= 0 {
+			t.Fatalf("degenerate measurement: %+v", rows)
+		}
+		ratio := sealed.MBps / plain.MBps
+		t.Logf("attempt %d: plaintext %.1f MB/s, e2e-secure %.1f MB/s (%.0f%%)",
+			attempt, plain.MBps, sealed.MBps, 100*ratio)
+		if ratio > best {
+			best = ratio
+		}
+		if best >= 0.70 {
+			return
+		}
+	}
+	t.Fatalf("e2e-secure routed stack retains %.0f%% of plaintext throughput, want >= 70%%", 100*best)
+}
+
+// TestSecureRoutedSmoke keeps a tiny always-on check that both modes
+// measure at all (the retention gate above is the heavyweight one).
+func TestSecureRoutedSmoke(t *testing.T) {
+	rows, err := CompareRoutedSecurity(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "routed" || rows[1].Mode != "routed-e2e-secure" {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+}

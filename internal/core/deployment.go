@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netibis/internal/emunet"
+	"netibis/internal/identity"
 	"netibis/internal/nameservice"
 	"netibis/internal/overlay"
 	"netibis/internal/relay"
@@ -74,6 +75,13 @@ type Deployment struct {
 	Relay  *relay.Server
 	Relays []*RelayInstance
 	Socks  *socks.Server
+
+	// CA and Trust are set on secure deployments (see
+	// NewSecureFederatedDeployment): the deployment certificate
+	// authority that issued every relay's identity, and the trust store
+	// distributed to relays and (via SecureNodeConfig) nodes.
+	CA    *identity.Authority
+	Trust *identity.TrustStore
 }
 
 // NewDeployment creates the gateway site and starts the shared services
@@ -89,6 +97,26 @@ func NewDeployment(f *emunet.Fabric) (*Deployment, error) {
 // The function returns once every relay holds a peer link to every
 // other, so callers can rely on the mesh being formed.
 func NewFederatedDeployment(f *emunet.Fabric, relayCount int) (*Deployment, error) {
+	return newFederatedDeployment(f, relayCount, nil)
+}
+
+// NewSecureFederatedDeployment is NewFederatedDeployment under a
+// deployment certificate authority: the registry enforces signed relay
+// and node records, every relay runs with an issued identity and the
+// CA's trust store (authenticated attaches, authenticated peer links),
+// and SecureNodeConfig issues node identities so routed links run
+// sealed end to end.
+func NewSecureFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity.Authority) (*Deployment, error) {
+	if ca == nil {
+		var err error
+		if ca, err = identity.NewAuthority(); err != nil {
+			return nil, err
+		}
+	}
+	return newFederatedDeployment(f, relayCount, ca)
+}
+
+func newFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity.Authority) (*Deployment, error) {
 	if relayCount < 1 {
 		relayCount = 1
 	}
@@ -96,12 +124,19 @@ func NewFederatedDeployment(f *emunet.Fabric, relayCount int) (*Deployment, erro
 	gw := gwSite.AddHost("gateway")
 
 	d := &Deployment{Fabric: f, Gateway: gw}
+	if ca != nil {
+		d.CA = ca
+		d.Trust = ca.TrustStore()
+	}
 
 	regL, err := gw.Listen(RegistryPort)
 	if err != nil {
 		return nil, fmt.Errorf("deployment: registry listener: %w", err)
 	}
 	d.Registry = nameservice.NewServer()
+	if d.Trust != nil {
+		d.Registry.SetVerifier(identity.RegistryVerifier(d.Trust))
+	}
 	go d.Registry.Serve(regL)
 
 	for i := 0; i < relayCount; i++ {
@@ -141,6 +176,16 @@ func startRelay(d *Deployment, name string, host *emunet.Host) (*RelayInstance, 
 		return nil, fmt.Errorf("deployment: relay %s listener: %w", name, err)
 	}
 	srv := relay.NewServer()
+	var relayIdent *identity.Identity
+	if d.CA != nil {
+		var err error
+		relayIdent, err = d.CA.Issue(name)
+		if err != nil {
+			return nil, fmt.Errorf("deployment: relay %s identity: %w", name, err)
+		}
+		srv.SetID(name)
+		srv.SetAuth(relay.AuthConfig{Identity: relayIdent, Trust: d.Trust})
+	}
 	go srv.Serve(l)
 
 	regConn, err := host.Dial(d.RegistryEndpoint())
@@ -161,6 +206,8 @@ func startRelay(d *Deployment, name string, host *emunet.Host) (*RelayInstance, 
 			return host.Dial(ep)
 		},
 		RescanInterval: meshRescanInterval,
+		Identity:       relayIdent,
+		Trust:          d.Trust,
 	})
 	if err != nil {
 		regCli.Close()
@@ -228,6 +275,25 @@ func (d *Deployment) NodeConfig(host *emunet.Host, pool, name string) Config {
 		cfg.Proxy = d.SocksEndpoint()
 	}
 	return cfg
+}
+
+// SecureNodeConfig is NodeConfig on a secure deployment: the node gets
+// a CA-issued identity under its relay ID ("pool/name"), the
+// deployment's trust store, and the require-secure-routed policy — its
+// attaches are authenticated and its routed links sealed end to end.
+func (d *Deployment) SecureNodeConfig(host *emunet.Host, pool, name string) (Config, error) {
+	cfg := d.NodeConfig(host, pool, name)
+	if d.CA == nil {
+		return cfg, fmt.Errorf("deployment: SecureNodeConfig on a deployment without a CA")
+	}
+	id, err := d.CA.Issue(pool + "/" + name)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.NodeIdentity = id
+	cfg.Trust = d.Trust
+	cfg.RequireSecureRouted = true
+	return cfg, nil
 }
 
 // NodeConfigOnRelay is NodeConfig with the instance pinned to the i'th

@@ -29,6 +29,7 @@ import (
 	"hash/fnv"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"netibis/internal/drivers/secure"
 	"netibis/internal/emunet"
 	"netibis/internal/estab"
+	"netibis/internal/identity"
 	"netibis/internal/ipl"
 	"netibis/internal/nameservice"
 	"netibis/internal/overlay"
@@ -106,6 +108,23 @@ type Config struct {
 	ProxyCreds *socks.Credentials
 	// Identity is the TLS identity used for port types with Secure set.
 	Identity *secure.Identity
+	// NodeIdentity is the node's Ed25519 mesh identity (package
+	// identity), named after the node's relay ID ("pool/name"). With one
+	// configured the node authenticates its relay attachments (including
+	// re-attachments after failover), signs its registry record, and can
+	// seal routed links end to end. Use identity.LoadOrGenerate for file
+	// persistence.
+	NodeIdentity *identity.Identity
+	// Trust is the set of trusted identities (deployment CA keys and/or
+	// pinned keys). With one configured the node demands that relays
+	// prove a trusted identity during attach, verifies signed registry
+	// records on discovery, and verifies end-to-end link peers.
+	Trust *identity.TrustStore
+	// RequireSecureRouted makes the end-to-end seal mandatory on every
+	// relay-routed link: an open answered without the secure capability
+	// fails closed (identity.ErrDowngraded) instead of running in the
+	// clear. Requires NodeIdentity and Trust.
+	RequireSecureRouted bool
 	// DefaultStack is the driver stack used by port types that do not
 	// name one ("tcpblk" if empty).
 	DefaultStack string
@@ -155,7 +174,27 @@ func (c Config) validate() error {
 	// A Relay endpoint is no longer mandatory: relays can be discovered
 	// through the registry (overlay.RegistryPrefix records). Join fails
 	// with ErrPeerUnavailable when no candidate relay is reachable.
+	if c.NodeIdentity != nil && c.NodeIdentity.Name != c.Pool+"/"+c.Name {
+		return fmt.Errorf("core: NodeIdentity is named %q, want the node's relay identity %q",
+			c.NodeIdentity.Name, c.Pool+"/"+c.Name)
+	}
+	if c.RequireSecureRouted && (c.NodeIdentity == nil || c.Trust == nil) {
+		return errors.New("core: RequireSecureRouted needs NodeIdentity and Trust")
+	}
 	return nil
+}
+
+// relayAuth builds the relay client's security configuration from the
+// node config (nil when no identity material is configured).
+func (c Config) relayAuth() *relay.AuthConfig {
+	if c.NodeIdentity == nil && c.Trust == nil {
+		return nil
+	}
+	return &relay.AuthConfig{
+		Identity:   c.NodeIdentity,
+		Trust:      c.Trust,
+		RequireE2E: c.RequireSecureRouted,
+	}
 }
 
 // Node is one NetIbis instance.
@@ -211,9 +250,9 @@ func Join(cfg Config) (*Node, error) {
 	// the node probes them all and attaches to the lowest-RTT one.
 	cands := cfg.Relays
 	if len(cands) == 0 {
-		cands = append(discoverRelayEndpoints(registry), cfg.Relay)
+		cands = append(discoverRelayEndpoints(registry, cfg.Trust), cfg.Relay)
 	}
-	relayCli, relayEP, err := attachBestRelay(cfg.Host, cfg.Pool+"/"+cfg.Name, cands)
+	relayCli, relayEP, err := attachBestRelay(cfg.Host, cfg.Pool+"/"+cfg.Name, cands, cfg.relayAuth())
 	if err != nil {
 		registry.Close()
 		return nil, fmt.Errorf("core: attach to relay: %w", err)
@@ -256,6 +295,11 @@ func Join(cfg Config) (*Node, error) {
 	// methods before racing (and invalidate cached winners when the
 	// class changes).
 	record := encodeNodeRecord(n.relayID(), n.connector.Profile().Class())
+	if cfg.NodeIdentity != nil {
+		// Signed: peers (and a trust-enforcing registry) can verify the
+		// record really belongs to this node.
+		record = identity.SealRecord(cfg.NodeIdentity, n.nodeKey(cfg.Name), record)
+	}
 	if err := registry.Register(n.nodeKey(cfg.Name), record); err != nil {
 		n.Close()
 		return nil, fmt.Errorf("core: register node: %w", err)
@@ -314,15 +358,29 @@ const (
 )
 
 // discoverRelayEndpoints lists the relay mesh members registered in the
-// name service.
-func discoverRelayEndpoints(registry *nameservice.Client) []emunet.Endpoint {
+// name service. With a trust store, only records carrying a valid
+// signature from the relay they advertise are accepted: a poisoned
+// registry cannot redirect the node to an impostor relay (and even if
+// it could, the attach handshake would unmask the impostor).
+func discoverRelayEndpoints(registry *nameservice.Client, trust *identity.TrustStore) []emunet.Endpoint {
 	recs, err := registry.List(overlay.RegistryPrefix)
 	if err != nil {
 		return nil
 	}
 	eps := make([]emunet.Endpoint, 0, len(recs))
 	for _, rec := range recs {
-		if ep, ok := emunet.ParseEndpoint(string(rec.Value)); ok {
+		val := rec.Value
+		if trust != nil {
+			relayID := strings.TrimPrefix(rec.Key, overlay.RegistryPrefix)
+			v, verr := identity.VerifyRecord(trust, relayID, rec.Key, rec.Value)
+			if verr != nil {
+				continue
+			}
+			val = v
+		} else {
+			val = identity.UnwrapRecord(val)
+		}
+		if ep, ok := emunet.ParseEndpoint(string(val)); ok {
 			eps = append(eps, ep)
 		}
 	}
@@ -378,15 +436,16 @@ func probeRelays(host *emunet.Host, nodeID string, cands []emunet.Endpoint) []re
 }
 
 // attachBestRelay probes the candidates and attaches to the nearest
-// relay that accepts the node.
-func attachBestRelay(host *emunet.Host, nodeID string, cands []emunet.Endpoint) (*relay.Client, emunet.Endpoint, error) {
+// relay that accepts the node (running the authentication handshake
+// when auth is configured).
+func attachBestRelay(host *emunet.Host, nodeID string, cands []emunet.Endpoint, auth *relay.AuthConfig) (*relay.Client, emunet.Endpoint, error) {
 	probes := probeRelays(host, nodeID, cands)
 	if len(probes) == 0 {
 		return nil, emunet.Endpoint{}, ErrPeerUnavailable
 	}
 	var firstErr error
 	for i, p := range probes {
-		cli, err := relay.Attach(p.conn, nodeID) // closes p.conn on error
+		cli, err := relay.AttachAuth(p.conn, nodeID, auth) // closes p.conn on error
 		if err == nil {
 			for _, rest := range probes[i+1:] {
 				rest.conn.Close()
@@ -406,7 +465,7 @@ func attachBestRelay(host *emunet.Host, nodeID string, cands []emunet.Endpoint) 
 func (n *Node) reattachCandidates() []emunet.Endpoint {
 	cands := append([]emunet.Endpoint(nil), n.cfg.Relays...)
 	cands = append(cands, n.cfg.Relay)
-	return append(cands, discoverRelayEndpoints(n.registry)...)
+	return append(cands, discoverRelayEndpoints(n.registry, n.cfg.Trust)...)
 }
 
 // onRelayDetach runs when the relay connection dies: the node probes the
@@ -691,8 +750,20 @@ func (n *Node) serviceLinkTo(peerName string) (*serviceLink, error) {
 		return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lerr)
 	}
 	if lerr == nil {
-		_, class := decodeNodeRecord(val)
-		n.notePeerClass(peerName, class)
+		if n.cfg.Trust != nil {
+			// Only believe the record's routing hints when it is signed by
+			// the node it describes; a poisoned record degrades to "class
+			// unknown" (no candidate pruning) rather than steering the
+			// establishment. The routed dial below still targets the peer
+			// *ID*, whose attachment the relay authenticated.
+			if v, verr := identity.VerifyRecord(n.cfg.Trust, peerID, n.nodeKey(peerName), val); verr == nil {
+				_, class := decodeNodeRecord(v)
+				n.notePeerClass(peerName, class)
+			}
+		} else {
+			_, class := decodeNodeRecord(identity.UnwrapRecord(val))
+			n.notePeerClass(peerName, class)
+		}
 	}
 	conn, err := n.dialRouted(peerID)
 	if err != nil {

@@ -321,7 +321,7 @@ func TestLowestRTTRelaySelection(t *testing.T) {
 	nearEP := emunet.Endpoint{Addr: near.Address(), Port: RelayPort}
 	farEP := emunet.Endpoint{Addr: far.Address(), Port: RelayPort}
 	// Deliberately list the far relay first: the probe must reorder.
-	cli, ep, err := attachBestRelay(nodeHost, "pool/picker", []emunet.Endpoint{farEP, nearEP})
+	cli, ep, err := attachBestRelay(nodeHost, "pool/picker", []emunet.Endpoint{farEP, nearEP}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

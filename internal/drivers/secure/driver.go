@@ -20,6 +20,17 @@ package secure
 // AEAD codec state and work in pooled buffers: a record is sealed into
 // the buffer that travels down the stack by ownership transfer, and
 // opened in place in the buffer the ciphertext was read into.
+//
+// Nonce-reuse safety across reconnects and Resume: the record nonce is
+// a plain counter that restarts at 1 on every SealOutput — including
+// the rebuilt driver stack of a link re-established after a relay
+// failover (relay.Client.Resume) or an application-level reconnect.
+// Restarting the counter is safe *only* because every SealOutput draws
+// a fresh random 128-bit salt in NewSealOutput and therefore seals
+// under a fresh derived key: the (key, nonce) pair is never repeated
+// even though the nonce sequence is. Nothing may ever reuse a
+// SealOutput (or its salt) across sessions — the regression test
+// TestResumedSessionNeverReusesKeyNonce pins this invariant down.
 
 import (
 	"crypto/aes"

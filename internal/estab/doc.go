@@ -30,4 +30,11 @@
 // semantics are specified in DESIGN.md ("Racing establishment and the
 // connectivity cache"); the measured latency comparison lives in the
 // establishment suite of package bench (BENCH_estab.json).
+//
+// Establishment composes with the security layer transparently: the
+// routed method's dials and accepts go through the relay client, so on
+// nodes configured with identities (core.Config.NodeIdentity/Trust)
+// the racing candidates' routed links come up authenticated and sealed
+// end to end with no changes here — a routed candidate that fails its
+// key exchange simply loses the race like any other failed method.
 package estab

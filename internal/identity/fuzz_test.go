@@ -1,0 +1,92 @@
+package identity
+
+// Native fuzz targets for the identity layer's decoders: announcements,
+// link exchange blobs and sealed registry records all arrive from the
+// network (or the registry) and must never panic, over-read or verify
+// anything forged.
+
+import (
+	"testing"
+
+	"netibis/internal/wire"
+)
+
+func FuzzDecodeAnnounce(f *testing.F) {
+	if id, err := Generate("pool/alice"); err == nil {
+		f.Add(AppendAnnounce(nil, id.Announce()))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x20, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		a, err := DecodeAnnounce(d)
+		if err != nil {
+			return
+		}
+		_ = a
+	})
+}
+
+func FuzzDecodeLinkBlob(f *testing.F) {
+	if id, err := Generate("pool/alice"); err == nil {
+		if offer, err := OfferLink(id, "pool/alice", "pool/bob", 3); err == nil {
+			f.Add(offer.Blob())
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x20})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := decodeLinkBlob(data); err != nil {
+			return
+		}
+		// A decodable blob must still never verify against an empty
+		// trust store.
+		bob, err := Generate("pool/bob")
+		if err != nil {
+			t.Skip()
+		}
+		if _, _, err := AcceptLink(bob, NewTrustStore(), "pool/alice", "pool/bob", 3, data); err == nil {
+			t.Fatal("arbitrary blob passed AcceptLink verification")
+		}
+	})
+}
+
+func FuzzVerifyRecord(f *testing.F) {
+	if id, err := Generate("relay-0"); err == nil {
+		f.Add(SealRecord(id, "overlay/relay/relay-0", []byte("10.0.0.1:4500")))
+	}
+	f.Add([]byte("raw value"))
+	f.Add([]byte("NIS1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Unwrap must never panic and always return something.
+		_ = UnwrapRecord(data)
+		// Verification against an empty trust store must always fail.
+		if _, err := VerifyRecord(NewTrustStore(), "relay-0", "overlay/relay/relay-0", data); err == nil {
+			t.Fatal("arbitrary record verified against empty trust store")
+		}
+	})
+}
+
+// FuzzVerifyAttachNode throws arbitrary announce/signature bytes at the
+// attach verifier under a *populated* trust store: nothing but the real
+// signer may pass.
+func FuzzVerifyAttachNode(f *testing.F) {
+	f.Add([]byte("pubkey000000000000000000000000ww"), []byte("cert"), []byte("sig"))
+	f.Fuzz(func(t *testing.T, pub, cert, sig []byte) {
+		ca, err := NewAuthority()
+		if err != nil {
+			t.Skip()
+		}
+		ts := ca.TrustStore()
+		cn := make([]byte, NonceSize)
+		sn := make([]byte, NonceSize)
+		a := Announce{Public: pub, Cert: cert}
+		if err := VerifyAttachNode(ts, "pool/alice", a, cn, sn, "relay-0", sig); err == nil {
+			t.Fatal("forged announce/signature verified")
+		}
+	})
+}

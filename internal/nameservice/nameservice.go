@@ -40,6 +40,7 @@ const (
 	statusNotFound
 	statusTimeout
 	statusError
+	statusDenied // registration rejected by the server's verification policy
 )
 
 // Errors returned by the client.
@@ -51,6 +52,10 @@ var (
 	ErrTimeout = errors.New("nameservice: lookup timed out")
 	// ErrClosed is returned after the client or server has been closed.
 	ErrClosed = errors.New("nameservice: closed")
+	// ErrDenied is returned by Register when the server's verification
+	// policy rejected the record (e.g. a trust-enforcing registry was
+	// handed an unsigned or mis-signed relay record; see SetVerifier).
+	ErrDenied = errors.New("nameservice: registration rejected by server policy")
 )
 
 // Record is one registered name.
@@ -67,6 +72,7 @@ type Server struct {
 	cond    *sync.Cond
 	records map[string][]byte
 	elected map[string]string
+	verify  func(key string, value []byte) error
 	closed  bool
 
 	lnMu      sync.Mutex
@@ -84,6 +90,26 @@ func NewServer() *Server {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetVerifier installs a registration policy hook: every Register
+// request is passed through verify and rejected (statusDenied on the
+// wire, ErrDenied at the client) when it returns an error. The registry
+// stays agnostic of what the policy checks — identity.RegistryVerifier
+// builds the standard one, which demands that relay and node records
+// carry a valid signature from the identity they name, so a registry
+// poisoner cannot redirect establishment even when it can reach the
+// registry. Meant to be set before Serve.
+func (s *Server) SetVerifier(verify func(key string, value []byte) error) {
+	s.mu.Lock()
+	s.verify = verify
+	s.mu.Unlock()
+}
+
+func (s *Server) verifier() func(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verify
 }
 
 // Serve accepts registry clients on l until the listener or the server
@@ -234,6 +260,8 @@ func (s *Server) handle(c net.Conn) {
 			val := d.Bytes()
 			if d.Err() != nil {
 				resp = []byte{statusError}
+			} else if verify := s.verifier(); verify != nil && verify(key, val) != nil {
+				resp = []byte{statusDenied}
 			} else {
 				s.register(key, val)
 				resp = []byte{statusOK}
@@ -339,6 +367,9 @@ func (c *Client) Register(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	if resp[0] == statusDenied {
+		return fmt.Errorf("nameservice: register %q: %w", key, ErrDenied)
+	}
 	if resp[0] != statusOK {
 		return fmt.Errorf("nameservice: register %q failed (status %d)", key, resp[0])
 	}
@@ -396,7 +427,14 @@ func (c *Client) List(prefix string) ([]Record, error) {
 	}
 	d := wire.NewDecoder(resp[1:])
 	n := d.Uvarint()
-	recs := make([]Record, 0, n)
+	// Cap the pre-allocation: the count comes off the wire, and a
+	// malicious (or corrupted) registry response must not make the
+	// client allocate unboundedly before the per-record decode fails.
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	recs := make([]Record, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		k := d.String()
 		v := d.Bytes()

@@ -34,4 +34,12 @@
 //
 // The wire formats of the peer-link protocol are documented in
 // DESIGN.md.
+//
+// With identities configured (Config.Identity/Trust, package identity)
+// the mesh is closed to strangers: peer links are mutually
+// authenticated before any gossip or forwarded frame is exchanged, the
+// relay's registry record is signed so discovery cannot be redirected
+// by a registry poisoner, and a trust-enforcing mesh skips unsigned or
+// mis-signed records entirely. See DESIGN.md, "Identity and end-to-end
+// security".
 package overlay

@@ -1,0 +1,102 @@
+package overlay
+
+// Native fuzz targets for the overlay's hand-rolled decoders: directory
+// gossip, forward envelopes, NACKs and the peer-link hello — everything
+// a (possibly malicious) peer relay can put on a peer link. None may
+// panic or over-read on arbitrary bytes.
+
+import (
+	"testing"
+
+	"netibis/internal/identity"
+	"netibis/internal/wire"
+)
+
+func FuzzDecodeGossip(f *testing.F) {
+	f.Add(encodeGossip([]Entry{
+		{Node: "pool/alice", Home: "relay-0", Version: 3, Present: true},
+		{Node: "pool/bob", Home: "relay-1", Version: 9, Present: false},
+	}))
+	f.Add(encodeGossip(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}) // huge count, no entries
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeGossip(data)
+		if err != nil {
+			return
+		}
+		// Decoded entries must re-encode and re-decode stably.
+		again, err := decodeGossip(encodeGossip(entries))
+		if err != nil || len(again) != len(entries) {
+			t.Fatalf("re-decode: %v (%d vs %d entries)", err, len(again), len(entries))
+		}
+	})
+}
+
+func FuzzDecodeForward(f *testing.F) {
+	var seed []byte
+	seed = wire.AppendString(seed, "relay-0")
+	seed = wire.AppendString(seed, "relay-1")
+	seed = wire.AppendString(seed, "pool/alice")
+	seed = wire.AppendUvarint(seed, 1)
+	seed = append(seed, 0x25)
+	seed = wire.AppendBytes(seed, []byte("routed-payload"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		origin, firstHop, srcNode, hops, kind, routed, err := decodeForward(data)
+		if err != nil {
+			return
+		}
+		_ = origin
+		_ = firstHop
+		_ = srcNode
+		_ = hops
+		_ = kind
+		if len(routed) > len(data) {
+			t.Fatal("routed payload longer than input")
+		}
+	})
+}
+
+func FuzzDecodeNack(f *testing.F) {
+	f.Add(encodeNack("relay-0", "pool/bob", "pool/alice", 7, 0x22))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		origin, dst, srcNode, channel, kind, err := decodeNack(data)
+		if err != nil {
+			return
+		}
+		// Roundtrip stability.
+		o2, d2, s2, c2, k2, err := decodeNack(encodeNack(origin, dst, srcNode, channel, kind))
+		if err != nil || o2 != origin || d2 != dst || s2 != srcNode || c2 != channel || k2 != kind {
+			t.Fatalf("re-decode mismatch: %v", err)
+		}
+	})
+}
+
+func FuzzDecodePeerHello(f *testing.F) {
+	f.Add(encodePeerHello("relay-1", nil, nil, nil))
+	if id, err := identity.Generate("relay-1"); err == nil {
+		nonce, _ := identity.NewNonce()
+		f.Add(encodePeerHello("relay-1", id, nonce, nil))
+		f.Add(encodePeerHello("relay-1", id, nonce, []byte("sig")))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x', 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodePeerHello(data)
+		if err != nil {
+			return
+		}
+		if h.id == "" {
+			t.Fatal("accepted hello with empty ID")
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"netibis/internal/identity"
 	"netibis/internal/nameservice"
 	"netibis/internal/relay"
 	"netibis/internal/wire"
@@ -20,11 +21,12 @@ const RegistryPrefix = "overlay/relay/"
 // Peer-link frame kinds, disjoint from the relay node protocol so that
 // one listener serves both nodes and peer relays.
 const (
-	kindPeerHello   = wire.KindUser + 0x10 + iota // dialer -> acceptor: relay ID
-	kindPeerHelloOK                               // acceptor -> dialer: relay ID
+	kindPeerHello   = wire.KindUser + 0x10 + iota // dialer -> acceptor: relay ID (+ identity announce)
+	kindPeerHelloOK                               // acceptor -> dialer: relay ID (+ identity proof)
 	kindGossip                                    // directory entries
 	kindForward                                   // forwarded routed frame
 	kindNack                                      // forwarded frame was undeliverable
+	kindPeerAuth                                  // dialer -> acceptor: challenge response signature
 )
 
 // DefaultRescanInterval is how often a relay re-lists the registry to
@@ -64,6 +66,16 @@ type Config struct {
 	RescanInterval time.Duration
 	// MaxHops overrides DefaultMaxHops when positive.
 	MaxHops int
+	// Identity is the relay's Ed25519 identity. With one configured the
+	// relay signs its registry record (so nodes and peers can detect a
+	// poisoned address) and proves itself in peer-link handshakes.
+	Identity *identity.Identity
+	// Trust, when non-nil, makes peer-link authentication mandatory:
+	// every peer relay must prove an identity this store binds to its
+	// claimed mesh ID, in both directions, before any gossip or
+	// forwarded frame is exchanged — and discovered registry records
+	// must carry a valid signature from the relay they advertise.
+	Trust *identity.TrustStore
 }
 
 // Relay is one member of the relay mesh. It implements relay.Forwarder.
@@ -148,6 +160,14 @@ func New(cfg Config) (*Relay, error) {
 	if cfg.Dial == nil {
 		return nil, errors.New("overlay: config needs a Dial function")
 	}
+	if cfg.Trust != nil && cfg.Identity == nil {
+		// Peer-link authentication is mutual by construction: the
+		// handshake's freshness comes from *both* sides' nonces, and a
+		// verifier that contributes no nonce of its own would accept
+		// replayable proofs (and could never answer the peer's challenge
+		// back). A trust-enforcing mesh member must carry an identity.
+		return nil, errors.New("overlay: Trust requires an Identity (peer authentication is mutual)")
+	}
 	if cfg.RescanInterval <= 0 {
 		cfg.RescanInterval = DefaultRescanInterval
 	}
@@ -171,7 +191,14 @@ func New(cfg Config) (*Relay, error) {
 		o.dir.localUpdate(id, cfg.ID, true)
 	}
 	if cfg.Registry != nil {
-		if err := cfg.Registry.Register(RegistryPrefix+cfg.ID, []byte(cfg.Advertise)); err != nil {
+		// With an identity, the advertised address is registered as a
+		// signed record: a registry poisoner cannot redirect peers or
+		// nodes to an impostor address without breaking the signature.
+		val := []byte(cfg.Advertise)
+		if cfg.Identity != nil {
+			val = identity.SealRecord(cfg.Identity, RegistryPrefix+cfg.ID, val)
+		}
+		if err := cfg.Registry.Register(RegistryPrefix+cfg.ID, val); err != nil {
 			return nil, fmt.Errorf("overlay: register relay: %w", err)
 		}
 		o.scan()
@@ -272,7 +299,21 @@ func (o *Relay) scan() {
 		if o.hasPeer(id) {
 			continue
 		}
-		o.AddPeer(string(rec.Value)) // best effort; retried next rescan
+		addr := rec.Value
+		if o.cfg.Trust != nil {
+			// Trust-enforcing mesh: only dial addresses signed by the
+			// relay they claim to advertise. A poisoned (or unsigned)
+			// record is skipped — the real relay's record, when it
+			// reappears, is picked up by a later rescan.
+			v, err := identity.VerifyRecord(o.cfg.Trust, id, rec.Key, rec.Value)
+			if err != nil {
+				continue
+			}
+			addr = v
+		} else {
+			addr = identity.UnwrapRecord(rec.Value)
+		}
+		o.AddPeer(string(addr)) // best effort; retried next rescan
 	}
 }
 
@@ -289,9 +330,65 @@ func (o *Relay) peer(id string) *peerLink {
 	return o.peers[id]
 }
 
+// peerAuthTimeout bounds the authenticated peer-link handshake, so a
+// stalled or malicious dialer cannot pin an acceptor goroutine between
+// hello and proof.
+const peerAuthTimeout = 10 * time.Second
+
+// peerHello is the decoded hello / hello-OK payload: the relay ID plus,
+// when the sender has an identity, the authentication extension.
+type peerHello struct {
+	id       string
+	nonce    []byte
+	announce identity.Announce
+	sig      []byte // hello-OK only: the acceptor's proof
+}
+
+// encodePeerHello builds a hello or hello-OK payload. sig is nil on the
+// dialer's hello (its proof follows in kindPeerAuth, once it has seen
+// the acceptor's nonce).
+func encodePeerHello(id string, ident *identity.Identity, nonce, sig []byte) []byte {
+	b := wire.AppendString(nil, id)
+	if ident != nil {
+		b = wire.AppendUvarint(b, identity.AuthVersion)
+		b = wire.AppendBytes(b, nonce)
+		b = identity.AppendAnnounce(b, ident.Announce())
+		b = wire.AppendBytes(b, sig)
+	}
+	return b
+}
+
+func decodePeerHello(p []byte) (peerHello, error) {
+	d := wire.NewDecoder(p)
+	var h peerHello
+	h.id = d.String()
+	if d.Err() != nil || h.id == "" {
+		return peerHello{}, ErrHandshake
+	}
+	if d.Remaining() == 0 {
+		return h, nil // legacy peer: no identity
+	}
+	if v := d.Uvarint(); d.Err() != nil || v == 0 {
+		return peerHello{}, ErrHandshake
+	}
+	h.nonce = append([]byte(nil), d.Bytes()...)
+	a, err := identity.DecodeAnnounce(d)
+	if err != nil {
+		return peerHello{}, ErrHandshake
+	}
+	h.announce = a
+	h.sig = append([]byte(nil), d.Bytes()...)
+	if d.Err() != nil || d.Remaining() != 0 {
+		return peerHello{}, ErrHandshake
+	}
+	return h, nil
+}
+
 // AddPeer dials another relay's advertised address and establishes a
 // peer link (used by discovery, and directly for registry-less static
-// meshes).
+// meshes). With an identity configured the link is mutually
+// authenticated; with a trust store the peer *must* prove an identity
+// bound to its claimed mesh ID or the link is refused.
 func (o *Relay) AddPeer(addr string) error {
 	o.mu.Lock()
 	closed := o.closed
@@ -303,13 +400,22 @@ func (o *Relay) AddPeer(addr string) error {
 	if err != nil {
 		return err
 	}
+	var nonceA []byte
+	if o.cfg.Identity != nil {
+		if nonceA, err = identity.NewNonce(); err != nil {
+			conn.Close()
+			return err
+		}
+	}
 	w := wire.NewWriter(conn)
-	if err := w.WriteFrame(kindPeerHello, 0, wire.AppendString(nil, o.cfg.ID)); err != nil {
+	if err := w.WriteFrame(kindPeerHello, 0, encodePeerHello(o.cfg.ID, o.cfg.Identity, nonceA, nil)); err != nil {
 		conn.Close()
 		return err
 	}
 	r := wire.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(peerAuthTimeout))
 	f, err := r.ReadFrame()
+	conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
 		return err
@@ -318,34 +424,90 @@ func (o *Relay) AddPeer(addr string) error {
 		conn.Close()
 		return fmt.Errorf("%w: unexpected response kind %d", ErrHandshake, f.Kind)
 	}
-	d := wire.NewDecoder(f.Payload)
-	peerID := d.String()
-	if d.Err() != nil || peerID == "" || peerID == o.cfg.ID {
+	hello, err := decodePeerHello(f.Payload)
+	if err != nil || hello.id == o.cfg.ID {
 		conn.Close()
 		return fmt.Errorf("%w: bad peer ID", ErrHandshake)
 	}
-	return o.startPeer(peerID, conn, w, r)
+	if o.cfg.Trust != nil {
+		// The acceptor must have proven an identity bound to its claimed
+		// mesh ID, over our nonce.
+		if len(hello.announce.Public) == 0 {
+			conn.Close()
+			return fmt.Errorf("overlay: peer %s did not authenticate: %w", hello.id, identity.ErrAuthRequired)
+		}
+		if err := identity.VerifyPeerAccept(o.cfg.Trust, o.cfg.ID, hello.id, hello.announce, nonceA, hello.nonce, hello.sig); err != nil {
+			conn.Close()
+			return fmt.Errorf("overlay: peer %s authentication failed: %w", hello.id, err)
+		}
+	}
+	if o.cfg.Identity != nil && len(hello.nonce) > 0 {
+		// Prove ourselves back (the acceptor enforces this when it has a
+		// trust store).
+		sig := identity.SignPeerAuth(o.cfg.Identity, o.cfg.ID, hello.id, nonceA, hello.nonce)
+		if err := w.WriteFrame(kindPeerAuth, 0, wire.AppendBytes(nil, sig)); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	return o.startPeer(hello.id, conn, w, r)
 }
 
 // handlePeerConn is the relay.ConnHandler: it accepts the peer-link
 // handshake on a connection whose first frame was not a node attach.
+// With a trust store configured, the dialer must complete the
+// authentication exchange (announce in the hello, signature in
+// kindPeerAuth) before the link is admitted to the mesh — an
+// unauthenticated dialer is dropped without learning anything.
 func (o *Relay) handlePeerConn(first wire.Frame, conn net.Conn, r *wire.Reader) {
 	if first.Kind != kindPeerHello {
 		conn.Close()
 		return
 	}
-	d := wire.NewDecoder(first.Payload)
-	peerID := d.String()
-	if d.Err() != nil || peerID == "" || peerID == o.cfg.ID {
+	hello, err := decodePeerHello(first.Payload)
+	if err != nil || hello.id == o.cfg.ID {
 		conn.Close()
 		return
+	}
+	if o.cfg.Trust != nil && len(hello.announce.Public) == 0 {
+		conn.Close()
+		return
+	}
+	var nonceB, sig []byte
+	if o.cfg.Identity != nil {
+		if nonceB, err = identity.NewNonce(); err != nil {
+			conn.Close()
+			return
+		}
+		sig = identity.SignPeerAccept(o.cfg.Identity, hello.id, o.cfg.ID, hello.nonce, nonceB)
 	}
 	w := wire.NewWriter(conn)
-	if err := w.WriteFrame(kindPeerHelloOK, 0, wire.AppendString(nil, o.cfg.ID)); err != nil {
+	if err := w.WriteFrame(kindPeerHelloOK, 0, encodePeerHello(o.cfg.ID, o.cfg.Identity, nonceB, sig)); err != nil {
 		conn.Close()
 		return
 	}
-	o.startPeer(peerID, conn, w, r)
+	if o.cfg.Trust != nil {
+		// Wait for the dialer's proof, bounded: verify possession of the
+		// key its announce claimed, bound to both nonces and both IDs.
+		conn.SetReadDeadline(time.Now().Add(peerAuthTimeout))
+		f, err := r.ReadFrame()
+		conn.SetReadDeadline(time.Time{})
+		if err != nil || f.Kind != kindPeerAuth {
+			conn.Close()
+			return
+		}
+		d := wire.NewDecoder(f.Payload)
+		authSig := d.Bytes()
+		if d.Err() != nil {
+			conn.Close()
+			return
+		}
+		if err := identity.VerifyPeerAuth(o.cfg.Trust, hello.id, o.cfg.ID, hello.announce, hello.nonce, nonceB, authSig); err != nil {
+			conn.Close()
+			return
+		}
+	}
+	o.startPeer(hello.id, conn, w, r)
 }
 
 // startPeer registers an established peer link, pushes our directory
@@ -626,7 +788,15 @@ func encodeGossip(entries []Entry) []byte {
 func decodeGossip(p []byte) ([]Entry, error) {
 	d := wire.NewDecoder(p)
 	n := d.Uvarint()
-	entries := make([]Entry, 0, n)
+	// The count is attacker-controlled (peer links may be hostile): cap
+	// the pre-allocation and let the per-entry decode bound the loop —
+	// a lying count fails on the first missing entry instead of
+	// allocating gigabytes up front (found by FuzzDecodeGossip).
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	entries := make([]Entry, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		var e Entry
 		e.Node = d.String()

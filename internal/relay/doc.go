@@ -43,4 +43,16 @@
 // goroutine: one stalled destination connection backpressures only the
 // links feeding it, never unrelated traffic through the relay. See
 // DESIGN.md, "Flow control on routed links".
+//
+// Virtual links can be secured end to end (package identity): with a
+// trust store a Server demands an authenticated attach — a
+// challenge/response proving possession of an Ed25519 key bound to the
+// claimed node ID (KindChallenge/KindAuth, typed KindAttachFail
+// rejections) — and clients configured via AttachAuth run an
+// identity-signed X25519 exchange in the open/open-OK bodies and seal
+// every data frame with per-direction AEAD subkeys before it enters the
+// relay path. Relays forward such frames as ciphertext through the
+// unchanged cut-through/egress/credit machinery; only the routing
+// header and control kinds stay cleartext. See DESIGN.md, "Identity and
+// end-to-end security".
 package relay

@@ -1,0 +1,133 @@
+package relay
+
+// Native fuzz targets for the relay protocol's hand-rolled decoders:
+// routed headers, the attach extension, the challenge/auth handshake
+// frames and the open/open-OK bodies (window + end-to-end exchange
+// blobs). These parse bytes written by arbitrary, possibly hostile
+// nodes; none may panic, over-read or accept a malformed handshake.
+
+import (
+	"testing"
+
+	"netibis/internal/identity"
+	"netibis/internal/wire"
+)
+
+func FuzzParseRouted(f *testing.F) {
+	f.Add(AppendRouted(nil, "pool/bob", 7, []byte("body")))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst, channel, ok := ParseRouted(data)
+		zdst, zch, zok := parseRoutedZero(data)
+		if ok != zok {
+			t.Fatalf("ParseRouted ok=%v, parseRoutedZero ok=%v", ok, zok)
+		}
+		if !ok {
+			return
+		}
+		if dst != string(zdst) || channel != zch {
+			t.Fatal("allocating and zero-copy parses disagree")
+		}
+	})
+}
+
+func FuzzDecodeAttach(f *testing.F) {
+	f.Add(wire.AppendString(nil, "pool/alice"))
+	if id, err := identity.Generate("pool/alice"); err == nil {
+		nonce, _ := identity.NewNonce()
+		f.Add(appendAttachExt(wire.AppendString(nil, "pool/alice"), id, nonce))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 'a', 'l', 'i', 'c', 'e', 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		id := d.String()
+		if d.Err() != nil || id == "" {
+			return
+		}
+		ext, err := decodeAttachExt(d)
+		if err != nil {
+			return
+		}
+		if ext != nil && ext.version == 0 {
+			t.Fatal("accepted extension with version 0")
+		}
+	})
+}
+
+func FuzzDecodeChallenge(f *testing.F) {
+	nonce := make([]byte, serverNonceSize)
+	f.Add(encodeChallenge(nonce, "relay-0", nil, nil))
+	if id, err := identity.Generate("relay-0"); err == nil {
+		f.Add(encodeChallenge(nonce, "relay-0", id, []byte("sig")))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := decodeChallenge(data); err != nil {
+			return
+		}
+	})
+}
+
+func FuzzDecodeAuthResponse(f *testing.F) {
+	f.Add(encodeAuthResponse(make([]byte, serverNonceSize), []byte("sig")))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := decodeAuthResponse(data); err != nil {
+			return
+		}
+	})
+}
+
+// FuzzOpenBody fuzzes the open/open-OK body decode exactly as dispatch
+// performs it: originator ID, optional window varint, optional
+// end-to-end exchange blob.
+func FuzzOpenBody(f *testing.F) {
+	plain := wire.AppendString(nil, "pool/alice")
+	f.Add(plain)
+	windowed := wire.AppendUvarint(wire.AppendString(nil, "pool/alice"), 256<<10)
+	f.Add(windowed)
+	if id, err := identity.Generate("pool/alice"); err == nil {
+		if offer, err := identity.OfferLink(id, "pool/alice", "pool/bob", 3); err == nil {
+			full := wire.AppendUvarint(wire.AppendString(nil, "pool/alice"), 0)
+			full = wire.AppendBytes(full, offer.Blob())
+			f.Add(full)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 'h', 'i', 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := wire.NewDecoder(data)
+		from := d.String()
+		if d.Err() != nil {
+			return
+		}
+		_ = from
+		w := decodeWindow(d)
+		if w != unlimitedWindow && w <= 0 {
+			t.Fatalf("non-positive decoded window %d", w)
+		}
+		if d.Remaining() > 0 {
+			blob := d.Bytes()
+			if d.Err() != nil {
+				return
+			}
+			// The blob decode inside AcceptLink must never panic either;
+			// verification failures are expected.
+			bob, err := identity.Generate("pool/bob")
+			if err != nil {
+				t.Skip()
+			}
+			ts := identity.NewTrustStore()
+			_, _, _ = identity.AcceptLink(bob, ts, from, "pool/bob", 1, blob)
+		}
+	})
+}

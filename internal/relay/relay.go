@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netibis/internal/identity"
 	"netibis/internal/wire"
 )
 
@@ -17,15 +18,18 @@ import (
 // are exported because the overlay mesh speaks the same framing when it
 // forwards routed frames between relays.
 const (
-	KindAttach   = wire.KindUser + iota // node -> relay: register node ID
-	KindAttachOK                        // relay -> node (payload: relay server ID)
-	KindOpen                            // open a virtual link: src, dst, channel
-	KindOpenOK                          // accept of a virtual link
-	KindOpenFail                        // open failed (unknown node, refused)
-	KindData                            // data on a virtual link
-	KindShut                            // half-close of a virtual link
-	KindAbandon                         // discard a virtual link opened for a lost establishment race
-	KindCredit                          // flow control: the reader returns drained window bytes to the sender
+	KindAttach     = wire.KindUser + iota // node -> relay: register node ID
+	KindAttachOK                          // relay -> node (payload: relay server ID)
+	KindOpen                              // open a virtual link: src, dst, channel
+	KindOpenOK                            // accept of a virtual link
+	KindOpenFail                          // open failed (unknown node, refused)
+	KindData                              // data on a virtual link
+	KindShut                              // half-close of a virtual link
+	KindAbandon                           // discard a virtual link opened for a lost establishment race
+	KindCredit                            // flow control: the reader returns drained window bytes to the sender
+	KindChallenge                         // relay -> node: authentication challenge (nonce + relay proof)
+	KindAuth                              // node -> relay: challenge response (echo + signature)
+	KindAttachFail                        // relay -> node: attach rejected (typed code + message)
 )
 
 // Errors.
@@ -51,6 +55,10 @@ var (
 	// ErrDialCanceled is returned by DialCancel when the caller withdrew
 	// the open before the peer answered.
 	ErrDialCanceled = errors.New("relay: dial canceled")
+	// ErrE2E is returned on a sealed routed link when an incoming record
+	// fails authentication or replays an already-seen sequence number:
+	// the link fails closed rather than deliver forged or replayed bytes.
+	ErrE2E = errors.New("relay: end-to-end record verification failed")
 )
 
 // maxDataFrame bounds the payload of a single routed data frame; larger
@@ -128,6 +136,7 @@ type Server struct {
 	nodes  map[string]*serverPeer
 	fwd    Forwarder
 	connH  ConnHandler
+	auth   AuthConfig
 	closed bool
 
 	// attachMu serialises each {s.nodes update, Forwarder notification}
@@ -163,6 +172,13 @@ type serverPeer struct {
 	id   string
 	conn net.Conn
 	eg   *Egress
+	// enforceSrc (trust-enforcing relays) pins the source-node field
+	// embedded in this peer's routed frames to its authenticated
+	// attachment ID: having proven who it is, a node also may not
+	// *speak* as anyone else. Frames claiming a foreign source are
+	// dropped at this edge (mesh-forwarded frames were already
+	// edge-validated by the trusted peer relay they entered through).
+	enforceSrc bool
 }
 
 // enqueue schedules one frame towards the peer on behalf of the given
@@ -417,6 +433,21 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	}
 	peer.id = id
 
+	// Authentication, when enforced: the attach may carry an identity
+	// extension, and a trust-configured relay demands one and verifies it
+	// with a challenge/response before anything is acknowledged. The
+	// handshake binds the *claimed node ID* to the proven key, so one
+	// node cannot attach as another.
+	ext, extErr := decodeAttachExt(d)
+	if extErr != nil {
+		sendAttachFail(w, attachFailMalformed, "malformed attach extension")
+		return
+	}
+	if !s.authenticateNode(c, r, w, id, ext) {
+		return
+	}
+	peer.enforceSrc = s.authConfig().Trust != nil
+
 	// Refuse attaches during shutdown before acking: an ack followed by
 	// the shutdown's conn close would look like a successful attach and
 	// an immediate detach, which in resumable mode burns one of the
@@ -519,6 +550,19 @@ func (s *Server) route(from *serverPeer, kind byte, b *wire.Buf) {
 	if !ok {
 		return
 	}
+	if from.enforceSrc && kind != KindOpenFail {
+		// Trust-enforcing relay: the frame body's source field must name
+		// the attachment it arrived on. An authenticated-but-malicious
+		// node forging frames "from" another node (e.g. to reset the
+		// victims' sealed links with garbage records) is stopped here.
+		// KindOpenFail is exempt: refusals carry an empty body. The
+		// check parses and compares in place — no allocation, the
+		// cut-through property is untouched.
+		src, ok := parseRoutedSrcZero(payload)
+		if !ok || string(src) != from.id {
+			return
+		}
+	}
 	target := s.lookupKey(dst)
 	if target == nil {
 		// Not attached here: try the mesh.
@@ -589,12 +633,27 @@ func parseRoutedZero(p []byte) (dst []byte, channel uint64, ok bool) {
 	return dst, channel, true
 }
 
+// parseRoutedSrcZero extracts the source-node field that leads the body
+// of every routed frame except open-failures, without allocating: src
+// aliases p and is only valid while p is.
+func parseRoutedSrcZero(p []byte) (src []byte, ok bool) {
+	d := wire.NewDecoder(p)
+	d.Bytes()   // dst
+	d.Uvarint() // channel
+	src = d.Bytes()
+	if d.Err() != nil {
+		return nil, false
+	}
+	return src, true
+}
+
 // --- client --------------------------------------------------------------------
 
 // Client is a node's persistent attachment to a relay. It multiplexes
 // any number of virtual links over the single underlying connection.
 type Client struct {
-	id string
+	id   string
+	auth *AuthConfig // security posture (nil: anonymous, plaintext links)
 
 	wmu  sync.Mutex
 	conn net.Conn
@@ -605,7 +664,7 @@ type Client struct {
 	caps     uint64 // capability bits of the relay currently attached to
 	links    map[linkID]*routedConn
 	accepts  chan *routedConn
-	pending  map[linkID]chan *routedConn
+	pending  map[linkID]*pendingDial
 	nextChan uint64
 	window   int // receive window advertised on new links
 	closed   bool
@@ -613,6 +672,20 @@ type Client struct {
 	gen      int // incremented on every (re)attach; stale readLoops are ignored
 	onDetach func(error)
 	err      error
+}
+
+// pendingDial is one open in flight: the waiter's channel plus the
+// end-to-end key exchange state (nil when the link runs plaintext).
+type pendingDial struct {
+	ch    chan dialResult
+	offer *identity.LinkOffer
+}
+
+// dialResult is the outcome of an open: an established link or a typed
+// refusal.
+type dialResult struct {
+	rc  *routedConn
+	err error
 }
 
 // linkID identifies one virtual link from the local node's point of
@@ -631,29 +704,68 @@ const (
 	roleAcceptor  byte = 0
 )
 
-// handshake performs the attach exchange on conn and returns the framing
-// objects plus the relay server's announced ID and capability bits.
-func handshake(conn net.Conn, nodeID string) (*wire.Writer, *wire.Reader, string, uint64, error) {
+// handshake performs the attach exchange on conn — including the
+// authentication challenge/response when the relay demands it and auth
+// provides an identity — and returns the framing objects plus the relay
+// server's announced ID and capability bits.
+func handshake(conn net.Conn, nodeID string, auth *AuthConfig) (*wire.Writer, *wire.Reader, string, uint64, error) {
 	w := wire.NewWriter(conn)
-	if err := w.WriteFrame(KindAttach, 0, wire.AppendString(nil, nodeID)); err != nil {
+	body := wire.AppendString(nil, nodeID)
+	var clientNonce []byte
+	if auth != nil && auth.Identity != nil {
+		var err error
+		clientNonce, err = identity.NewNonce()
+		if err != nil {
+			return nil, nil, "", 0, err
+		}
+		body = appendAttachExt(body, auth.Identity, clientNonce)
+	}
+	if err := w.WriteFrame(KindAttach, 0, body); err != nil {
 		return nil, nil, "", 0, err
 	}
 	r := wire.NewReader(conn)
-	f, err := r.ReadFrame()
-	if err != nil {
-		return nil, nil, "", 0, err
-	}
-	if f.Kind != KindAttachOK {
-		if f.Kind == KindOpenFail {
+	challenged := false
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return nil, nil, "", 0, err
+		}
+		switch f.Kind {
+		case KindChallenge:
+			if challenged {
+				return nil, nil, "", 0, fmt.Errorf("relay: duplicate challenge")
+			}
+			challenged = true
+			if err := clientAuthExchange(r, w, nodeID, auth, clientNonce, f); err != nil {
+				return nil, nil, "", 0, err
+			}
+		case KindAttachFail:
+			d := wire.NewDecoder(f.Payload)
+			code := d.Uvarint()
+			msg := d.String()
+			if d.Err() != nil {
+				return nil, nil, "", 0, fmt.Errorf("relay: attach rejected")
+			}
+			return nil, nil, "", 0, fmt.Errorf("relay: attach rejected (%s): %w", msg, attachFailErr(code))
+		case KindAttachOK:
+			if auth != nil && auth.Trust != nil && !challenged {
+				// Policy: with a trust store configured the relay must have
+				// proven itself inside a challenge. An un-challenged accept
+				// means an unauthenticated (or legacy) relay — fail closed
+				// rather than route traffic through an unverified box.
+				return nil, nil, "", 0, fmt.Errorf("relay: relay did not authenticate: %w", identity.ErrAuthRequired)
+			}
+			serverID, caps := parseAttachAck(f.Payload)
+			return w, r, serverID, caps, nil
+		case KindOpenFail:
 			// Current servers never refuse a duplicate attach (the latest
 			// attachment wins, see handleNode); the mapping is kept for
 			// servers predating latest-wins, which signalled it this way.
 			return nil, nil, "", 0, ErrDuplicateID
+		default:
+			return nil, nil, "", 0, fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
 		}
-		return nil, nil, "", 0, fmt.Errorf("relay: unexpected attach response kind %d", f.Kind)
 	}
-	serverID, caps := parseAttachAck(f.Payload)
-	return w, r, serverID, caps, nil
 }
 
 // parseAttachAck decodes the attach ack's server ID and capability bits.
@@ -701,27 +813,10 @@ func ProbeRTT(conn net.Conn) (time.Duration, error) {
 }
 
 // Attach connects this node (with the given location-independent node
-// ID) to the relay over an already established connection.
+// ID) to the relay over an already established connection, anonymously
+// and without end-to-end link sealing (see AttachAuth).
 func Attach(conn net.Conn, nodeID string) (*Client, error) {
-	w, r, serverID, caps, err := handshake(conn, nodeID)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c := &Client{
-		id:       nodeID,
-		conn:     conn,
-		w:        w,
-		serverID: serverID,
-		caps:     caps,
-		links:    make(map[linkID]*routedConn),
-		accepts:  make(chan *routedConn, 64),
-		pending:  make(map[linkID]chan *routedConn),
-		window:   DefaultWindowBytes,
-		gen:      1,
-	}
-	go c.readLoop(r, 1)
-	return c, nil
+	return AttachAuth(conn, nodeID, nil)
 }
 
 // ID returns the node ID this client attached under.
@@ -797,7 +892,10 @@ func (c *Client) Resume(conn net.Conn) error {
 	}
 	c.mu.Unlock()
 
-	w, r, serverID, caps, err := handshake(conn, c.id)
+	// The same handshake as the original attach, security included: a
+	// failover onto a surviving relay re-authenticates the node there
+	// (and re-verifies the relay) before any link state is resynced.
+	w, r, serverID, caps, err := handshake(conn, c.id, c.auth)
 	if err != nil {
 		conn.Close()
 		return err
@@ -941,17 +1039,41 @@ func (c *Client) DialCancel(peerID string, timeout time.Duration, cancel <-chan 
 	c.nextChan++
 	ch := c.nextChan
 	key := linkID{peer: peerID, channel: ch, outbound: true}
-	wait := make(chan *routedConn, 1)
-	c.pending[key] = wait
+	pd := &pendingDial{ch: make(chan dialResult, 1)}
+	c.mu.Unlock()
+
+	// End-to-end security: when armed, every open carries an
+	// identity-signed X25519 offer. Relays forward the open body
+	// opaquely; only the destination node can answer it.
+	if c.auth.e2eCapable() {
+		offer, err := identity.OfferLink(c.auth.Identity, c.id, peerID, ch)
+		if err != nil {
+			return nil, err
+		}
+		pd.offer = offer
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[key] = pd
 	c.mu.Unlock()
 
 	// The body tells the peer who we are plus — when our relay routes
 	// credit frames — our receive window (the credit it starts with for
 	// sends towards us). Peers predating flow control ignore the
 	// trailing varint; omitting it keeps the peer's sends uncredited.
+	// When an e2e offer follows, the window varint is always written (0
+	// encodes "uncredited") so the body stays unambiguous to decode.
 	body := wire.AppendString(nil, c.id)
 	if c.creditSupported() {
 		body = wire.AppendUvarint(body, uint64(c.recvWindow()))
+	} else if pd.offer != nil {
+		body = wire.AppendUvarint(body, 0)
+	}
+	if pd.offer != nil {
+		body = wire.AppendBytes(body, pd.offer.Blob())
 	}
 	if err := c.send(KindOpen, AppendRouted(nil, peerID, ch, body)); err != nil {
 		c.mu.Lock()
@@ -960,13 +1082,13 @@ func (c *Client) DialCancel(peerID string, timeout time.Duration, cancel <-chan 
 		return nil, err
 	}
 	select {
-	case rc := <-wait:
-		if rc == nil {
-			return nil, ErrRefused
+	case res := <-pd.ch:
+		if res.err != nil {
+			return nil, res.err
 		}
-		return rc, nil
+		return res.rc, nil
 	case <-cancel: // nil cancel blocks forever, i.e. never fires
-		return nil, c.abandonDial(key, wait)
+		return nil, c.abandonDial(key, pd)
 	case <-time.After(timeout):
 		c.mu.Lock()
 		delete(c.pending, key)
@@ -981,7 +1103,7 @@ func (c *Client) DialCancel(peerID string, timeout time.Duration, cancel <-chan 
 // aborted with the abandon handshake, a still-pending open gets a bare
 // abandon frame so the peer's accepted half is discarded when (if) its
 // OpenOK arrives at a dead letter box.
-func (c *Client) abandonDial(key linkID, wait chan *routedConn) error {
+func (c *Client) abandonDial(key linkID, pd *pendingDial) error {
 	c.mu.Lock()
 	delete(c.pending, key)
 	rc := c.links[key]
@@ -989,7 +1111,8 @@ func (c *Client) abandonDial(key linkID, wait chan *routedConn) error {
 	if rc == nil {
 		// Dispatch may have grabbed the waiter just before we deleted it.
 		select {
-		case rc = <-wait:
+		case res := <-pd.ch:
+			rc = res.rc
 		default:
 		}
 	}
@@ -1037,16 +1160,44 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 	}
 	switch kind {
 	case KindOpen:
-		// body carries the originator's node ID and (since flow control)
-		// its receive window — our initial send credit on this link.
+		// body carries the originator's node ID, (since flow control) its
+		// receive window — our initial send credit on this link — and
+		// (since end-to-end security) its signed link offer.
 		d := wire.NewDecoder(body)
 		from := d.String()
 		if d.Err() != nil {
 			return
 		}
 		peerWindow := decodeWindow(d)
+		var offerBlob []byte
+		if d.Remaining() > 0 {
+			offerBlob = d.Bytes()
+			if d.Err() != nil {
+				return
+			}
+		}
+		var keys *identity.LinkKeys
+		var answer []byte
+		if len(offerBlob) > 0 && c.auth.e2eCapable() {
+			k, a, err := identity.AcceptLink(c.auth.Identity, c.auth.Trust, from, c.id, hdr.channel, offerBlob)
+			if err != nil {
+				// An offer we cannot verify (untrusted initiator, forged
+				// signature, spoofed "from"): refuse rather than silently
+				// fall back to plaintext with an unverified peer.
+				c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
+				return
+			}
+			keys, answer = k, a
+		} else if c.auth != nil && c.auth.RequireE2E {
+			// Sealing is mandatory here but the open carries no usable
+			// offer (legacy peer, or the capability was stripped in
+			// transit): fail closed.
+			c.send(KindOpenFail, AppendRouted(nil, from, hdr.channel, nil))
+			return
+		}
 		key := linkID{peer: from, channel: hdr.channel, outbound: false}
 		rc := newRoutedConn(c, from, hdr.channel, false, peerWindow, c.recvWindow())
+		rc.keys = keys
 		c.mu.Lock()
 		closed := c.closed
 		if !closed {
@@ -1059,10 +1210,17 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		// Acknowledge and deliver to Accept. The send into accepts is
 		// flag-guarded under mu: Close/fail set closed under mu before
 		// closing the channel, so a sender either completes first or
-		// observes closed — never a send on a closed channel.
+		// observes closed — never a send on a closed channel. When an
+		// e2e answer follows, the window varint is always written (0
+		// encodes "uncredited") so the ack stays unambiguous to decode.
 		ack := wire.AppendString(nil, c.id)
 		if c.creditSupported() {
 			ack = wire.AppendUvarint(ack, uint64(rc.recvWindow))
+		} else if answer != nil {
+			ack = wire.AppendUvarint(ack, 0)
+		}
+		if answer != nil {
+			ack = wire.AppendBytes(ack, answer)
 		}
 		c.send(KindOpenOK, AppendRouted(nil, from, hdr.channel, ack))
 		delivered := false
@@ -1087,33 +1245,72 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 			return
 		}
 		peerWindow := decodeWindow(d)
+		var answerBlob []byte
+		if d.Remaining() > 0 {
+			answerBlob = d.Bytes()
+			if d.Err() != nil {
+				return
+			}
+		}
 		key := linkID{peer: from, channel: hdr.channel, outbound: true}
 		c.mu.Lock()
-		wait := c.pending[key]
+		pd := c.pending[key]
 		delete(c.pending, key)
+		c.mu.Unlock()
+		if pd == nil {
+			return
+		}
+		var keys *identity.LinkKeys
+		if pd.offer != nil {
+			if len(answerBlob) == 0 {
+				// We offered the secure capability and the answer came back
+				// without it: a legacy acceptor, or a stripped exchange.
+				if c.auth != nil && c.auth.RequireE2E {
+					c.abandonLink(from, hdr.channel, roleInitiator)
+					pd.ch <- dialResult{err: fmt.Errorf("relay: open %s#%d answered without the secure capability: %w",
+						from, hdr.channel, identity.ErrDowngraded)}
+					return
+				}
+				// Plaintext fallback permitted by policy.
+			} else {
+				k, err := pd.offer.CompleteLink(c.auth.Trust, answerBlob)
+				if err != nil {
+					// Unverifiable answer: tear the far half down and fail
+					// the dial with the precise reason.
+					c.abandonLink(from, hdr.channel, roleInitiator)
+					pd.ch <- dialResult{err: fmt.Errorf("relay: link key exchange with %s failed: %w", from, err)}
+					return
+				}
+				keys = k
+			}
+		}
+		c.mu.Lock()
 		var rc *routedConn
-		if wait != nil {
+		if !c.closed {
 			// c.mu is held: read the window field directly.
 			rc = newRoutedConn(c, from, hdr.channel, true, peerWindow, c.window)
+			rc.keys = keys
 			c.links[key] = rc
 		}
 		c.mu.Unlock()
-		if wait != nil {
-			wait <- rc
+		if rc == nil {
+			pd.ch <- dialResult{err: ErrClosed}
+			return
 		}
+		pd.ch <- dialResult{rc: rc}
 	case KindOpenFail:
 		// Either a dial failure (pending) or a refused accept.
 		c.mu.Lock()
-		var failed []chan *routedConn
-		for key, wait := range c.pending {
+		var failed []*pendingDial
+		for key, pd := range c.pending {
 			if key.channel == hdr.channel {
-				failed = append(failed, wait)
+				failed = append(failed, pd)
 				delete(c.pending, key)
 			}
 		}
 		c.mu.Unlock()
-		for _, wait := range failed {
-			wait <- nil
+		for _, pd := range failed {
+			pd.ch <- dialResult{err: ErrRefused}
 		}
 	case KindData:
 		d := wire.NewDecoder(body)
@@ -1180,10 +1377,10 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		delete(c.links, key)
 		// An abandon can also cross an OpenOK still in flight the other
 		// way; fail the pending dial like a refusal.
-		var failed []chan *routedConn
-		for pkey, wait := range c.pending {
+		var failed []*pendingDial
+		for pkey, pd := range c.pending {
 			if pkey.peer == from && pkey.channel == hdr.channel {
-				failed = append(failed, wait)
+				failed = append(failed, pd)
 				delete(c.pending, pkey)
 			}
 		}
@@ -1191,8 +1388,8 @@ func (c *Client) dispatch(kind byte, payload []byte) {
 		if rc != nil {
 			rc.abandonedByPeer()
 		}
-		for _, wait := range failed {
-			wait <- nil
+		for _, pd := range failed {
+			pd.ch <- dialResult{err: ErrRefused}
 		}
 	}
 }
@@ -1231,10 +1428,10 @@ func (c *Client) disconnected(err error, gen int) {
 	// Dials in flight cannot complete; links and the accept queue are
 	// kept for Resume.
 	pend := c.pending
-	c.pending = make(map[linkID]chan *routedConn)
+	c.pending = make(map[linkID]*pendingDial)
 	c.mu.Unlock()
-	for _, wait := range pend {
-		wait <- nil
+	for _, pd := range pend {
+		pd.ch <- dialResult{err: ErrRefused}
 	}
 	go handler(err)
 }
@@ -1252,13 +1449,13 @@ func (c *Client) fail(err error) {
 		links = append(links, l)
 	}
 	pend := c.pending
-	c.pending = make(map[linkID]chan *routedConn)
+	c.pending = make(map[linkID]*pendingDial)
 	c.mu.Unlock()
 	for _, l := range links {
 		l.closeWithError(err)
 	}
-	for _, wait := range pend {
-		wait <- nil
+	for _, pd := range pend {
+		pd.ch <- dialResult{err: ErrRefused}
 	}
 	close(c.accepts)
 }
@@ -1267,6 +1464,15 @@ func (c *Client) dropLink(key linkID) {
 	c.mu.Lock()
 	delete(c.links, key)
 	c.mu.Unlock()
+}
+
+// abandonLink sends a bare abandon frame for a link that never became
+// usable locally (e.g. a failed end-to-end key exchange), telling the
+// peer to discard its half rather than hold a half-open conn.
+func (c *Client) abandonLink(peer string, channel uint64, role byte) {
+	body := wire.AppendString(nil, c.id)
+	body = wire.AppendUvarint(body, uint64(role))
+	c.send(KindAbandon, AppendRouted(nil, peer, channel, body))
 }
 
 // LinkCount reports the number of currently open virtual links.
@@ -1313,6 +1519,21 @@ type routedConn struct {
 	sendWindow int // remaining credit for sends; unlimitedWindow for legacy peers
 	sendInit   int // the peer's advertised window (0 when unlimited), for diagnostics
 
+	// End-to-end sealing (nil on plaintext links): data frames are AEAD
+	// records with an explicit, strictly increasing sequence number, so
+	// frames lost across a relay failover leave a tolerated gap while
+	// replayed or reordered records fail closed.
+	//
+	// sendMu serialises the {assign sequence, emit frame} pair of
+	// sealed writes: net.Conn permits concurrent Write calls, and
+	// without the outer lock two writers could put their sequence
+	// numbers on the wire in the opposite order of assignment — the
+	// peer's strictly-increasing check would kill the healthy link.
+	keys    *identity.LinkKeys
+	sendMu  sync.Mutex
+	sendSeq uint64 // last sequence sealed (guarded by sendMu)
+	recvSeq uint64 // last sequence accepted (guarded by mu)
+
 	rdeadline time.Time
 	wdeadline time.Time
 }
@@ -1346,11 +1567,39 @@ func (rc *routedConn) role() byte {
 // buffer is bounded by the flow-control invariant, not by a check here:
 // outstanding credit plus buffered bytes never exceeds recvWindow for a
 // conforming peer, because credit is only granted as Read drains.
+//
+// On a sealed link p is an AEAD record: it is authenticated and
+// decrypted in place (the plaintext is appended straight into the
+// receive buffer, no intermediate copy). A record that fails
+// authentication, or replays an already-accepted sequence number — an
+// injected, tampered or replayed frame, or plaintext smuggled onto a
+// sealed link — kills the link with ErrE2E instead of delivering it.
 func (rc *routedConn) deliver(p []byte) {
 	rc.mu.Lock()
-	rc.buf = append(rc.buf, p...)
+	if rc.keys != nil {
+		pt, seq, err := rc.keys.Open(rc.buf, p)
+		if err != nil || seq <= rc.recvSeq {
+			rc.failLocked(ErrE2E)
+			rc.mu.Unlock()
+			return
+		}
+		rc.recvSeq = seq
+		rc.buf = pt
+	} else {
+		rc.buf = append(rc.buf, p...)
+	}
 	rc.cond.Broadcast()
 	rc.mu.Unlock()
+}
+
+// failLocked is closeWithError with rc.mu already held.
+func (rc *routedConn) failLocked(err error) {
+	rc.closed = true
+	if rc.rerr == nil {
+		rc.rerr = err
+	}
+	rc.cond.Broadcast()
+	rc.wcond.Broadcast()
 }
 
 // addCredit returns drained bytes to the send window.
@@ -1574,6 +1823,13 @@ func (rc *routedConn) reserve(want int) (int, error) {
 // fairly; each frame first reserves send credit, so a write against an
 // exhausted window blocks (up to the write deadline) with the partial
 // count reported on failure.
+//
+// On a sealed link each frame's payload is sealed into a pooled
+// wire.Buf *before* it enters the relay path: every relay on the route
+// forwards ciphertext through the ordinary cut-through machinery,
+// untouched and unreadable. Credit is accounted in plaintext bytes on
+// both ends; the per-record overhead (identity.SealOverhead) rides
+// outside the window.
 func (rc *routedConn) Write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
@@ -1590,9 +1846,28 @@ func (rc *routedConn) Write(p []byte) (int, error) {
 		hdr = wire.AppendUvarint(hdr, rc.channel)
 		hdr = wire.AppendString(hdr, rc.client.id)
 		hdr = wire.AppendUvarint(hdr, uint64(rc.role()))
-		hdr = wire.AppendUvarint(hdr, uint64(n))
-		if err := rc.client.sendParts(KindData, hdr, p[:n]); err != nil {
-			return total, err
+		if rc.keys != nil {
+			// Sequence assignment and frame emission under one lock, so
+			// concurrent writers cannot reorder sequence numbers on the
+			// wire (the receiver requires strictly increasing).
+			rc.sendMu.Lock()
+			rc.sendSeq++
+			seq := rc.sendSeq
+			sealed := wire.GetBuf(n + identity.SealOverhead)
+			rec := rc.keys.Seal(sealed.Bytes()[:0], seq, p[:n])
+			sealed.SetLen(len(rec))
+			hdr = wire.AppendUvarint(hdr, uint64(len(rec)))
+			err := rc.client.sendParts(KindData, hdr, rec)
+			sealed.Release()
+			rc.sendMu.Unlock()
+			if err != nil {
+				return total, err
+			}
+		} else {
+			hdr = wire.AppendUvarint(hdr, uint64(n))
+			if err := rc.client.sendParts(KindData, hdr, p[:n]); err != nil {
+				return total, err
+			}
 		}
 		total += n
 		p = p[n:]

@@ -1,0 +1,157 @@
+// gencorpus writes seed corpus files for the repo's fuzz targets in the
+// Go fuzzing testdata format, built with the real protocol encoders.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"netibis/internal/identity"
+	"netibis/internal/wire"
+)
+
+const root = "/root/repo"
+
+func write(pkg, target, name string, args ...any) {
+	dir := filepath.Join(root, "internal", pkg, "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", v)
+		case byte:
+			fmt.Fprintf(&b, "byte(%q)\n", v)
+		default:
+			log.Fatalf("unsupported arg type %T", a)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), b.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	// wire: frames.
+	var fb bytes.Buffer
+	fw := wire.NewWriter(&fb)
+	fw.WriteFrame(wire.KindData, 0, []byte("hello, grid"))
+	write("wire", "FuzzReadFrame", "frame-data", fb.Bytes())
+	fb.Reset()
+	fw = wire.NewWriter(&fb)
+	fw.WriteFrame(wire.KindControl, 2, nil)
+	fw.WriteFrame(wire.KindFlush, 0, bytes.Repeat([]byte{0x5a}, 500))
+	write("wire", "FuzzReadFrame", "frame-pair", fb.Bytes())
+	write("wire", "FuzzReadFrame", "frame-huge-len",
+		[]byte{wire.KindData, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	dec := wire.AppendString(nil, "node/alice")
+	dec = wire.AppendUvarint(dec, 42)
+	dec = wire.AppendBytes(dec, []byte{1, 2, 3})
+	dec = wire.AppendUint32(dec, 7)
+	dec = wire.AppendUint64(dec, 9)
+	write("wire", "FuzzDecoder", "primitives", dec)
+	write("wire", "FuzzReadFrameRoundtrip", "basic", byte(0), byte(0), []byte("payload"))
+
+	// identity material reused below.
+	ca, err := identity.NewAuthority()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, _ := ca.Issue("pool/alice")
+	relay0, _ := ca.Issue("relay-0")
+	nonce, _ := identity.NewNonce()
+
+	write("identity", "FuzzDecodeAnnounce", "issued", identity.AppendAnnounce(nil, alice.Announce()))
+	offer, err := identity.OfferLink(alice, "pool/alice", "pool/bob", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("identity", "FuzzDecodeLinkBlob", "offer", offer.Blob())
+	write("identity", "FuzzVerifyRecord", "sealed",
+		identity.SealRecord(relay0, "overlay/relay/relay-0", []byte("10.0.0.1:4500")))
+	write("identity", "FuzzVerifyRecord", "raw", []byte("10.0.0.1:4500"))
+	sig := identity.SignAttachNode(alice, nonce, nonce, "relay-0", "pool/alice")
+	write("identity", "FuzzVerifyAttachNode", "real-parts",
+		[]byte(alice.Public), alice.Cert, sig)
+
+	// relay: routed payloads and handshake frames. The encoders are
+	// unexported; rebuild the byte layouts with the wire primitives
+	// (the formats are documented in internal/relay/auth.go).
+	routed := wire.AppendString(nil, "pool/bob")
+	routed = wire.AppendUvarint(routed, 7)
+	routed = append(routed, []byte("body")...)
+	write("relay", "FuzzParseRouted", "routed", routed)
+
+	attach := wire.AppendString(nil, "pool/alice")
+	write("relay", "FuzzDecodeAttach", "legacy", attach)
+	ext := wire.AppendUvarint(attach, identity.AuthVersion)
+	ext = wire.AppendBytes(ext, nonce)
+	ext = identity.AppendAnnounce(ext, alice.Announce())
+	write("relay", "FuzzDecodeAttach", "extended", ext)
+
+	challenge := wire.AppendBytes(nil, make([]byte, 32))
+	challenge = wire.AppendString(challenge, "relay-0")
+	challenge = identity.AppendAnnounce(challenge, relay0.Announce())
+	challenge = wire.AppendBytes(challenge, sig)
+	write("relay", "FuzzDecodeChallenge", "signed", challenge)
+
+	resp := wire.AppendBytes(nil, make([]byte, 32))
+	resp = wire.AppendBytes(resp, sig)
+	write("relay", "FuzzDecodeAuthResponse", "basic", resp)
+
+	openBody := wire.AppendString(nil, "pool/alice")
+	openBody = wire.AppendUvarint(openBody, 0)
+	openBody = wire.AppendBytes(openBody, offer.Blob())
+	write("relay", "FuzzOpenBody", "secure-open", openBody)
+	write("relay", "FuzzOpenBody", "windowed",
+		wire.AppendUvarint(wire.AppendString(nil, "pool/alice"), 256<<10))
+
+	// overlay: gossip / forward / nack / hello (formats documented in
+	// internal/overlay/overlay.go).
+	gossip := wire.AppendUvarint(nil, 2)
+	for _, e := range []struct {
+		node, home string
+		ver        uint64
+		present    byte
+	}{{"pool/alice", "relay-0", 3, 1}, {"pool/bob", "relay-1", 9, 0}} {
+		gossip = wire.AppendString(gossip, e.node)
+		gossip = wire.AppendString(gossip, e.home)
+		gossip = wire.AppendUvarint(gossip, e.ver)
+		gossip = append(gossip, e.present)
+	}
+	write("overlay", "FuzzDecodeGossip", "two-entries", gossip)
+	write("overlay", "FuzzDecodeGossip", "huge-count",
+		[]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	fwd := wire.AppendString(nil, "relay-0")
+	fwd = wire.AppendString(fwd, "relay-1")
+	fwd = wire.AppendString(fwd, "pool/alice")
+	fwd = wire.AppendUvarint(fwd, 1)
+	fwd = append(fwd, 0x25)
+	fwd = wire.AppendBytes(fwd, routed)
+	write("overlay", "FuzzDecodeForward", "forward", fwd)
+
+	nack := wire.AppendString(nil, "relay-0")
+	nack = wire.AppendString(nack, "pool/bob")
+	nack = wire.AppendString(nack, "pool/alice")
+	nack = wire.AppendUvarint(nack, 7)
+	nack = append(nack, 0x22)
+	write("overlay", "FuzzDecodeNack", "nack", nack)
+
+	hello := wire.AppendString(nil, "relay-1")
+	write("overlay", "FuzzDecodePeerHello", "legacy", hello)
+	hello = wire.AppendUvarint(hello, identity.AuthVersion)
+	hello = wire.AppendBytes(hello, nonce)
+	hello = identity.AppendAnnounce(hello, relay0.Announce())
+	hello = wire.AppendBytes(hello, sig)
+	write("overlay", "FuzzDecodePeerHello", "authenticated", hello)
+
+	fmt.Println("corpus written")
+}
