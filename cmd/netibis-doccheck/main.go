@@ -10,14 +10,24 @@
 //
 // With no arguments it checks every *.md file in the working directory.
 // The exit status is non-zero when any link is broken.
+//
+// With -metrics-lint the tool instead audits the observability naming
+// scheme: every "netibis_..." string literal in non-test Go sources
+// must satisfy obs.CheckName (netibis_<subsystem>_<name>_<unit>, known
+// subsystem and unit tokens, counters ending in _total). CI runs it as
+//
+//	netibis-doccheck -metrics-lint internal cmd
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"netibis/internal/obs"
 )
 
 // mdLink matches [text](target) markdown links. Images and reference
@@ -80,8 +90,74 @@ func checkFile(path string) (broken []string, err error) {
 	return broken, nil
 }
 
+// metricLiteral matches quoted metric-name literals in Go source. The
+// naming scheme makes the prefix unambiguous, so a plain scan beats a
+// full parse: anything that says "netibis_..." in a string is either a
+// registered family name or a bug the lint should flag.
+var metricLiteral = regexp.MustCompile(`"(netibis_[A-Za-z0-9_]*)"`)
+
+// lintMetricNames walks the given directories and validates every
+// metric-name literal in non-test Go files against the naming scheme.
+// Test files are exempt: they carry deliberately malformed names as
+// fixtures for the scheme checker itself.
+func lintMetricNames(dirs []string) (bad int, names map[string]bool, err error) {
+	names = map[string]bool{}
+	for _, dir := range dirs {
+		werr := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricLiteral.FindAllStringSubmatch(string(data), -1) {
+				name := m[1]
+				if names[name] {
+					continue
+				}
+				names[name] = true
+				if cerr := obs.CheckName(name); cerr != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", path, cerr)
+					bad++
+				}
+			}
+			return nil
+		})
+		if werr != nil {
+			return bad, names, werr
+		}
+	}
+	return bad, names, nil
+}
+
 func main() {
-	files := os.Args[1:]
+	metricsLint := flag.Bool("metrics-lint", false,
+		"audit netibis_* metric-name literals in Go sources against the obs naming scheme instead of checking markdown links")
+	flag.Parse()
+
+	if *metricsLint {
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			dirs = []string{"internal", "cmd"}
+		}
+		bad, names, err := lintMetricNames(dirs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %d metric name(s) violate the naming scheme\n", bad)
+			os.Exit(1)
+		}
+		fmt.Printf("doccheck: %d metric name(s) conform to the naming scheme\n", len(names))
+		return
+	}
+
+	files := flag.Args()
 	if len(files) == 0 {
 		matches, err := filepath.Glob("*.md")
 		if err != nil || len(matches) == 0 {

@@ -8,12 +8,14 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"netibis/internal/identity"
 	"netibis/internal/nameservice"
+	"netibis/internal/obs"
 )
 
 func main() {
@@ -22,6 +24,8 @@ func main() {
 		"Ed25519 identity file for this registry (generated and persisted on first use); reserved for future signed registry responses, today it only pins the daemon's name")
 	trustFile := flag.String("trust", "",
 		"trust file (netibis-trust-v1); enforces the signed-record policy: relay and node records must carry a valid signature from the identity they name")
+	metricsAddr := flag.String("metrics", "",
+		"address to serve /metrics (Prometheus text) on; off by default — the endpoint is unauthenticated, bind it to loopback or an ops network only")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -45,6 +49,21 @@ func main() {
 		log.Printf("netibis-nameserver: signed-record policy enforced (relay and node records must verify)")
 	}
 	log.Printf("netibis-nameserver: listening on %s", l.Addr())
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.MetricsInto(reg)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("netibis-nameserver: metrics listen %s: %v", *metricsAddr, err)
+		}
+		log.Printf("netibis-nameserver: serving /metrics on %s (unauthenticated; keep it off untrusted networks)", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, obs.NewHandler(reg, nil)); err != nil {
+				log.Printf("netibis-nameserver: metrics serve: %v", err)
+			}
+		}()
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)

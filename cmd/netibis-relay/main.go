@@ -21,6 +21,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,7 @@ import (
 
 	"netibis/internal/identity"
 	"netibis/internal/nameservice"
+	"netibis/internal/obs"
 	"netibis/internal/overlay"
 	"netibis/internal/relay"
 )
@@ -45,6 +47,8 @@ func main() {
 		"Ed25519 identity file for this relay (generated and persisted on first use); enables signed registry records and lets the relay prove itself to nodes and peers")
 	trustFile := flag.String("trust", "",
 		"trust file (netibis-trust-v1: 'authority <hex>' / 'pin <name> <hex>' lines); makes node attaches and peer links mandatory-authenticated and discovery signature-checked")
+	metricsAddr := flag.String("metrics", "",
+		"address to serve /metrics (Prometheus text) and /debug/events (trace ring) on; off by default — the endpoint is unauthenticated, bind it to loopback or an ops network only")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -54,6 +58,17 @@ func main() {
 	srv := relay.NewServer()
 	srv.SetEgressQueue(*egressQueue)
 	log.Printf("netibis-relay: listening on %s", l.Addr())
+
+	// Observability is opt-in: with no -metrics flag nothing listens and
+	// the instrumentation cost is the hot-path atomic adds only.
+	var obsReg *obs.Registry
+	var obsTrace *obs.Trace
+	if *metricsAddr != "" {
+		obsReg = obs.NewRegistry()
+		obsTrace = obs.NewTrace(obs.DefaultTraceEvents)
+		srv.SetTrace(obsTrace)
+		srv.MetricsInto(obsReg)
+	}
 
 	var relayIdent *identity.Identity
 	var trust *identity.TrustStore
@@ -132,6 +147,7 @@ func main() {
 			},
 			Identity: relayIdent,
 			Trust:    trust,
+			Trace:    obsTrace,
 		})
 		if err != nil {
 			log.Fatalf("netibis-relay: overlay: %v", err)
@@ -145,6 +161,22 @@ func main() {
 			}
 		}
 		log.Printf("netibis-relay: federated as %q (peers: %v)", meshID, mesh.Peers())
+		if obsReg != nil {
+			mesh.MetricsInto(obsReg)
+		}
+	}
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("netibis-relay: metrics listen %s: %v", *metricsAddr, err)
+		}
+		log.Printf("netibis-relay: serving /metrics and /debug/events on %s (unauthenticated; keep it off untrusted networks)", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, obs.NewHandler(obsReg, obsTrace)); err != nil {
+				log.Printf("netibis-relay: metrics serve: %v", err)
+			}
+		}()
 	}
 
 	go func() {

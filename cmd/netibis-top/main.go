@@ -1,0 +1,141 @@
+// Command netibis-top is the operator's live view of a relay mesh: it
+// polls each relay's -metrics endpoint (Prometheus text, parsed with
+// the same internal/obs parser the tests use), turns counter deltas
+// into rates, and repaints a full-screen panel per relay plus a merged
+// tail of the relays' trace-ring events — which is how one watches a
+// failover: kill a relay and see its panel go UNREACHABLE while the
+// survivors' attach events and routed-frame rates pick up the load.
+//
+//	netibis-top 127.0.0.1:9100 127.0.0.1:9101
+//	netibis-top -interval 500ms -once 127.0.0.1:9100
+//
+// The addresses are the relays' -metrics addresses, not their relay
+// listen addresses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"netibis/internal/obs"
+)
+
+// pollTimeout bounds one scrape; an unresponsive relay must not stall
+// the whole repaint cycle.
+const pollTimeout = 2 * time.Second
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "poll and repaint interval")
+	once := flag.Bool("once", false, "poll once, print one frame without clearing the screen, and exit")
+	events := flag.Int("events", 10, "number of merged trace events to show")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: netibis-top [-interval d] [-once] <metrics-addr> [<metrics-addr>...]")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: pollTimeout}
+	relays := make([]*relayPoller, 0, flag.NArg())
+	for _, addr := range flag.Args() {
+		relays = append(relays, &relayPoller{addr: addr, client: client})
+	}
+
+	for {
+		var panels []panel
+		var merged []taggedEvent
+		now := time.Now()
+		for _, r := range relays {
+			panels = append(panels, r.poll(now))
+			merged = append(merged, r.events...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].ev.Time.Before(merged[j].ev.Time) })
+		if len(merged) > *events {
+			merged = merged[len(merged)-*events:]
+		}
+		frame := render(panels, merged)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Full repaint: clear screen, home cursor.
+		fmt.Print("\033[2J\033[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// taggedEvent is one trace event with the relay it came from.
+type taggedEvent struct {
+	relay string
+	ev    obs.Event
+}
+
+// relayPoller scrapes one relay's metrics endpoint and tails its event
+// ring incrementally (the since cursor survives between polls).
+type relayPoller struct {
+	addr   string
+	client *http.Client
+
+	prev     *obs.Scrape
+	prevTime time.Time
+	since    int64
+	events   []taggedEvent
+}
+
+// poll fetches /metrics (and new /debug/events) and derives the panel.
+func (r *relayPoller) poll(now time.Time) panel {
+	cur, err := r.scrape()
+	if err != nil {
+		r.prev = nil
+		return panel{Addr: r.addr, Err: err}
+	}
+	p := buildPanel(r.addr, r.prev, cur, now.Sub(r.prevTime))
+	r.prev, r.prevTime = cur, now
+	r.pollEvents()
+	return p
+}
+
+func (r *relayPoller) scrape() (*obs.Scrape, error) {
+	resp, err := r.client.Get("http://" + r.addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// pollEvents tails /debug/events from the last seen sequence number.
+// Event-ring errors are not fatal to the panel: an old relay build
+// without the endpoint still shows its metrics.
+func (r *relayPoller) pollEvents() {
+	resp, err := r.client.Get(fmt.Sprintf("http://%s/debug/events?since=%d", r.addr, r.since))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var evs []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		return
+	}
+	for _, ev := range evs {
+		r.since = ev.Seq
+		r.events = append(r.events, taggedEvent{relay: r.addr, ev: ev})
+	}
+	// Bound the per-relay tail; render trims further after merging.
+	if len(r.events) > 64 {
+		r.events = r.events[len(r.events)-64:]
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+// Panel building and rendering, kept free of I/O so render_test.go can
+// drive it from canned scrapes.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"netibis/internal/obs"
+)
+
+// panel is one relay's digested state for a single frame.
+type panel struct {
+	Addr string
+	Err  error // non-nil: the relay is unreachable; other fields are zero
+
+	AttachedNodes int64
+	MeshPeers     int64
+	DirEntries    int64
+	Backlog       int64
+
+	RoutedPerSec    float64
+	RoutedBytesSec  float64
+	ForwardedPerSec float64
+	InjectedPerSec  float64
+	CreditPerSec    float64
+
+	AttachOK     int64
+	AttachFailed int64
+	Detaches     int64
+
+	EstabOpens    int64
+	EstabOpenOKs  int64
+	EstabAbandons int64
+
+	PeerForwards map[string]float64 // forwarded frames by peer, totals
+}
+
+// counterRate turns two samples of a cumulative counter into a
+// per-second rate. Negative deltas (relay restarted between polls)
+// clamp to zero rather than rendering nonsense.
+func counterRate(prev, cur *obs.Scrape, name string, dt time.Duration) float64 {
+	if prev == nil || dt <= 0 {
+		return 0
+	}
+	c, ok := cur.Value(name)
+	if !ok {
+		return 0
+	}
+	p, ok := prev.Value(name)
+	if !ok {
+		return 0
+	}
+	d := c - p
+	if d < 0 {
+		return 0
+	}
+	return d / dt.Seconds()
+}
+
+func gaugeOf(sc *obs.Scrape, name string) int64 {
+	v, _ := sc.Value(name)
+	return int64(v)
+}
+
+// buildPanel digests one scrape (plus the previous one for rates) into
+// a panel.
+func buildPanel(addr string, prev, cur *obs.Scrape, dt time.Duration) panel {
+	p := panel{
+		Addr:          addr,
+		AttachedNodes: gaugeOf(cur, "netibis_relay_attached_nodes"),
+		MeshPeers:     gaugeOf(cur, "netibis_overlay_mesh_peers"),
+		DirEntries:    gaugeOf(cur, "netibis_overlay_directory_entries"),
+		Backlog:       gaugeOf(cur, "netibis_flow_egress_backlog_frames"),
+
+		RoutedPerSec:    counterRate(prev, cur, "netibis_relay_routed_frames_total", dt),
+		RoutedBytesSec:  counterRate(prev, cur, "netibis_relay_routed_bytes_total", dt),
+		ForwardedPerSec: counterRate(prev, cur, "netibis_relay_forwarded_frames_total", dt),
+		InjectedPerSec:  counterRate(prev, cur, "netibis_relay_injected_frames_total", dt),
+		CreditPerSec:    counterRate(prev, cur, "netibis_flow_credit_frames_total", dt),
+
+		Detaches:      gaugeOf(cur, "netibis_relay_detach_total"),
+		EstabOpens:    gaugeOf(cur, "netibis_estab_open_frames_total"),
+		EstabOpenOKs:  gaugeOf(cur, "netibis_estab_open_ok_frames_total"),
+		EstabAbandons: gaugeOf(cur, "netibis_estab_abandon_frames_total"),
+
+		PeerForwards: cur.Labeled("netibis_relay_peer_forwarded_frames_total", "peer"),
+	}
+	for outcome, v := range cur.Labeled("netibis_relay_attach_total", "outcome") {
+		if outcome == "ok" {
+			p.AttachOK = int64(v)
+		} else {
+			p.AttachFailed += int64(v)
+		}
+	}
+	return p
+}
+
+// fmtBytes renders a byte rate compactly.
+func fmtBytes(bps float64) string {
+	switch {
+	case bps >= 1<<20:
+		return fmt.Sprintf("%.1f MB/s", bps/(1<<20))
+	case bps >= 1<<10:
+		return fmt.Sprintf("%.1f KB/s", bps/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}
+
+// render draws one frame: a panel per relay plus the merged event tail.
+func render(panels []panel, events []taggedEvent) string {
+	var sb strings.Builder
+	sb.WriteString("netibis-top — relay mesh\n\n")
+	for _, p := range panels {
+		renderPanel(&sb, p)
+	}
+	if len(events) > 0 {
+		sb.WriteString("events (merged tail):\n")
+		for _, te := range events {
+			fmt.Fprintf(&sb, "  %-21s t+%-8.0fms [%s] %s\n", te.relay, te.ev.TMillis, te.ev.Subsystem, te.ev.Msg)
+		}
+	}
+	return sb.String()
+}
+
+func renderPanel(sb *strings.Builder, p panel) {
+	if p.Err != nil {
+		fmt.Fprintf(sb, "▌ %s  UNREACHABLE (%v)\n\n", p.Addr, p.Err)
+		return
+	}
+	fmt.Fprintf(sb, "▌ %s  nodes:%d  mesh-peers:%d  directory:%d  backlog:%d frames\n",
+		p.Addr, p.AttachedNodes, p.MeshPeers, p.DirEntries, p.Backlog)
+	fmt.Fprintf(sb, "  routed %7.1f fr/s  %12s   forwarded %7.1f fr/s   injected %7.1f fr/s   credit %6.1f fr/s\n",
+		p.RoutedPerSec, fmtBytes(p.RoutedBytesSec), p.ForwardedPerSec, p.InjectedPerSec, p.CreditPerSec)
+	fmt.Fprintf(sb, "  attach ok:%d fail:%d detach:%d   estab opens:%d oks:%d abandons:%d\n",
+		p.AttachOK, p.AttachFailed, p.Detaches, p.EstabOpens, p.EstabOpenOKs, p.EstabAbandons)
+	if len(p.PeerForwards) > 0 {
+		peers := make([]string, 0, len(p.PeerForwards))
+		for peer := range p.PeerForwards {
+			peers = append(peers, peer)
+		}
+		sort.Strings(peers)
+		sb.WriteString("  forwards by peer:")
+		for _, peer := range peers {
+			fmt.Fprintf(sb, "  %s=%.0f", peer, p.PeerForwards[peer])
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\n")
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netibis/internal/obs"
+)
+
+const scrapeT0 = `# TYPE netibis_relay_routed_frames_total counter
+netibis_relay_routed_frames_total 1000
+# TYPE netibis_relay_routed_bytes_total counter
+netibis_relay_routed_bytes_total 1048576
+# TYPE netibis_relay_attached_nodes gauge
+netibis_relay_attached_nodes 3
+# TYPE netibis_overlay_mesh_peers gauge
+netibis_overlay_mesh_peers 1
+# TYPE netibis_relay_peer_forwarded_frames_total counter
+netibis_relay_peer_forwarded_frames_total{peer="relay-b"} 40
+# TYPE netibis_relay_attach_total counter
+netibis_relay_attach_total{outcome="ok"} 3
+netibis_relay_attach_total{outcome="bad_signature"} 2
+`
+
+const scrapeT1 = `# TYPE netibis_relay_routed_frames_total counter
+netibis_relay_routed_frames_total 1500
+# TYPE netibis_relay_routed_bytes_total counter
+netibis_relay_routed_bytes_total 3145728
+# TYPE netibis_relay_attached_nodes gauge
+netibis_relay_attached_nodes 4
+# TYPE netibis_overlay_mesh_peers gauge
+netibis_overlay_mesh_peers 1
+# TYPE netibis_relay_peer_forwarded_frames_total counter
+netibis_relay_peer_forwarded_frames_total{peer="relay-b"} 90
+# TYPE netibis_relay_attach_total counter
+netibis_relay_attach_total{outcome="ok"} 4
+netibis_relay_attach_total{outcome="bad_signature"} 2
+`
+
+func parse(t *testing.T, text string) *obs.Scrape {
+	t.Helper()
+	sc, err := obs.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestBuildPanelRates(t *testing.T) {
+	prev := parse(t, scrapeT0)
+	cur := parse(t, scrapeT1)
+	p := buildPanel("127.0.0.1:9100", prev, cur, time.Second)
+
+	if p.RoutedPerSec != 500 {
+		t.Fatalf("RoutedPerSec = %v, want 500", p.RoutedPerSec)
+	}
+	if p.RoutedBytesSec != 2*1024*1024 {
+		t.Fatalf("RoutedBytesSec = %v, want 2 MiB/s", p.RoutedBytesSec)
+	}
+	if p.AttachedNodes != 4 || p.MeshPeers != 1 {
+		t.Fatalf("gauges wrong: %+v", p)
+	}
+	if p.AttachOK != 4 || p.AttachFailed != 2 {
+		t.Fatalf("attach outcomes wrong: ok=%d fail=%d", p.AttachOK, p.AttachFailed)
+	}
+	if p.PeerForwards["relay-b"] != 90 {
+		t.Fatalf("PeerForwards = %v", p.PeerForwards)
+	}
+}
+
+func TestBuildPanelFirstPollHasNoRates(t *testing.T) {
+	cur := parse(t, scrapeT0)
+	p := buildPanel("r", nil, cur, 0)
+	if p.RoutedPerSec != 0 {
+		t.Fatalf("first poll must not invent a rate, got %v", p.RoutedPerSec)
+	}
+}
+
+func TestBuildPanelCounterResetClampsToZero(t *testing.T) {
+	prev := parse(t, scrapeT1)
+	cur := parse(t, scrapeT0) // relay restarted: counters went backwards
+	p := buildPanel("r", prev, cur, time.Second)
+	if p.RoutedPerSec != 0 {
+		t.Fatalf("reset counter must clamp to 0, got %v", p.RoutedPerSec)
+	}
+}
+
+func TestRenderFrameContents(t *testing.T) {
+	prev := parse(t, scrapeT0)
+	cur := parse(t, scrapeT1)
+	p := buildPanel("127.0.0.1:9100", prev, cur, time.Second)
+	down := panel{Addr: "127.0.0.1:9101", Err: errUnreachable{}}
+	events := []taggedEvent{
+		{relay: "127.0.0.1:9100", ev: obs.Event{Seq: 1, TMillis: 1200, Subsystem: "relay", Msg: "node pool/a attached"}},
+	}
+	out := render([]panel{p, down}, events)
+
+	for _, want := range []string{
+		"127.0.0.1:9100",
+		"nodes:4",
+		"mesh-peers:1",
+		"routed   500.0 fr/s",
+		"2.0 MB/s",
+		"attach ok:4 fail:2",
+		"relay-b=90",
+		"UNREACHABLE",
+		"node pool/a attached",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// errUnreachable is a canned error for render tests.
+type errUnreachable struct{}
+
+func (errUnreachable) Error() string { return "connection refused" }

@@ -165,6 +165,9 @@ type DatapathReport struct {
 	// Routed holds the routed-path security comparison: plaintext vs
 	// end-to-end sealed frames through a live TCP relay.
 	Routed []RoutedResult `json:"routed,omitempty"`
+	// MetricsOverhead holds the observability comparison: the routed
+	// path bare vs with the metrics layer attached and scraped.
+	MetricsOverhead []RoutedResult `json:"metrics_overhead,omitempty"`
 }
 
 // RunDatapathSuite measures every stack permutation at the given message
@@ -189,6 +192,11 @@ func RunDatapathSuite(msgSize, messages int, withRelay bool) (DatapathReport, er
 			return rep, fmt.Errorf("routed security: %w", err)
 		}
 		rep.Routed = routed
+		observed, err := CompareMetricsOverhead(8 << 20)
+		if err != nil {
+			return rep, fmt.Errorf("metrics overhead: %w", err)
+		}
+		rep.MetricsOverhead = observed
 	}
 	return rep, nil
 }
@@ -243,6 +251,9 @@ func FormatDatapath(rep DatapathReport) string {
 	}
 	if len(rep.Routed) > 0 {
 		out += FormatRouted(rep.Routed)
+	}
+	if len(rep.MetricsOverhead) > 0 {
+		out += FormatMetricsOverhead(rep.MetricsOverhead)
 	}
 	return out
 }

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netibis/internal/driver"
@@ -41,6 +42,7 @@ import (
 	"netibis/internal/identity"
 	"netibis/internal/ipl"
 	"netibis/internal/nameservice"
+	"netibis/internal/obs"
 	"netibis/internal/overlay"
 	"netibis/internal/relay"
 	"netibis/internal/socks"
@@ -156,6 +158,16 @@ type Config struct {
 	// fatter pipes busy; smaller ones bound the memory a slow consumer
 	// can pin per link.
 	RoutedWindowBytes int
+	// Metrics, when non-nil, receives the node's metric families: the
+	// estab family (race outcomes, cache effectiveness, establishment
+	// latency), the node side of the flow family (credit stalls,
+	// blocked-writer time) and the core family (relay detach/failover
+	// events). See DESIGN.md, "Observability".
+	Metrics *obs.Registry
+	// Trace, when non-nil, records node lifecycle events (establishment
+	// wins and failures, relay detachments and failovers) into the
+	// bounded event ring. Never written on per-frame paths.
+	Trace *obs.Trace
 }
 
 func (c Config) validate() error {
@@ -215,7 +227,27 @@ type Node struct {
 	closed       bool
 	done         chan struct{}
 
+	// Failover counters (see MetricsInto): detaches counts relay
+	// attachment losses, reattachResults the recovery outcomes
+	// (index 0 = resumed on a surviving relay, 1 = attachment abandoned).
+	detaches        atomic.Int64
+	reattachResults [2]atomic.Int64
+
 	wg sync.WaitGroup
+}
+
+// MetricsInto registers the core family: relay attachment losses and
+// failover outcomes. Join calls it when Config.Metrics is set.
+func (n *Node) MetricsInto(reg *obs.Registry) {
+	reg.CounterFunc("netibis_core_relay_detach_total",
+		"Relay attachment losses observed by this node.",
+		func() float64 { return float64(n.detaches.Load()) })
+	reg.CounterVec("netibis_core_reattach_total",
+		"Failover outcomes: resumed on a surviving relay, or attachment abandoned.",
+		func(emit obs.EmitFunc) {
+			emit(obs.Labels("result", "ok"), float64(n.reattachResults[0].Load()))
+			emit(obs.Labels("result", "abandoned"), float64(n.reattachResults[1].Load()))
+		})
 }
 
 // serviceLink is an outgoing service path to one peer, used to broker
@@ -287,6 +319,14 @@ func Join(cfg Config) (*Node, error) {
 		Sequential:    cfg.SequentialEstablish,
 		AcceptRouted:  n.acceptRoutedData,
 		DialRouted:    n.dialRoutedData,
+		Trace:         cfg.Trace,
+	}
+	if cfg.Metrics != nil {
+		em := estab.NewMetrics()
+		n.connector.Metrics = em
+		em.MetricsInto(cfg.Metrics)
+		relayCli.MetricsInto(cfg.Metrics)
+		n.MetricsInto(cfg.Metrics)
 	}
 
 	// Register the instance so that peers (and monitoring tools) can
@@ -474,6 +514,8 @@ func (n *Node) reattachCandidates() []emunet.Endpoint {
 // are lost, as they would be on a real TCP failure; once the mesh's
 // directory gossip announces the new home relay, traffic flows again.
 func (n *Node) onRelayDetach(err error) {
+	n.detaches.Add(1)
+	n.cfg.Trace.Eventf("core", "node %s lost its relay attachment: %v", n.relayID(), err)
 	n.mu.Lock()
 	now := time.Now()
 	keep := n.detachTimes[:0]
@@ -486,6 +528,8 @@ func (n *Node) onRelayDetach(err error) {
 	storm := len(n.detachTimes) > detachStormLimit
 	n.mu.Unlock()
 	if storm {
+		n.reattachResults[1].Add(1)
+		n.cfg.Trace.Eventf("core", "node %s abandoning attachment: detach storm", n.relayID())
 		n.relayCli.Abandon(fmt.Errorf("core: attachment repeatedly revoked (duplicate node identity %q in the pool?): %w", n.relayID(), err))
 		return
 	}
@@ -505,6 +549,9 @@ func (n *Node) onRelayDetach(err error) {
 				n.mu.Lock()
 				n.relayEP = p.ep
 				n.mu.Unlock()
+				n.reattachResults[0].Add(1)
+				n.cfg.Trace.Eventf("core", "node %s resumed on relay at %s (attempt %d)",
+					n.relayID(), p.ep, attempt+1)
 				// Routed frames in flight across the failure are lost,
 				// and a service link is a stateful conversation: a lost
 				// brokering or mux-barrier frame would wedge it (and its
@@ -525,6 +572,8 @@ func (n *Node) onRelayDetach(err error) {
 		}
 	}
 	// No relay left: give up and fail the attachment for good.
+	n.reattachResults[1].Add(1)
+	n.cfg.Trace.Eventf("core", "node %s abandoning attachment: no relay reachable", n.relayID())
 	n.relayCli.Abandon(fmt.Errorf("core: relay failover failed: %w", err))
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netibis/internal/emunet"
+	"netibis/internal/obs"
 	"netibis/internal/relay"
 	"netibis/internal/socks"
 	"netibis/internal/wire"
@@ -152,6 +153,12 @@ type Connector struct {
 	// ForcedMethod, when non-zero, skips the decision tree and forces a
 	// specific method; used by benchmarks and ablation experiments.
 	ForcedMethod Method
+	// Metrics, when non-nil, collects establishment outcomes, cache
+	// effectiveness and latency on the initiator side (see Metrics).
+	Metrics *Metrics
+	// Trace, when non-nil, records establishment wins and failures as
+	// trace-ring events (one per establishment, never per frame).
+	Trace *obs.Trace
 
 	// relayAccepts is the single long-lived pump over Relay.Accept used
 	// when no AcceptRouted hook is installed; see acceptRelayDirect.

@@ -1,0 +1,159 @@
+package estab
+
+// Establishment metrics. Unlike the relay's per-frame counters,
+// establishment events are rare (one per link), so the instruments can
+// afford time.Now calls and histogram observations. All methods are
+// nil-receiver safe: a Connector without Metrics attached pays nothing
+// but the nil checks.
+
+import (
+	"time"
+
+	"netibis/internal/obs"
+)
+
+// methodLabels maps Method values to the label values used by the
+// netibis_estab_method_wins_total family.
+var methodLabels = [Routed + 1]string{
+	MethodNone:   "none",
+	ClientServer: "client_server",
+	Splicing:     "splicing",
+	Proxy:        "proxy",
+	Routed:       "routed",
+}
+
+// Metrics aggregates one endpoint's establishment counters, collected
+// on the initiator side (each establishment has exactly one initiator,
+// so mesh-wide sums do not double-count). Create with NewMetrics and
+// attach via Connector.Metrics.
+type Metrics struct {
+	// Races counts racing establishments driven as initiator.
+	Races obs.Counter
+	// CachedRounds counts establishments settled by the
+	// single-candidate cached round (connectivity-cache hit that held).
+	CachedRounds obs.Counter
+	// CacheHits and CacheMisses count connectivity-cache consultations.
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter
+	// Invalidations counts cached winners that failed on reconnect and
+	// were forgotten (the establishment then fell back to a full race).
+	Invalidations obs.Counter
+	// Failures counts establishments that produced no link at all.
+	Failures obs.Counter
+
+	// ColdSeconds observes the latency of establishments that ran a
+	// full race; CachedSeconds those settled by the cached round. The
+	// gap between the two distributions is the cache's value.
+	ColdSeconds   *obs.Histogram
+	CachedSeconds *obs.Histogram
+
+	wins [Routed + 1]obs.Counter
+}
+
+// NewMetrics creates an establishment metrics block with the standard
+// latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		ColdSeconds:   obs.NewHistogram(obs.LatencyBuckets()),
+		CachedSeconds: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+}
+
+// Wins returns how many establishments the given method has won.
+func (m *Metrics) Wins(method Method) int64 {
+	if m == nil || method < 0 || int(method) >= len(m.wins) {
+		return 0
+	}
+	return m.wins[method].Value()
+}
+
+func (m *Metrics) raceStarted() {
+	if m != nil {
+		m.Races.Inc()
+	}
+}
+
+func (m *Metrics) cacheConsulted(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.CacheHits.Inc()
+	} else {
+		m.CacheMisses.Inc()
+	}
+}
+
+func (m *Metrics) cacheInvalidated() {
+	if m != nil {
+		m.Invalidations.Inc()
+	}
+}
+
+func (m *Metrics) won(method Method, cached bool, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	if method >= 0 && int(method) < len(m.wins) {
+		m.wins[method].Inc()
+	}
+	if cached {
+		m.CachedRounds.Inc()
+		m.CachedSeconds.Observe(elapsed.Seconds())
+	} else {
+		m.ColdSeconds.Observe(elapsed.Seconds())
+	}
+}
+
+func (m *Metrics) failed() {
+	if m != nil {
+		m.Failures.Inc()
+	}
+}
+
+// traceKey renders an establishment's peer key for trace events; links
+// brokered without a stable peer identity fall back to a placeholder.
+func traceKey(peerKey string) string {
+	if peerKey == "" {
+		return "(unkeyed peer)"
+	}
+	return peerKey
+}
+
+// MetricsInto registers the estab family as seen from the node: race
+// outcomes, method wins, cache effectiveness and establishment latency
+// (the relay exposes the same family from its vantage as frame counts).
+func (m *Metrics) MetricsInto(reg *obs.Registry) {
+	reg.CounterFunc("netibis_estab_races_total",
+		"Racing establishments driven as initiator.",
+		func() float64 { return float64(m.Races.Value()) })
+	reg.CounterFunc("netibis_estab_cached_rounds_total",
+		"Establishments settled by the single-candidate cached round.",
+		func() float64 { return float64(m.CachedRounds.Value()) })
+	reg.CounterFunc("netibis_estab_cache_hits_total",
+		"Connectivity-cache consultations that returned a fresh winner.",
+		func() float64 { return float64(m.CacheHits.Value()) })
+	reg.CounterFunc("netibis_estab_cache_misses_total",
+		"Connectivity-cache consultations that found no usable entry.",
+		func() float64 { return float64(m.CacheMisses.Value()) })
+	reg.CounterFunc("netibis_estab_cache_invalidations_total",
+		"Cached winners that failed on reconnect and were forgotten.",
+		func() float64 { return float64(m.Invalidations.Value()) })
+	reg.CounterFunc("netibis_estab_failed_races_total",
+		"Establishments that produced no link.",
+		func() float64 { return float64(m.Failures.Value()) })
+	reg.CounterVec("netibis_estab_method_wins_total",
+		"Establishments won, by method (client_server, splicing, proxy, routed).",
+		func(emit obs.EmitFunc) {
+			for method := ClientServer; method <= Routed; method++ {
+				emit(obs.Labels("method", methodLabels[method]),
+					float64(m.wins[method].Value()))
+			}
+		})
+	reg.RegisterHistogram("netibis_estab_cold_establish_seconds",
+		"Latency of establishments that ran a full race.",
+		m.ColdSeconds)
+	reg.RegisterHistogram("netibis_estab_cached_establish_seconds",
+		"Latency of establishments settled by the cached round.",
+		m.CachedSeconds)
+}

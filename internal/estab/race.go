@@ -475,8 +475,11 @@ func (c *Connector) establishRacing(service io.ReadWriter, initiator bool, opts 
 // the connectivity cache has a fresh winner, the full staggered race
 // otherwise, and the cached→full fallback in between.
 func (c *Connector) raceInitiator(rs *raceSession, local, remote Profile, opts EstablishOpts) (net.Conn, Method, error) {
+	start := time.Now()
+	c.Metrics.raceStarted()
 	candidates := c.initiatorCandidates(local, remote, opts)
 	if len(candidates) == 0 {
+		c.Metrics.failed()
 		// Unlike the sequential path (where both sides reach the same
 		// verdict independently), the plan is initiator-authoritative:
 		// tell the acceptor explicitly.
@@ -489,6 +492,7 @@ func (c *Connector) raceInitiator(rs *raceSession, local, remote Profile, opts E
 	cachedRound := false
 	if useCache {
 		if m, ok := c.Cache.Lookup(opts.PeerKey, opts.PeerClass); ok && methodIn(m, candidates) {
+			c.Metrics.cacheConsulted(true)
 			plan = []Method{m}
 			cachedRound = true
 		} else if leader, wait := c.Cache.beginRace(opts.PeerKey); !leader {
@@ -508,7 +512,9 @@ func (c *Connector) raceInitiator(rs *raceSession, local, remote Profile, opts E
 				}
 			case <-time.After(c.acceptTimeout()):
 			}
+			c.Metrics.cacheConsulted(cachedRound)
 		} else {
+			c.Metrics.cacheConsulted(false)
 			defer c.Cache.endRace(opts.PeerKey)
 		}
 	}
@@ -522,21 +528,30 @@ func (c *Connector) raceInitiator(rs *raceSession, local, remote Profile, opts E
 			if useCache {
 				c.Cache.Store(opts.PeerKey, m, opts.PeerClass)
 			}
+			c.Metrics.won(m, cachedRound, time.Since(start))
+			c.Trace.Eventf("estab", "established to %s via %s (cached=%v)",
+				traceKey(opts.PeerKey), m, cachedRound)
 			return conn, m, nil
 		}
 		if errors.Is(err, ErrEstablishmentEnded) || rs.sessionErr() != nil {
+			c.Metrics.failed()
 			return nil, MethodNone, err
 		}
 		if cachedRound {
 			// The remembered winner stopped working: forget it and fall
 			// back to the full race (minus the method that just failed).
 			c.Cache.Invalidate(opts.PeerKey)
+			c.Metrics.cacheInvalidated()
+			c.Trace.Eventf("estab", "cached method %s to %s failed; falling back to full race",
+				plan[0], traceKey(opts.PeerKey))
 			plan = methodsWithout(candidates, plan[0])
 			cachedRound = false
 			if len(plan) > 0 {
 				continue
 			}
 		}
+		c.Metrics.failed()
+		c.Trace.Eventf("estab", "establishment to %s failed: %v", traceKey(opts.PeerKey), err)
 		rs.b.send(msgAbort, nil)
 		return nil, MethodNone, err
 	}

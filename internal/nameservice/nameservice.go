@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"netibis/internal/obs"
 	"netibis/internal/wire"
 )
 
@@ -79,6 +81,13 @@ type Server struct {
 	listeners []net.Listener
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
+
+	// Request outcome counters, one atomic add per request (see
+	// MetricsInto). registerOutcomes is indexed ok/denied/malformed,
+	// lookupOutcomes ok/not_found/timeout/error.
+	registerOutcomes [3]atomic.Int64
+	lookupOutcomes   [4]atomic.Int64
+	unregisters      atomic.Int64
 }
 
 // NewServer creates an empty registry.
@@ -235,6 +244,52 @@ func (s *Server) elect(key, candidate string) string {
 	return candidate
 }
 
+// countLookup maps a lookup's wire status to its outcome counter.
+func (s *Server) countLookup(status byte) {
+	switch status {
+	case statusOK:
+		s.lookupOutcomes[0].Add(1)
+	case statusNotFound:
+		s.lookupOutcomes[1].Add(1)
+	case statusTimeout:
+		s.lookupOutcomes[2].Add(1)
+	default:
+		s.lookupOutcomes[3].Add(1)
+	}
+}
+
+// MetricsInto registers the nameservice family: request outcomes (the
+// denied register count is the registry poisoner's signature — see the
+// verifier in SetVerifier) and the live record gauge.
+func (s *Server) MetricsInto(reg *obs.Registry) {
+	registerLabels := [...]string{"ok", "denied", "malformed"}
+	reg.CounterVec("netibis_nameservice_register_total",
+		"Register requests by outcome (denied = rejected by the verification policy).",
+		func(emit obs.EmitFunc) {
+			for i := range s.registerOutcomes {
+				emit(obs.Labels("result", registerLabels[i]), float64(s.registerOutcomes[i].Load()))
+			}
+		})
+	lookupLabels := [...]string{"ok", "not_found", "timeout", "error"}
+	reg.CounterVec("netibis_nameservice_lookup_total",
+		"Lookup requests by outcome.",
+		func(emit obs.EmitFunc) {
+			for i := range s.lookupOutcomes {
+				emit(obs.Labels("result", lookupLabels[i]), float64(s.lookupOutcomes[i].Load()))
+			}
+		})
+	reg.CounterFunc("netibis_nameservice_unregister_total",
+		"Unregister requests served.",
+		func() float64 { return float64(s.unregisters.Load()) })
+	reg.GaugeFunc("netibis_nameservice_directory_records",
+		"Names currently registered.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.records))
+		})
+}
+
 // handle serves one client connection.
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
@@ -259,20 +314,25 @@ func (s *Server) handle(c net.Conn) {
 			key := d.String()
 			val := d.Bytes()
 			if d.Err() != nil {
+				s.registerOutcomes[2].Add(1)
 				resp = []byte{statusError}
 			} else if verify := s.verifier(); verify != nil && verify(key, val) != nil {
+				s.registerOutcomes[1].Add(1)
 				resp = []byte{statusDenied}
 			} else {
 				s.register(key, val)
+				s.registerOutcomes[0].Add(1)
 				resp = []byte{statusOK}
 			}
 		case opLookup:
 			key := d.String()
 			waitMs := d.Uvarint()
 			if d.Err() != nil {
+				s.lookupOutcomes[3].Add(1)
 				resp = []byte{statusError}
 			} else {
 				val, status := s.lookup(key, time.Duration(waitMs)*time.Millisecond)
+				s.countLookup(status)
 				resp = append([]byte{status}, wire.AppendBytes(nil, val)...)
 			}
 		case opUnregister:
@@ -281,6 +341,7 @@ func (s *Server) handle(c net.Conn) {
 				resp = []byte{statusError}
 			} else {
 				s.unregister(key)
+				s.unregisters.Add(1)
 				resp = []byte{statusOK}
 			}
 		case opList:

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// NewHandler returns the HTTP handler daemons mount on their -metrics
+// listener:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/events  the trace ring as a JSON array; ?since=<seq>
+//	               returns only events newer than seq, so pollers
+//	               (netibis-top) can tail incrementally
+//
+// Either argument may be nil; the corresponding endpoint then serves
+// 404. The handler performs no authentication: the -metrics listener
+// is opt-in and must be bound to a loopback or operations network (see
+// DESIGN.md "Observability" for the trust posture).
+func NewHandler(reg *Registry, tr *Trace) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WriteText(w)
+		})
+	}
+	if tr != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+			since := int64(0)
+			if s := r.URL.Query().Get("since"); s != "" {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since parameter", http.StatusBadRequest)
+					return
+				}
+				since = v
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = tr.WriteJSON(w, since)
+		})
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("netibis observability endpoint\n/metrics\n/debug/events?since=<seq>\n"))
+	})
+	return mux
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"netibis/internal/testutil"
+)
+
+func TestCheckName(t *testing.T) {
+	valid := []string{
+		"netibis_relay_routed_frames_total",
+		"netibis_flow_egress_backlog_frames",
+		"netibis_estab_cold_establish_seconds",
+		"netibis_nameservice_directory_records",
+	}
+	for _, n := range valid {
+		if err := CheckName(n); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", n, err)
+		}
+	}
+	invalid := []string{
+		"relay_routed_frames_total",         // missing prefix
+		"netibis_bogus_routed_frames_total", // unknown subsystem
+		"netibis_relay_routedFrames_total",  // uppercase
+		"netibis_relay__frames_total",       // empty token
+		"netibis_relay_stuff_widgets",       // unknown unit
+		"netibis_total",                     // too few tokens
+	}
+	for _, n := range invalid {
+		if err := CheckName(n); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	cases := []func(r *Registry){
+		func(r *Registry) { r.Counter("netibis_relay_routed_frames", "no _total suffix") },
+		func(r *Registry) { r.Gauge("netibis_relay_attach_total", "gauge with _total") },
+		func(r *Registry) { r.Counter("netibis_bogus_routed_frames_total", "bad subsystem") },
+	}
+	for i, reg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad registration did not panic", i)
+				}
+			}()
+			reg(NewRegistry())
+		}()
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netibis_relay_routed_frames_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("netibis_relay_routed_frames_total", "")
+}
+
+// TestConcurrentHammer drives counters, gauges and a histogram from
+// many goroutines under -race and verifies exact totals and no leaked
+// goroutines.
+func TestConcurrentHammer(t *testing.T) {
+	defer testutil.LeakCheck(t, 0)
+	r := NewRegistry()
+	c := r.Counter("netibis_relay_routed_frames_total", "")
+	g := r.Gauge("netibis_relay_attached_nodes", "")
+	h := r.Histogram("netibis_estab_cold_establish_seconds", "", LatencyBuckets())
+
+	const workers, rounds = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.003)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers to exercise the read side
+	// under -race.
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	scrapeWG.Wait()
+
+	if got := c.Value(); got != workers*rounds {
+		t.Fatalf("counter = %d, want %d", got, workers*rounds)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*rounds {
+		t.Fatalf("histogram count = %d, want %d", got, workers*rounds)
+	}
+	sum := h.Sum()
+	want := 0.003 * workers * rounds
+	if sum < want*0.999 || sum > want*1.001 {
+		t.Fatalf("histogram sum = %g, want ≈ %g", sum, want)
+	}
+}
+
+// TestInstrumentationZeroAllocs is the package-level alloc gate: the
+// operations hot paths are allowed to call must not allocate.
+func TestInstrumentationZeroAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(LatencyBuckets())
+	if a := testing.AllocsPerRun(1000, func() { c.Add(1) }); a != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { g.Set(7) }); a != 0 {
+		t.Fatalf("Gauge.Set allocates %.1f objects", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(0.25) }); a != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects", a)
+	}
+}
+
+// TestExpositionGolden pins the exact text format: sorted families,
+// HELP/TYPE comments, labeled samples, cumulative histogram buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netibis_relay_routed_frames_total", "Frames routed to locally attached nodes.")
+	c.Add(42)
+	g := r.Gauge("netibis_relay_attached_nodes", "Currently attached nodes.")
+	g.Set(3)
+	h := r.Histogram("netibis_estab_cold_establish_seconds", "Cold-path establishment latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.CounterVec("netibis_relay_peer_forwarded_frames_total", "Frames forwarded per mesh peer.", func(emit EmitFunc) {
+		emit(Labels("peer", "relay-1"), 7)
+		emit(Labels("peer", `we"ird\`), 1)
+	})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP netibis_estab_cold_establish_seconds Cold-path establishment latency.
+# TYPE netibis_estab_cold_establish_seconds histogram
+netibis_estab_cold_establish_seconds_bucket{le="0.01"} 1
+netibis_estab_cold_establish_seconds_bucket{le="0.1"} 2
+netibis_estab_cold_establish_seconds_bucket{le="+Inf"} 3
+netibis_estab_cold_establish_seconds_sum 5.055
+netibis_estab_cold_establish_seconds_count 3
+# HELP netibis_relay_attached_nodes Currently attached nodes.
+# TYPE netibis_relay_attached_nodes gauge
+netibis_relay_attached_nodes 3
+# HELP netibis_relay_peer_forwarded_frames_total Frames forwarded per mesh peer.
+# TYPE netibis_relay_peer_forwarded_frames_total counter
+netibis_relay_peer_forwarded_frames_total{peer="relay-1"} 7
+netibis_relay_peer_forwarded_frames_total{peer="we\"ird\\"} 1
+# HELP netibis_relay_routed_frames_total Frames routed to locally attached nodes.
+# TYPE netibis_relay_routed_frames_total counter
+netibis_relay_routed_frames_total 42
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netibis_relay_routed_frames_total", "help text").Add(11)
+	r.Gauge("netibis_relay_attached_nodes", "").Set(2)
+	r.GaugeVec("netibis_flow_node_egress_backlog_frames", "", func(emit EmitFunc) {
+		emit(Labels("node", "n-1"), 5)
+		emit(Labels("node", `q"x\`), 9)
+	})
+	h := r.Histogram("netibis_estab_cold_establish_seconds", "", []float64{0.5})
+	h.Observe(0.25)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if v, ok := sc.Value("netibis_relay_routed_frames_total"); !ok || v != 11 {
+		t.Fatalf("routed_frames_total = %v,%v want 11,true", v, ok)
+	}
+	if v, ok := sc.Value("netibis_relay_attached_nodes"); !ok || v != 2 {
+		t.Fatalf("attached_nodes = %v,%v want 2,true", v, ok)
+	}
+	backlog := sc.Labeled("netibis_flow_node_egress_backlog_frames", "node")
+	if backlog["n-1"] != 5 || backlog[`q"x\`] != 9 {
+		t.Fatalf("labeled backlog = %v", backlog)
+	}
+	buckets := sc.Labeled("netibis_estab_cold_establish_seconds_bucket", "le")
+	if buckets["0.5"] != 1 || buckets["+Inf"] != 1 {
+		t.Fatalf("histogram buckets = %v", buckets)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 6; i++ {
+		tr.Eventf("estab", "event %d", i)
+	}
+	evs := tr.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Msg != "event 2" || evs[3].Msg != "event 5" {
+		t.Fatalf("ring kept wrong window: first=%q last=%q", evs[0].Msg, evs[3].Msg)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not ascending: %v", evs)
+		}
+		if evs[i].TMillis < evs[i-1].TMillis {
+			t.Fatalf("relative timestamps not monotone: %v", evs)
+		}
+	}
+	newer := tr.Events(evs[1].Seq)
+	if len(newer) != 2 || newer[0].Seq != evs[2].Seq {
+		t.Fatalf("Events(since) = %v", newer)
+	}
+
+	var nilTrace *Trace
+	nilTrace.Eventf("estab", "dropped") // must not panic
+	if got := nilTrace.Events(0); got != nil {
+		t.Fatalf("nil trace returned events: %v", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	defer testutil.LeakCheck(t, 0)
+	r := NewRegistry()
+	r.Counter("netibis_relay_routed_frames_total", "").Add(9)
+	tr := NewTrace(8)
+	tr.Eventf("relay", "node n-1 attached")
+	srv := httptest.NewServer(NewHandler(r, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v", err)
+	}
+	if v, ok := sc.Value("netibis_relay_routed_frames_total"); !ok || v != 9 {
+		t.Fatalf("scraped value = %v,%v", v, ok)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(body.String(), "node n-1 attached") {
+		t.Fatalf("/debug/events missing event: %s", body.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/events?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad since parameter: status %d, want 400", resp.StatusCode)
+	}
+}

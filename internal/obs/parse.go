@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set
+// and its value. Histogram series appear under their derived names
+// (name_bucket with an le label, name_sum, name_count).
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed exposition payload with lookup helpers, keyed the
+// way pollers (netibis-top, the CI smoke test) need it.
+type Scrape struct {
+	Samples []Sample
+}
+
+// Value returns the sample value for an unlabeled metric (or the first
+// matching sample), and whether it was present.
+func (s *Scrape) Value(name string) (float64, bool) {
+	for i := range s.Samples {
+		if s.Samples[i].Name == name {
+			return s.Samples[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Labeled returns every sample of the named family that carries the
+// given label key, as a labelValue → value map.
+func (s *Scrape) Labeled(name, labelKey string) map[string]float64 {
+	out := make(map[string]float64)
+	for i := range s.Samples {
+		sm := &s.Samples[i]
+		if sm.Name != name {
+			continue
+		}
+		if lv, ok := sm.Labels[labelKey]; ok {
+			out[lv] = sm.Value
+		}
+	}
+	return out
+}
+
+// ParseText parses a Prometheus text-format exposition (the subset
+// WriteText produces: comments, blank lines, and name{labels} value
+// samples without explicit timestamps). It is the shared consumer for
+// netibis-top and the scrape smoke tests, so "parseable by ParseText"
+// is the repo's concrete reading of the exposition contract.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	out := &Scrape{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		if rest[i] == '{' {
+			labels, tail, err := parseLabels(rest[i+1:])
+			if err != nil {
+				return s, fmt.Errorf("sample %q: %w", line, err)
+			}
+			s.Labels = labels
+			rest = tail
+		} else {
+			rest = rest[i:]
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (not produced by WriteText) would appear as
+	// a second field; take the first field as the value either way.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k1="v1",k2="v2"}` and returns the map plus the
+// text after the closing brace.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label in %q", in)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		val, tail, err := parseQuoted(rest[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		rest = tail
+	}
+}
+
+// parseQuoted consumes a leading double-quoted, backslash-escaped
+// string and returns its unescaped value plus the remaining text.
+func parseQuoted(in string) (string, string, error) {
+	if in == "" || in[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", in)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in %q", in)
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(in[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", in)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in a Trace ring: a timestamped, subsystem-tagged
+// line of operator-readable text. TMillis is the event's offset from
+// the trace's start, so a timeline read off one process is directly
+// plottable without clock arithmetic; Time is the wall clock for
+// cross-process correlation.
+type Event struct {
+	Seq       int64     `json:"seq"`
+	Time      time.Time `json:"time"`
+	TMillis   float64   `json:"t_ms"`
+	Subsystem string    `json:"subsystem"`
+	Msg       string    `json:"msg"`
+}
+
+// Trace is a bounded ring of structured events recording the mesh's
+// interesting moments — establishment races, attach outcomes, relay
+// failovers — cheap enough to leave on in production. Writers pay one
+// mutex and one fmt.Sprintf per event; events are rare (human-scale,
+// not frame-scale), so this never sits on a data path. A nil *Trace is
+// valid and ignores events, so instrumented code calls Eventf
+// unconditionally.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	seq   int64
+	ring  []Event
+	head  int // index of the oldest event
+	n     int
+}
+
+// DefaultTraceEvents is the ring capacity daemons use unless
+// configured otherwise.
+const DefaultTraceEvents = 512
+
+// NewTrace returns a trace ring holding at most capacity events;
+// capacity <= 0 selects DefaultTraceEvents.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Eventf records one event, evicting the oldest when the ring is full.
+// Safe on a nil receiver (the event is dropped), so call sites need no
+// enabled-check.
+func (t *Trace) Eventf(subsystem, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	msg := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	t.seq++
+	ev := Event{
+		Seq:       t.seq,
+		Time:      now,
+		TMillis:   float64(now.Sub(t.start)) / float64(time.Millisecond),
+		Subsystem: subsystem,
+		Msg:       msg,
+	}
+	if t.n < len(t.ring) {
+		t.ring[(t.head+t.n)%len(t.ring)] = ev
+		t.n++
+	} else {
+		t.ring[t.head] = ev
+		t.head = (t.head + 1) % len(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events with Seq > since, oldest first.
+// Events(0) returns everything still in the ring.
+func (t *Trace) Events(since int64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		ev := t.ring[(t.head+i)%len(t.ring)]
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the events with Seq > since as a JSON array.
+func (t *Trace) WriteJSON(w io.Writer, since int64) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Events(since))
+}

@@ -38,6 +38,13 @@ func newDirectory(self string) *directory {
 	return &directory{self: self, entries: make(map[string]Entry)}
 }
 
+// size reports the number of directory records, tombstones included.
+func (d *directory) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
 // localUpdate records a local attach (present) or detach (!present) and
 // returns the resulting entry for gossiping.
 func (d *directory) localUpdate(node, home string, present bool) Entry {

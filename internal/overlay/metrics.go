@@ -1,0 +1,59 @@
+package overlay
+
+// Metrics registration. Gossip and repair hot paths update plain
+// atomics on Relay (one add per frame or entry); this file is the
+// scrape-side glue exposing them through an obs.Registry, plus gauges
+// computed under the relevant locks at scrape time only.
+
+import (
+	"netibis/internal/obs"
+)
+
+// MetricsInto registers the overlay family: gossip traffic and adoption
+// outcomes, NACK repair traffic, forwarded-envelope intake, and the
+// live mesh/directory/broadcast-queue gauges.
+func (o *Relay) MetricsInto(reg *obs.Registry) {
+	counterOf := func(a interface{ Load() int64 }) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+
+	reg.CounterFunc("netibis_overlay_sent_gossip_frames_total",
+		"Gossip frames sent to peer relays (broadcast deltas and join snapshots).",
+		counterOf(&o.gossipSent))
+	reg.CounterFunc("netibis_overlay_received_gossip_frames_total",
+		"Gossip frames received from peer relays.",
+		counterOf(&o.gossipRecv))
+	reg.CounterFunc("netibis_overlay_applied_gossip_entries_total",
+		"Received directory entries adopted (newer than the local record).",
+		counterOf(&o.gossipApplied))
+	reg.CounterFunc("netibis_overlay_stale_gossip_entries_total",
+		"Received directory entries rejected as stale or self-authoritative.",
+		counterOf(&o.gossipStale))
+	reg.CounterFunc("netibis_overlay_sent_nack_frames_total",
+		"NACKs originated for undeliverable forwards or passed towards the origin.",
+		counterOf(&o.nackSent))
+	reg.CounterFunc("netibis_overlay_received_nack_frames_total",
+		"NACKs received from peer relays.",
+		counterOf(&o.nackRecv))
+	reg.CounterFunc("netibis_overlay_received_forward_frames_total",
+		"Forward envelopes received from peer relays for local delivery.",
+		counterOf(&o.forwardRecv))
+
+	reg.GaugeFunc("netibis_overlay_mesh_peers",
+		"Peer relays currently linked.",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			return float64(len(o.peers))
+		})
+	reg.GaugeFunc("netibis_overlay_directory_entries",
+		"Attachment directory records held (tombstones included).",
+		func() float64 { return float64(o.dir.size()) })
+	reg.GaugeFunc("netibis_overlay_broadcast_queue_entries",
+		"Directory deltas waiting to be batched into a gossip broadcast.",
+		func() float64 {
+			o.gmu.Lock()
+			defer o.gmu.Unlock()
+			return float64(len(o.gorder))
+		})
+}

@@ -6,10 +6,12 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netibis/internal/identity"
 	"netibis/internal/nameservice"
+	"netibis/internal/obs"
 	"netibis/internal/relay"
 	"netibis/internal/wire"
 )
@@ -76,6 +78,10 @@ type Config struct {
 	// forwarded frame is exchanged — and discovered registry records
 	// must carry a valid signature from the relay they advertise.
 	Trust *identity.TrustStore
+	// Trace, when non-nil, records peer-link lifecycle events (link
+	// formed, link lost) on the shared event ring. Frame traffic is
+	// never traced.
+	Trace *obs.Trace
 }
 
 // Relay is one member of the relay mesh. It implements relay.Forwarder.
@@ -104,6 +110,16 @@ type Relay struct {
 	gpend   map[string]Entry // pending delta per node, superseded in place
 	gorder  []string         // FIFO of nodes with a pending delta
 	gclosed bool
+
+	// Gossip and repair counters (one atomic add per event; the forward
+	// counter sits on the mesh data path and must stay allocation-free).
+	gossipSent    atomic.Int64 // gossip frames sent (per peer)
+	gossipRecv    atomic.Int64 // gossip frames received
+	gossipApplied atomic.Int64 // received entries adopted by the directory
+	gossipStale   atomic.Int64 // received entries rejected as stale
+	nackSent      atomic.Int64 // NACKs originated or passed along
+	nackRecv      atomic.Int64 // NACKs received
+	forwardRecv   atomic.Int64 // forward envelopes received from peers
 }
 
 // peerLink is an established link to another relay of the mesh. All
@@ -533,7 +549,9 @@ func (o *Relay) startPeer(peerID string, conn net.Conn, w *wire.Writer, r *wire.
 	o.wg.Add(1)
 	o.mu.Unlock()
 
+	o.cfg.Trace.Eventf("overlay", "peer link %s up", peerID)
 	if snap := o.dir.snapshot(); len(snap) > 0 {
+		o.gossipSent.Add(1)
 		p.send(kindGossip, encodeGossip(snap))
 	}
 	go func() {
@@ -562,6 +580,7 @@ func (o *Relay) removePeer(p *peerLink) {
 	}
 	p.conn.Close()
 	p.eg.Close()
+	o.cfg.Trace.Eventf("overlay", "peer link %s down; dropping its homed nodes", p.id)
 	// Everything homed at the lost relay is unreachable until its nodes
 	// reattach elsewhere (which bumps their versions past these records).
 	o.dir.dropRelay(p.id)
@@ -580,17 +599,24 @@ func (o *Relay) readPeer(p *peerLink, r *wire.Reader) {
 		}
 		switch kind {
 		case kindGossip:
+			o.gossipRecv.Add(1)
 			entries, err := decodeGossip(b.Bytes())
 			if err != nil {
 				b.Release()
 				return
 			}
 			for _, e := range entries {
-				o.dir.merge(e)
+				if o.dir.merge(e) {
+					o.gossipApplied.Add(1)
+				} else {
+					o.gossipStale.Add(1)
+				}
 			}
 		case kindForward:
+			o.forwardRecv.Add(1)
 			o.handleForward(p, b)
 		case kindNack:
+			o.nackRecv.Add(1)
 			o.handleNack(p, b)
 		case wire.KindKeepAlive:
 			// Deliberately not echoed: both ends of a peer link run this
@@ -668,6 +694,7 @@ func (o *Relay) handleForward(from *peerLink, b *wire.Buf) {
 	// Undeliverable: NACK back over the link the frame arrived on, so
 	// the repair walks the reverse path — every hop of a stale chain
 	// invalidated its own bad entry, not just the origin.
+	o.nackSent.Add(1)
 	from.send(kindNack, encodeNack(origin, dst, srcNode, channel, kind))
 }
 
@@ -686,6 +713,7 @@ func (o *Relay) handleNack(from *peerLink, b *wire.Buf) {
 		// We were an intermediate hop; pass the notice towards the
 		// origin (at most once — the origin never re-forwards a NACK).
 		if p := o.peer(origin); p != nil && p != from {
+			o.nackSent.Add(1)
 			b.Retain()
 			p.eg.Enqueue("", kindNack, nil, body, b)
 		}
@@ -764,6 +792,7 @@ func (o *Relay) broadcast(batch []Entry) {
 	}
 	o.mu.Unlock()
 	for _, p := range peers {
+		o.gossipSent.Add(1)
 		p.send(kindGossip, payload)
 	}
 }

@@ -450,7 +450,7 @@ func TestCrossRelayDialAndData(t *testing.T) {
 	// The data crossed the peer link: relay-0 must report per-peer
 	// forwarded frames towards relay-1.
 	st := w.relays[0].server.Stats()
-	if st.FramesForwarded == 0 || st.ForwardedByPeer["relay-1"] == 0 {
+	if st.FramesForwarded == 0 || st.Forwarded("relay-1") == 0 {
 		t.Fatalf("relay-0 forwarded stats = %+v, want traffic towards relay-1", st)
 	}
 	// And relay-1 injected them towards node-b.

@@ -244,6 +244,28 @@ func sendAttachFail(w *wire.Writer, code uint64, msg string) {
 	w.WriteFrame(KindAttachFail, 0, body)
 }
 
+// attachOutcomeNames labels attach verdicts for metrics and traces:
+// index 0 is success, the rest mirror the attachFail* codes.
+var attachOutcomeNames = [attachFailMalformed + 1]string{
+	"ok",
+	"auth_required",
+	"unknown_identity",
+	"identity_mismatch",
+	"bad_signature",
+	"replay",
+	"malformed",
+}
+
+// rejectAttach counts, traces and sends a typed attach rejection for
+// the node claiming id.
+func (s *Server) rejectAttach(w *wire.Writer, id string, code uint64, msg string) {
+	if code >= 1 && code <= attachFailMalformed {
+		s.attachOutcomes[code].Add(1)
+		s.trace().Eventf("relay", "attach of %s rejected (%s): %s", id, attachOutcomeNames[code], msg)
+	}
+	sendAttachFail(w, code, msg)
+}
+
 // authenticateNode runs the server half of the attach handshake on a
 // connection whose attach frame carried ext (nil for a legacy attach).
 // It reports whether the node proved a trusted identity for id; on any
@@ -254,12 +276,12 @@ func (s *Server) authenticateNode(c net.Conn, r *wire.Reader, w *wire.Writer, id
 		return true // authentication not enforced
 	}
 	if ext == nil {
-		sendAttachFail(w, attachFailAuthRequired, "relay requires authenticated attach")
+		s.rejectAttach(w, id, attachFailAuthRequired, "relay requires authenticated attach")
 		return false
 	}
 	serverNonce := make([]byte, serverNonceSize)
 	if _, err := rand.Read(serverNonce); err != nil {
-		sendAttachFail(w, attachFailMalformed, "relay nonce generation failed")
+		s.rejectAttach(w, id, attachFailMalformed, "relay nonce generation failed")
 		return false
 	}
 	var relaySig []byte
@@ -278,25 +300,25 @@ func (s *Server) authenticateNode(c net.Conn, r *wire.Reader, w *wire.Writer, id
 		return false
 	}
 	if f.Kind != KindAuth {
-		sendAttachFail(w, attachFailMalformed, "expected auth response")
+		s.rejectAttach(w, id, attachFailMalformed, "expected auth response")
 		return false
 	}
 	resp, err := decodeAuthResponse(f.Payload)
 	if err != nil {
-		sendAttachFail(w, attachFailMalformed, "malformed auth response")
+		s.rejectAttach(w, id, attachFailMalformed, "malformed auth response")
 		return false
 	}
 	if !bytes.Equal(resp.echoNonce, serverNonce) {
 		// The response was produced for a different challenge — a replayed
 		// capture. (A response forged for this challenge would fail the
 		// signature check below; the echo exists to tell the two apart.)
-		sendAttachFail(w, attachFailReplay, "stale challenge nonce")
+		s.rejectAttach(w, id, attachFailReplay, "stale challenge nonce")
 		return false
 	}
 	// Verify against the server's own view of the exchange: the nonce it
 	// issued, the ID it announced — never attacker-controlled echoes.
 	if err := identity.VerifyAttachNode(cfg.Trust, id, ext.announce, ext.clientNonce, serverNonce, s.ID(), resp.sig); err != nil {
-		sendAttachFail(w, attachFailCode(err), err.Error())
+		s.rejectAttach(w, id, attachFailCode(err), err.Error())
 		return false
 	}
 	return true

@@ -6,11 +6,13 @@ import (
 	"io"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"netibis/internal/identity"
+	"netibis/internal/obs"
 	"netibis/internal/wire"
 )
 
@@ -116,6 +118,12 @@ type Forwarder interface {
 // stable copy, safe to retain.
 type ConnHandler func(first wire.Frame, conn net.Conn, r *wire.Reader)
 
+// PeerForward is one entry of a Stats.ForwardedByPeer breakdown.
+type PeerForward struct {
+	Peer   string
+	Frames int64
+}
+
 // Stats is a snapshot of a Server's routing counters.
 type Stats struct {
 	// FramesRouted and BytesRouted count frames delivered to locally
@@ -125,8 +133,23 @@ type Stats struct {
 	// FramesForwarded counts frames handed to peer relays via the
 	// Forwarder hook.
 	FramesForwarded int64
-	// ForwardedByPeer breaks FramesForwarded down by peer relay ID.
-	ForwardedByPeer map[string]int64
+	// FramesInjected counts frames the mesh injected for local delivery.
+	FramesInjected int64
+	// ForwardedByPeer breaks FramesForwarded down by peer relay ID,
+	// sorted by peer.
+	ForwardedByPeer []PeerForward
+}
+
+// Forwarded returns the forwarded-frame count for one peer relay (0
+// when the peer never received a forward).
+func (st *Stats) Forwarded(peer string) int64 {
+	i := sort.Search(len(st.ForwardedByPeer), func(i int) bool {
+		return st.ForwardedByPeer[i].Peer >= peer
+	})
+	if i < len(st.ForwardedByPeer) && st.ForwardedByPeer[i].Peer == peer {
+		return st.ForwardedByPeer[i].Frames
+	}
+	return 0
 }
 
 // Server is the relay process.
@@ -158,9 +181,43 @@ type Server struct {
 	framesRouted    atomic.Int64
 	bytesRouted     atomic.Int64
 	framesForwarded atomic.Int64
+	framesInjected  atomic.Int64
+	// kindFrames counts routed frames per kind (index kind - KindOpen),
+	// covering both locally originated (route) and mesh-injected
+	// (Inject) frames: one atomic add per frame, the relay's vantage on
+	// establishment traffic (opens, refusals, abandons) and flow
+	// control (credit) crossing it.
+	kindFrames [numRoutedKinds]atomic.Int64
+	// attachOutcomes counts attach verdicts: index 0 is success, the
+	// rest are the attachFail* codes.
+	attachOutcomes [attachFailMalformed + 1]atomic.Int64
+	detaches       atomic.Int64
+
+	traceMu sync.Mutex
+	tr      *obs.Trace
 
 	statsMu         sync.Mutex
 	forwardedByPeer map[string]int64
+}
+
+// numRoutedKinds spans the contiguous routed frame kinds
+// KindOpen..KindCredit counted by kindFrames.
+const numRoutedKinds = int(KindCredit - KindOpen + 1)
+
+// SetTrace attaches an event-trace ring: attach verdicts and detaches
+// are recorded on it (routing itself is never traced — it is
+// frame-scale, the trace is human-scale). A nil trace (the default)
+// disables recording. Meant to be set before Serve.
+func (s *Server) SetTrace(tr *obs.Trace) {
+	s.traceMu.Lock()
+	s.tr = tr
+	s.traceMu.Unlock()
+}
+
+func (s *Server) trace() *obs.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.tr
 }
 
 // serverPeer is one attached node. All post-attach frames towards the
@@ -295,19 +352,29 @@ func (s *Server) Close() {
 }
 
 // Stats reports the relay's routing counters. It is safe to call
-// concurrently with routing.
+// concurrently with routing and cheap enough to poll continuously —
+// netibis-top polls it (through /metrics) at up to 10 Hz: the scalar
+// counters are single atomic loads, and the per-peer breakdown is one
+// short lock-held slice fill (the peer set is the mesh size, a handful
+// of entries) sorted outside the lock. No map is built.
 func (s *Server) Stats() Stats {
 	st := Stats{
 		FramesRouted:    s.framesRouted.Load(),
 		BytesRouted:     s.bytesRouted.Load(),
 		FramesForwarded: s.framesForwarded.Load(),
-		ForwardedByPeer: make(map[string]int64),
+		FramesInjected:  s.framesInjected.Load(),
 	}
 	s.statsMu.Lock()
-	for id, n := range s.forwardedByPeer {
-		st.ForwardedByPeer[id] = n
+	if n := len(s.forwardedByPeer); n > 0 {
+		st.ForwardedByPeer = make([]PeerForward, 0, n)
+		for id, frames := range s.forwardedByPeer {
+			st.ForwardedByPeer = append(st.ForwardedByPeer, PeerForward{Peer: id, Frames: frames})
+		}
 	}
 	s.statsMu.Unlock()
+	sort.Slice(st.ForwardedByPeer, func(i, j int) bool {
+		return st.ForwardedByPeer[i].Peer < st.ForwardedByPeer[j].Peer
+	})
 	return st
 }
 
@@ -328,6 +395,31 @@ func (s *Server) EgressBacklog(id string) int {
 		return 0
 	}
 	return p.eg.Backlog()
+}
+
+// NodeBacklog is one attached node's egress backlog.
+type NodeBacklog struct {
+	Node   string
+	Frames int
+}
+
+// EgressBacklogAll reports the egress backlog of every attached node,
+// sorted by node ID, so operators can find the stalled destination
+// without knowing attachment IDs up front. Each entry is one mutex-read
+// of that node's scheduler; like Stats, it is safe to poll continuously.
+func (s *Server) EgressBacklogAll() []NodeBacklog {
+	s.mu.Lock()
+	peers := make([]*serverPeer, 0, len(s.nodes))
+	for _, p := range s.nodes {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	out := make([]NodeBacklog, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, NodeBacklog{Node: p.id, Frames: p.eg.Backlog()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
 }
 
 // AttachedNodes returns the IDs of the currently attached nodes.
@@ -376,6 +468,10 @@ func (s *Server) Inject(src string, kind byte, payload []byte, owner *wire.Buf) 
 	}
 	s.framesRouted.Add(1)
 	s.bytesRouted.Add(int64(len(payload)))
+	s.framesInjected.Add(1)
+	if k := int(kind) - int(KindOpen); k >= 0 && k < numRoutedKinds {
+		s.kindFrames[k].Add(1)
+	}
 	if owner != nil {
 		owner.Retain()
 	}
@@ -440,7 +536,7 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	// node cannot attach as another.
 	ext, extErr := decodeAttachExt(d)
 	if extErr != nil {
-		sendAttachFail(w, attachFailMalformed, "malformed attach extension")
+		s.rejectAttach(w, id, attachFailMalformed, "malformed attach extension")
 		return
 	}
 	if !s.authenticateNode(c, r, w, id, ext) {
@@ -496,6 +592,8 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 		fwd.NodeAttached(id)
 	}
 	s.attachMu.Unlock()
+	s.attachOutcomes[0].Add(1)
+	s.trace().Eventf("relay", "node %s attached", id)
 	defer func() {
 		s.attachMu.Lock()
 		s.mu.Lock()
@@ -510,6 +608,10 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 			}
 		}
 		s.attachMu.Unlock()
+		if !stale {
+			s.detaches.Add(1)
+			s.trace().Eventf("relay", "node %s detached", id)
+		}
 	}()
 
 	// Route frames until the node disconnects. The relay never inspects
@@ -550,6 +652,7 @@ func (s *Server) route(from *serverPeer, kind byte, b *wire.Buf) {
 	if !ok {
 		return
 	}
+	s.kindFrames[kind-KindOpen].Add(1)
 	if from.enforceSrc && kind != KindOpenFail {
 		// Trust-enforcing relay: the frame body's source field must name
 		// the attachment it arrived on. An authenticated-but-malicious
@@ -672,6 +775,38 @@ type Client struct {
 	gen      int // incremented on every (re)attach; stale readLoops are ignored
 	onDetach func(error)
 	err      error
+
+	// Flow-control accounting across all links (see FlowStats). Updated
+	// with single atomic adds; the blocked-writer clock is only read
+	// when a write actually parks on an exhausted window, so the
+	// uncontended write path performs no time calls.
+	flowStalls       atomic.Int64
+	flowBlockedNanos atomic.Int64
+	flowCreditSent   atomic.Int64
+}
+
+// FlowStats is a snapshot of a client's flow-control counters, summed
+// over all its routed links.
+type FlowStats struct {
+	// CreditStalls counts writes that had to park on an exhausted send
+	// window before credit arrived.
+	CreditStalls int64
+	// BlockedWriter is the total time writers spent parked on exhausted
+	// windows.
+	BlockedWriter time.Duration
+	// CreditFramesSent counts credit grants this client returned to its
+	// peers' send windows.
+	CreditFramesSent int64
+}
+
+// FlowStats reports the client's flow-control counters. Safe to call
+// concurrently with link traffic; cheap enough to poll continuously.
+func (c *Client) FlowStats() FlowStats {
+	return FlowStats{
+		CreditStalls:     c.flowStalls.Load(),
+		BlockedWriter:    time.Duration(c.flowBlockedNanos.Load()),
+		CreditFramesSent: c.flowCreditSent.Load(),
+	}
 }
 
 // pendingDial is one open in flight: the waiter's channel plus the
@@ -1749,6 +1884,7 @@ func (rc *routedConn) Read(p []byte) (int, error) {
 // are ignored: they mean the relay attachment is dying, which every
 // in-flight operation observes through its own error path.
 func (rc *routedConn) sendCredit(n int) {
+	rc.client.flowCreditSent.Add(1)
 	body := wire.AppendString(nil, rc.client.id)
 	body = wire.AppendUvarint(body, uint64(rc.role()))
 	body = wire.AppendUvarint(body, uint64(n))
@@ -1791,12 +1927,22 @@ func (rc *routedConn) resyncAfterResume() {
 // re-checks closure on every call, so a Write overtaken by a concurrent
 // Close or Abort stops mid-loop instead of emitting frames on a dead
 // link, and it honours the write deadline while waiting for credit.
-func (rc *routedConn) reserve(want int) (int, error) {
+func (rc *routedConn) reserve(want int) (n int, err error) {
 	if want > maxDataFrame {
 		want = maxDataFrame
 	}
+	// blockedSince is set on the first pass that finds the window
+	// exhausted: one stall counted per blocked reserve, with the full
+	// parked duration accumulated on exit whatever the outcome. The
+	// uncontended path never touches the clock or the counters.
+	var blockedSince time.Time
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
+	defer func() {
+		rc.mu.Unlock()
+		if !blockedSince.IsZero() {
+			rc.client.flowBlockedNanos.Add(time.Since(blockedSince).Nanoseconds())
+		}
+	}()
 	for {
 		if rc.closed {
 			return 0, ErrClosed
@@ -1805,12 +1951,16 @@ func (rc *routedConn) reserve(want int) (int, error) {
 			return want, nil
 		}
 		if rc.sendWindow > 0 {
-			n := want
+			n = want
 			if n > rc.sendWindow {
 				n = rc.sendWindow
 			}
 			rc.sendWindow -= n
 			return n, nil
+		}
+		if blockedSince.IsZero() {
+			blockedSince = time.Now()
+			rc.client.flowStalls.Add(1)
 		}
 		if err := waitDeadline(rc.wcond, &rc.mu, rc.wdeadline); err != nil {
 			return 0, err
