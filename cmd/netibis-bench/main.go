@@ -5,15 +5,23 @@
 //
 // Usage:
 //
-//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|estab|flowcontrol|all]
+//	netibis-bench [table1|fig9|fig10|lan|crossover|matrix|delays|streams|zlib|multirelay|failover|datapath|estab|flowcontrol|scale|all]
+//
+// The scale suite takes its own flags (not part of "all" — it is a
+// scenario run, not a paper figure):
+//
+//	netibis-bench scale [-seed N] [-soak] [-schedule file] [-log]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"netibis/internal/bench"
+	"netibis/internal/churn"
 )
 
 func main() {
@@ -50,6 +58,8 @@ func main() {
 		estabLatency()
 	case "flowcontrol":
 		flowcontrol()
+	case "scale":
+		scale(os.Args[2:])
 	case "all":
 		table1()
 		lan()
@@ -67,7 +77,7 @@ func main() {
 		flowcontrol()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath estab flowcontrol all")
+		fmt.Fprintln(os.Stderr, "experiments: table1 fig9 fig10 lan crossover matrix delays streams zlib multirelay failover datapath estab flowcontrol scale all")
 		os.Exit(2)
 	}
 }
@@ -207,6 +217,69 @@ func flowcontrol() {
 		os.Exit(1)
 	}
 	fmt.Printf("report written to %s\n", path)
+}
+
+// scale runs the churn/scale suite: a seeded chaos scenario (attach
+// storm, partition, impairment, crash) with continuous invariant
+// checking, reporting attach throughput, convergence, open-latency and
+// failover numbers to BENCH_scale.json. Exit status 1 if any invariant
+// was violated, so CI soak jobs fail loudly.
+func scale(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "scenario seed (replays a failing run exactly)")
+	soak := fs.Bool("soak", false, "run the long nightly soak scenario instead of the standard suite")
+	schedFile := fs.String("schedule", "", "run a custom schedule file instead of the built-in scenario")
+	logTrail := fs.Bool("log", false, "stream the live event/violation trail to stderr")
+	out := fs.String("o", "", "report path (default BENCH_scale.json at the repo root)")
+	fs.Parse(args)
+
+	var sched *churn.Schedule
+	var err error
+	switch {
+	case *schedFile != "":
+		data, rerr := os.ReadFile(*schedFile)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", rerr)
+			os.Exit(1)
+		}
+		if sched, err = churn.ParseSchedule(data); err == nil && fs.Lookup("seed") != nil {
+			// An explicit -seed overrides the file's seed for replays.
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "seed" {
+					sched.Seed = *seed
+				}
+			})
+		}
+	case *soak:
+		sched, err = bench.SoakScaleSchedule(*seed)
+	default:
+		sched, err = bench.DefaultScaleSchedule(*seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+
+	header("Scale suite: flash-crowd churn with continuous invariant checking")
+	var trail io.Writer
+	if *logTrail {
+		trail = os.Stderr
+	}
+	rep, err := bench.RunScaleSuite(sched, *soak, trail)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatScale(rep))
+	path, err := bench.WriteScaleReport(rep, *out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: writing report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", path)
+	if rep.Result.Failed() {
+		os.Exit(1)
+	}
 }
 
 func datapath() {

@@ -30,6 +30,7 @@ func main() {
 	stackSpec := flag.String("stack", "tcpblk", "driver stack, e.g. zip:level=1/multi:streams=4/tcpblk")
 	totalBytes := flag.Int64("bytes", 64<<20, "client: payload bytes to transfer")
 	kind := flag.String("workload", "grid-records", "payload kind: text-like, grid-records, mixed, random")
+	seed := flag.Int64("seed", 1, "payload generator seed; the same seed replays the exact same bytes")
 	flag.Parse()
 
 	stack, err := driver.ParseStack(*stackSpec)
@@ -40,7 +41,7 @@ func main() {
 	case *server:
 		runServer(*listen, stack)
 	case *connect != "":
-		runClient(*connect, stack, *totalBytes, parseKind(*kind))
+		runClient(*connect, stack, *totalBytes, parseKind(*kind), *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -92,13 +93,13 @@ func runServer(addr string, stack driver.Stack) {
 
 // runClient connects, pushes the payload through the stack and reports
 // the achieved bandwidth.
-func runClient(addr string, stack driver.Stack, totalBytes int64, kind workload.Kind) {
+func runClient(addr string, stack driver.Stack, totalBytes int64, kind workload.Kind, seed int64) {
 	env := &driver.Env{Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }}
 	out, err := driver.BuildOutput(stack, env)
 	if err != nil {
 		log.Fatalf("netibis-perf: build output: %v", err)
 	}
-	payload := workload.Generate(kind, 1<<20, time.Now().UnixNano())
+	payload := workload.Generate(kind, 1<<20, seed)
 
 	start := time.Now()
 	var sent int64

@@ -1,0 +1,23 @@
+// Package churn is a deterministic chaos-scenario engine for the full
+// NetIbis stack. A Schedule — parsed from a small line-based DSL or
+// built programmatically — scripts production-shaped trouble against a
+// spread relay mesh on an emulated internetwork:
+//
+//   - flash-crowd attach storms (up to millions of simulated nodes
+//     multiplexed over a bounded pool of real attachments, paced along
+//     flat/ramp/spike arrival curves),
+//   - WAN impairments and partitions between relay sites
+//     (Fabric.SetLink / Partition / Heal),
+//   - rolling relay crashes and restarts (Kill + RestartRelay),
+//   - live trust-store rotation on secure meshes.
+//
+// While the scenario runs, the invariant subpackage continuously checks
+// what must never break: no lost, duplicated, misdelivered or corrupted
+// stream bytes (sequence-tagged checksummed records end to end through
+// routed links), bounded process heap and relay egress backlog (scraped
+// from the obs metrics), eventual directory convergence after every
+// disturbance, and zero leaked goroutines after teardown. Violations
+// fail loudly with enough context to replay: every run is driven by a
+// single seed, so `-seed N` reproduces the exact arrival pattern,
+// link jitter and payload bytes of a failure.
+package churn

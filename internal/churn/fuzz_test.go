@@ -1,0 +1,43 @@
+package churn
+
+// Native fuzz target for the schedule decoder: schedules come from
+// -schedule files on operator machines and from CI configuration, so the
+// parser must neither panic nor accept a schedule that fails its own
+// validation, and the String() encoding must round-trip exactly.
+
+import (
+	"testing"
+)
+
+func FuzzParseSchedule(f *testing.F) {
+	f.Add([]byte(sampleSchedule))
+	f.Add([]byte("seed 7\nend 1s\nstorm at=0s nodes=5 over=100ms curve=spike\n"))
+	f.Add([]byte("relays 64\npool 4096\ncrash at=1s relay=63 down=0s\n"))
+	f.Add([]byte("# just a comment\n\n"))
+	f.Add([]byte("secure on\nrotate at=1s\n"))
+	f.Add([]byte("impair at=0s a=0 b=2 capacity=1e6 rtt=200ms jitter=50ms loss=0.5 for=2s\n"))
+	f.Add([]byte("storm at=999999h\n"))
+	f.Add([]byte("records 99999999999999999999\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must satisfy its own validator...
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("parsed schedule fails Validate: %v\ninput: %q", verr, data)
+		}
+		// ...and re-encode to a schedule the parser accepts and renders
+		// identically (String is the canonical form).
+		text := s.String()
+		again, err := ParseSchedule([]byte(text))
+		if err != nil {
+			t.Fatalf("String() output rejected: %v\n%s", err, text)
+		}
+		if got := again.String(); got != text {
+			t.Fatalf("round trip diverged:\n--- first ---\n%s\n--- second ---\n%s", text, got)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package invariant
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runStream pushes one checked stream over in-memory pipes, optionally
+// chopping the transport mid-flight `kills` times, and returns the
+// sender/receiver pair after completion.
+func runStream(t *testing.T, cfg StreamConfig, kills int, rec *Recorder) (*Sender, *Receiver) {
+	t.Helper()
+	s := NewSender(cfg)
+	r := NewReceiver(cfg, rec)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !s.Done() {
+			cs, cr := net.Pipe()
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.Run(cr)
+			}()
+			if kills > 0 {
+				kills--
+				// Sever the transport mid-stream; both halves must
+				// notice and the next incarnation must repair.
+				time.AfterFunc(10*time.Millisecond, func() { cs.Close(); cr.Close() })
+			}
+			s.Run(cs)
+			wg.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("stream did not complete: acked %d/%d, verified %d", s.Acked(), cfg.Records, r.Verified())
+	}
+	return s, r
+}
+
+func TestStreamCleanDelivery(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 7, Seed: 42, RecordBytes: 256, Records: 200, AckEvery: 8, AckTimeout: 5 * time.Second}
+	s, r := runStream(t, cfg, 0, rec)
+	if got := r.Verified(); got != cfg.Records {
+		t.Errorf("verified %d records, want %d", got, cfg.Records)
+	}
+	if !s.Done() {
+		t.Errorf("sender not done: acked %d", s.Acked())
+	}
+	if n := rec.Count(); n != 0 {
+		t.Errorf("clean stream produced %d violations:\n%s", n, FormatViolations(rec.Violations()))
+	}
+	if d := r.Dupes(); d != 0 {
+		t.Errorf("clean stream saw %d dupes", d)
+	}
+}
+
+func TestStreamSurvivesTransportKills(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 9, Seed: 1, RecordBytes: 128, Records: 400, AckEvery: 4, AckTimeout: time.Second}
+	s, r := runStream(t, cfg, 3, rec)
+	if got := r.Verified(); got != cfg.Records {
+		t.Errorf("verified %d records, want %d", got, cfg.Records)
+	}
+	if n := rec.Count(); n != 0 {
+		t.Errorf("kill-recovery produced %d violations:\n%s", n, FormatViolations(rec.Violations()))
+	}
+	// The kills land mid-flight, so at least one incarnation should
+	// have retransmitted something — not guaranteed per-kill (a kill
+	// can land between records), just overall progress accounting.
+	t.Logf("resent=%d dupes=%d resets=%d", s.Resent(), r.Dupes(), r.Resets())
+}
+
+func TestReceiverDetectsMisdelivery(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 3, Seed: 5, RecordBytes: 64, Records: 4}
+	wrong := StreamConfig{ID: 4, Seed: 5, RecordBytes: 64, Records: 4}
+	r := NewReceiver(cfg, rec)
+
+	cs, cr := net.Pipe()
+	go func() {
+		// A record of stream 4 lands on stream 3's receiver.
+		buf := wrong.appendRecord(nil, 0)
+		cs.Write(buf)
+		cs.Close()
+	}()
+	r.Run(cr)
+	vs := rec.Violations()
+	if len(vs) != 1 || vs[0].Kind != "misdelivered" {
+		t.Fatalf("violations = %v, want one misdelivered", vs)
+	}
+}
+
+func TestReceiverDetectsCorruption(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 3, Seed: 5, RecordBytes: 64, Records: 4}
+	r := NewReceiver(cfg, rec)
+
+	cs, cr := net.Pipe()
+	go func() {
+		// Flip a payload byte and re-seal the CRC: framing intact,
+		// content wrong — the "stack corrupted bytes" signature.
+		evil := cfg
+		evil.PayloadFor = func(seq uint64) []byte {
+			p := cfg.payloadFor(seq)
+			p[0] ^= 0xFF
+			return p
+		}
+		cs.Write(evil.appendRecord(nil, 0))
+		cs.Close()
+	}()
+	err := r.Run(cr)
+	vs := rec.Violations()
+	if len(vs) != 1 || vs[0].Kind != "corrupted" {
+		t.Fatalf("violations = %v (err %v), want one corrupted", vs, err)
+	}
+}
+
+func TestReceiverTornRecordIsResetNotViolation(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 3, Seed: 5, RecordBytes: 64, Records: 4}
+	r := NewReceiver(cfg, rec)
+
+	cs, cr := net.Pipe()
+	go func() {
+		buf := cfg.appendRecord(nil, 0)
+		cs.Write(buf[:len(buf)-2]) // truncated: CRC unverifiable
+		cs.Close()
+	}()
+	r.Run(cr)
+	if n := rec.Count(); n != 0 {
+		t.Fatalf("torn record raised violations: %v", rec.Violations())
+	}
+}
+
+func TestReceiverGapIsResetNotViolation(t *testing.T) {
+	rec := NewRecorder(nil)
+	cfg := StreamConfig{ID: 3, Seed: 5, RecordBytes: 64, Records: 8}
+	r := NewReceiver(cfg, rec)
+
+	cs, cr := net.Pipe()
+	go func() {
+		cs.Write(cfg.appendRecord(nil, 0))
+		cs.Write(cfg.appendRecord(nil, 5)) // records 1-4 lost in flight
+		cs.Close()
+	}()
+	err := r.Run(cr)
+	if err != ErrDesync {
+		t.Fatalf("gap returned %v, want ErrDesync", err)
+	}
+	if n := rec.Count(); n != 0 {
+		t.Fatalf("whole-record loss raised violations: %v", rec.Violations())
+	}
+	if r.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1", r.Resets())
+	}
+	if r.Verified() != 1 {
+		t.Fatalf("verified = %d, want 1 (record 0 only)", r.Verified())
+	}
+}
+
+func TestConvergedTo(t *testing.T) {
+	views := map[string][]DirEntry{
+		"relay-0": {{Node: "a", Home: "relay-0", Present: true}, {Node: "b", Home: "relay-1", Present: true}, {Node: "c", Home: "relay-1", Present: false}},
+		"relay-1": {{Node: "a", Home: "relay-0", Present: true}, {Node: "b", Home: "relay-1", Present: true}},
+	}
+	expected := map[string]string{"a": "relay-0", "b": "relay-1"}
+	if ok, why := ConvergedTo(views, expected); !ok {
+		t.Fatalf("converged views rejected: %s", why)
+	}
+	// A stale present entry on one relay must fail.
+	views["relay-0"] = append(views["relay-0"], DirEntry{Node: "ghost", Home: "relay-0", Present: true})
+	if ok, why := ConvergedTo(views, expected); ok || !strings.Contains(why, "ghost") {
+		t.Fatalf("stale entry accepted (ok=%v why=%q)", ok, why)
+	}
+	// A missing node must fail.
+	delete(expected, "a")
+	views["relay-0"] = views["relay-0"][:2]
+	expected["a"] = "relay-0"
+	views["relay-1"] = views["relay-1"][1:]
+	if ok, why := ConvergedTo(views, expected); ok || !strings.Contains(why, "missing") {
+		t.Fatalf("missing entry accepted (ok=%v why=%q)", ok, why)
+	}
+}
+
+func TestAgreeing(t *testing.T) {
+	views := map[string][]DirEntry{
+		"relay-0": {{Node: "a", Home: "relay-0", Present: true}},
+		"relay-1": {{Node: "a", Home: "relay-0", Present: true}},
+	}
+	if ok, why := Agreeing(views); !ok {
+		t.Fatalf("agreeing views rejected: %s", why)
+	}
+	views["relay-1"] = nil
+	if ok, _ := Agreeing(views); ok {
+		t.Fatalf("diverging views accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	rec := NewRecorder(nil)
+	b := Bounds{MaxHeapBytes: 100, MaxBacklogFrames: 10}
+	if !b.CheckHeap(rec, 99) || !b.CheckBacklog(rec, "relay-0", 10) {
+		t.Fatalf("in-bounds values rejected")
+	}
+	if b.CheckHeap(rec, 101) {
+		t.Fatalf("heap overflow accepted")
+	}
+	if b.CheckBacklog(rec, "relay-0", 11) {
+		t.Fatalf("backlog overflow accepted")
+	}
+	kinds := map[string]bool{}
+	for _, v := range rec.Violations() {
+		kinds[v.Kind] = true
+	}
+	if !kinds["heap"] || !kinds["backlog"] {
+		t.Fatalf("violations = %v", rec.Violations())
+	}
+}
+
+func TestPayloadDeterminism(t *testing.T) {
+	a := StreamConfig{ID: 1, Seed: 9, RecordBytes: 100}
+	b := StreamConfig{ID: 1, Seed: 9, RecordBytes: 100}
+	if !bytesEqual(a.payloadFor(5), b.payloadFor(5)) {
+		t.Fatalf("same (id, seed, seq) produced different payloads")
+	}
+	if bytesEqual(a.payloadFor(5), a.payloadFor(6)) {
+		t.Fatalf("adjacent seqs produced identical payloads")
+	}
+	c := StreamConfig{ID: 2, Seed: 9, RecordBytes: 100}
+	if bytesEqual(a.payloadFor(5), c.payloadFor(5)) {
+		t.Fatalf("different streams produced identical payloads")
+	}
+}

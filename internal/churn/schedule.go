@@ -1,0 +1,511 @@
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Curve names an arrival-time distribution for an attach storm.
+type Curve int
+
+const (
+	// CurveFlat spreads arrivals evenly across the storm window.
+	CurveFlat Curve = iota
+	// CurveRamp increases the arrival rate linearly (a building flash
+	// crowd): density ∝ t, so arrival i lands at Over·√(i/n).
+	CurveRamp
+	// CurveSpike lands every arrival in the first tenth of the window
+	// (the thundering herd after an outage).
+	CurveSpike
+)
+
+// String implements fmt.Stringer.
+func (c Curve) String() string {
+	switch c {
+	case CurveFlat:
+		return "flat"
+	case CurveRamp:
+		return "ramp"
+	case CurveSpike:
+		return "spike"
+	default:
+		return fmt.Sprintf("Curve(%d)", int(c))
+	}
+}
+
+// parseCurve is the inverse of Curve.String.
+func parseCurve(s string) (Curve, error) {
+	switch s {
+	case "flat":
+		return CurveFlat, nil
+	case "ramp":
+		return CurveRamp, nil
+	case "spike":
+		return CurveSpike, nil
+	default:
+		return 0, fmt.Errorf("unknown curve %q", s)
+	}
+}
+
+// EventKind discriminates scheduled scenario events.
+type EventKind int
+
+const (
+	// EvStorm is a flash-crowd attach storm.
+	EvStorm EventKind = iota
+	// EvPartition takes the WAN link between two relay sites down for a
+	// duration, then heals it.
+	EvPartition
+	// EvCrash kills a relay and (after Down) restarts it.
+	EvCrash
+	// EvRotate adds a fresh certificate authority to the live trust
+	// store; identities issued afterwards come from the new CA.
+	EvRotate
+	// EvImpair degrades the WAN link between two relay sites
+	// (capacity, RTT, jitter, loss) for a duration, then restores the
+	// previous parameters. Different pairs can be impaired differently,
+	// which is how a schedule models asymmetric wide-area paths.
+	EvImpair
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvStorm:
+		return "storm"
+	case EvPartition:
+		return "partition"
+	case EvCrash:
+		return "crash"
+	case EvRotate:
+		return "rotate"
+	case EvImpair:
+		return "impair"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled chaos action.
+type Event struct {
+	// At is the event's offset from scenario start.
+	At time.Duration
+	// Kind selects which of the remaining fields apply.
+	Kind EventKind
+
+	// Storm: Nodes simulated arrivals over the Over window, distributed
+	// by Curve.
+	Nodes int
+	Over  time.Duration
+	Curve Curve
+
+	// Partition: relay indices A and B, healed after For.
+	A, B int
+	For  time.Duration
+
+	// Crash: relay index, restarted after Down (0 = stays dead).
+	Relay int
+	Down  time.Duration
+
+	// Impair: degraded link parameters for the A-B pair, restored
+	// after For (shared with partition).
+	CapacityBps float64
+	RTT         time.Duration
+	Jitter      time.Duration
+	Loss        float64
+}
+
+// Schedule is a parsed, validated scenario: global knobs plus a
+// time-ordered event list. The zero value is not runnable; build
+// schedules with ParseSchedule or the bench defaults.
+type Schedule struct {
+	// Seed drives every random choice of the run (fabric, arrival
+	// jitter, payloads), making failures replayable with -seed.
+	Seed int64
+	// Relays is the spread-mesh size.
+	Relays int
+	// Pool bounds concurrently attached simulated nodes (the real-node
+	// pool the storm multiplexes over).
+	Pool int
+	// Streams is the number of invariant-checked routed streams.
+	Streams int
+	// Records is the per-stream record count.
+	Records int
+	// RecordBytes is the per-record payload size.
+	RecordBytes int
+	// Secure runs the mesh with CA-issued identities, authenticated
+	// attaches and sealed routed links; required for rotate events.
+	Secure bool
+	// End caps the scenario: events must lie before it, and the engine
+	// budgets drain/convergence time after the last event until End
+	// plus a grace period.
+	End time.Duration
+	// Events in non-decreasing At order.
+	Events []Event
+}
+
+// Parse limits: a schedule is config, not data plane, but the fuzzer
+// feeds it garbage and nothing here may allocate proportionally to a
+// hostile count before validation.
+const (
+	maxRelays      = 64
+	maxPool        = 4096
+	maxStormNodes  = 5_000_000
+	maxStreams     = 256
+	maxRecords     = 50_000_000
+	maxRecordBytes = 1 << 20
+	maxEvents      = 10_000
+	maxDuration    = 24 * time.Hour
+)
+
+// ParseSchedule decodes the line-based scenario format:
+//
+//	# flash crowd with a mid-storm partition
+//	seed 42
+//	relays 3
+//	pool 64
+//	streams 4
+//	records 2000
+//	record-bytes 512
+//	secure on
+//	end 8s
+//	storm at=0s nodes=100000 over=2s curve=ramp
+//	partition at=2500ms a=1 b=2 for=1s
+//	crash at=4s relay=2 down=500ms
+//	rotate at=5s
+//
+// Blank lines and #-comments are ignored. Durations use Go syntax
+// ("1.5s", "300ms"). Events may appear in any order; the parsed
+// schedule is sorted by At. Validation is strict: unknown verbs or
+// keys, out-of-range values, relay indices outside [0, relays), rotate
+// without secure, and events at/after end are all errors.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	s := &Schedule{
+		Seed:        1,
+		Relays:      3,
+		Pool:        64,
+		Streams:     2,
+		Records:     1000,
+		RecordBytes: 512,
+		End:         10 * time.Second,
+	}
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		verb, args := fields[0], fields[1:]
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("schedule line %d (%s): %s", ln+1, verb, fmt.Sprintf(format, a...))
+		}
+		switch verb {
+		case "seed", "relays", "pool", "streams", "records", "record-bytes":
+			if len(args) != 1 {
+				return nil, fail("want exactly one value")
+			}
+			n, err := strconv.ParseInt(args[0], 10, 64)
+			if err != nil {
+				return nil, fail("bad integer %q", args[0])
+			}
+			switch verb {
+			case "seed":
+				s.Seed = n
+			case "relays":
+				s.Relays = int(n)
+			case "pool":
+				s.Pool = int(n)
+			case "streams":
+				s.Streams = int(n)
+			case "records":
+				s.Records = int(n)
+			case "record-bytes":
+				s.RecordBytes = int(n)
+			}
+		case "secure":
+			if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+				return nil, fail("want on|off")
+			}
+			s.Secure = args[0] == "on"
+		case "end":
+			if len(args) != 1 {
+				return nil, fail("want one duration")
+			}
+			d, err := time.ParseDuration(args[0])
+			if err != nil {
+				return nil, fail("bad duration %q", args[0])
+			}
+			s.End = d
+		case "storm", "partition", "crash", "rotate", "impair":
+			ev, err := parseEvent(verb, args)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if len(s.Events) >= maxEvents {
+				return nil, fail("too many events (max %d)", maxEvents)
+			}
+			s.Events = append(s.Events, ev)
+		default:
+			return nil, fmt.Errorf("schedule line %d: unknown verb %q", ln+1, verb)
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseEvent decodes one event line's key=value arguments.
+func parseEvent(verb string, args []string) (Event, error) {
+	var ev Event
+	switch verb {
+	case "storm":
+		ev.Kind = EvStorm
+		ev.Nodes = 1000
+		ev.Over = time.Second
+	case "partition":
+		ev.Kind = EvPartition
+		ev.A, ev.B = 0, 1
+		ev.For = time.Second
+	case "crash":
+		ev.Kind = EvCrash
+	case "rotate":
+		ev.Kind = EvRotate
+	case "impair":
+		ev.Kind = EvImpair
+		ev.A, ev.B = 0, 1
+		ev.For = time.Second
+	}
+	for _, arg := range args {
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			return ev, fmt.Errorf("want key=value, got %q", arg)
+		}
+		switch {
+		case key == "at":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad at %q", val)
+			}
+			ev.At = d
+		case key == "over" && verb == "storm":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad over %q", val)
+			}
+			ev.Over = d
+		case key == "nodes" && verb == "storm":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad nodes %q", val)
+			}
+			ev.Nodes = n
+		case key == "curve" && verb == "storm":
+			c, err := parseCurve(val)
+			if err != nil {
+				return ev, err
+			}
+			ev.Curve = c
+		case key == "a" && (verb == "partition" || verb == "impair"):
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad a %q", val)
+			}
+			ev.A = n
+		case key == "b" && (verb == "partition" || verb == "impair"):
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad b %q", val)
+			}
+			ev.B = n
+		case key == "for" && (verb == "partition" || verb == "impair"):
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad for %q", val)
+			}
+			ev.For = d
+		case key == "capacity" && verb == "impair":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return ev, fmt.Errorf("bad capacity %q", val)
+			}
+			ev.CapacityBps = f
+		case key == "rtt" && verb == "impair":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad rtt %q", val)
+			}
+			ev.RTT = d
+		case key == "jitter" && verb == "impair":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad jitter %q", val)
+			}
+			ev.Jitter = d
+		case key == "loss" && verb == "impair":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return ev, fmt.Errorf("bad loss %q", val)
+			}
+			ev.Loss = f
+		case key == "relay" && verb == "crash":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad relay %q", val)
+			}
+			ev.Relay = n
+		case key == "down" && verb == "crash":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return ev, fmt.Errorf("bad down %q", val)
+			}
+			ev.Down = d
+		default:
+			return ev, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return ev, nil
+}
+
+// Validate checks ranges and cross-field consistency; ParseSchedule
+// calls it, and programmatically built schedules should too.
+func (s *Schedule) Validate() error {
+	switch {
+	case s.Relays < 1 || s.Relays > maxRelays:
+		return fmt.Errorf("schedule: relays %d out of range [1,%d]", s.Relays, maxRelays)
+	case s.Pool < 1 || s.Pool > maxPool:
+		return fmt.Errorf("schedule: pool %d out of range [1,%d]", s.Pool, maxPool)
+	case s.Streams < 0 || s.Streams > maxStreams:
+		return fmt.Errorf("schedule: streams %d out of range [0,%d]", s.Streams, maxStreams)
+	case s.Records < 1 || s.Records > maxRecords:
+		return fmt.Errorf("schedule: records %d out of range [1,%d]", s.Records, maxRecords)
+	case s.RecordBytes < 1 || s.RecordBytes > maxRecordBytes:
+		return fmt.Errorf("schedule: record-bytes %d out of range [1,%d]", s.RecordBytes, maxRecordBytes)
+	case s.End <= 0 || s.End > maxDuration:
+		return fmt.Errorf("schedule: end %v out of range (0,%v]", s.End, maxDuration)
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 || ev.At >= s.End {
+			return fmt.Errorf("schedule: event %d (%s) at %v outside [0,%v)", i, ev.Kind, ev.At, s.End)
+		}
+		switch ev.Kind {
+		case EvStorm:
+			if ev.Nodes < 0 || ev.Nodes > maxStormNodes {
+				return fmt.Errorf("schedule: storm nodes %d out of range [0,%d]", ev.Nodes, maxStormNodes)
+			}
+			if ev.Over < 0 || ev.Over > maxDuration {
+				return fmt.Errorf("schedule: storm over %v out of range", ev.Over)
+			}
+		case EvPartition:
+			if ev.A < 0 || ev.A >= s.Relays || ev.B < 0 || ev.B >= s.Relays || ev.A == ev.B {
+				return fmt.Errorf("schedule: partition pair (%d,%d) invalid for %d relays", ev.A, ev.B, s.Relays)
+			}
+			if ev.For <= 0 || ev.For > maxDuration {
+				return fmt.Errorf("schedule: partition for %v out of range", ev.For)
+			}
+		case EvCrash:
+			if ev.Relay < 0 || ev.Relay >= s.Relays {
+				return fmt.Errorf("schedule: crash relay %d invalid for %d relays", ev.Relay, s.Relays)
+			}
+			if ev.Down < 0 || ev.Down > maxDuration {
+				return fmt.Errorf("schedule: crash down %v out of range", ev.Down)
+			}
+		case EvRotate:
+			if !s.Secure {
+				return fmt.Errorf("schedule: rotate event requires secure on")
+			}
+		case EvImpair:
+			if ev.A < 0 || ev.A >= s.Relays || ev.B < 0 || ev.B >= s.Relays || ev.A == ev.B {
+				return fmt.Errorf("schedule: impair pair (%d,%d) invalid for %d relays", ev.A, ev.B, s.Relays)
+			}
+			if ev.For <= 0 || ev.For > maxDuration {
+				return fmt.Errorf("schedule: impair for %v out of range", ev.For)
+			}
+			if ev.CapacityBps < 0 || math.IsNaN(ev.CapacityBps) || math.IsInf(ev.CapacityBps, 0) {
+				return fmt.Errorf("schedule: impair capacity %v invalid", ev.CapacityBps)
+			}
+			if ev.Loss < 0 || ev.Loss > 1 || math.IsNaN(ev.Loss) {
+				return fmt.Errorf("schedule: impair loss %v out of [0,1]", ev.Loss)
+			}
+			if ev.RTT < 0 || ev.RTT > maxDuration || ev.Jitter < 0 || ev.Jitter > maxDuration {
+				return fmt.Errorf("schedule: impair rtt/jitter out of range")
+			}
+		}
+	}
+	return nil
+}
+
+// String re-encodes the schedule in the ParseSchedule format; parsing
+// the output yields an equal schedule (the fuzz target asserts this
+// round trip).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "relays %d\n", s.Relays)
+	fmt.Fprintf(&b, "pool %d\n", s.Pool)
+	fmt.Fprintf(&b, "streams %d\n", s.Streams)
+	fmt.Fprintf(&b, "records %d\n", s.Records)
+	fmt.Fprintf(&b, "record-bytes %d\n", s.RecordBytes)
+	if s.Secure {
+		b.WriteString("secure on\n")
+	} else {
+		b.WriteString("secure off\n")
+	}
+	fmt.Fprintf(&b, "end %s\n", s.End)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvStorm:
+			fmt.Fprintf(&b, "storm at=%s nodes=%d over=%s curve=%s\n", ev.At, ev.Nodes, ev.Over, ev.Curve)
+		case EvPartition:
+			fmt.Fprintf(&b, "partition at=%s a=%d b=%d for=%s\n", ev.At, ev.A, ev.B, ev.For)
+		case EvCrash:
+			fmt.Fprintf(&b, "crash at=%s relay=%d down=%s\n", ev.At, ev.Relay, ev.Down)
+		case EvRotate:
+			fmt.Fprintf(&b, "rotate at=%s\n", ev.At)
+		case EvImpair:
+			fmt.Fprintf(&b, "impair at=%s a=%d b=%d capacity=%g rtt=%s jitter=%s loss=%g for=%s\n",
+				ev.At, ev.A, ev.B, ev.CapacityBps, ev.RTT, ev.Jitter, ev.Loss, ev.For)
+		}
+	}
+	return b.String()
+}
+
+// ArrivalOffsets expands a storm event into per-arrival offsets from
+// the event's At, shaped by the curve, with small seeded jitter so
+// arrivals do not land in lockstep. The result is sorted.
+func (ev Event) ArrivalOffsets(rng *rand.Rand) []time.Duration {
+	n := ev.Nodes
+	if n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	window := ev.Over
+	if window <= 0 {
+		return out // all at once
+	}
+	for i := range out {
+		// u in (0,1]: the arrival's position in the cumulative curve,
+		// jittered within its 1/n slot.
+		u := (float64(i) + rng.Float64()) / float64(n)
+		var frac float64
+		switch ev.Curve {
+		case CurveRamp:
+			// density ∝ t  ⇒  CDF ∝ t²  ⇒  t = √u
+			frac = math.Sqrt(u)
+		case CurveSpike:
+			frac = u * 0.1
+		default: // CurveFlat
+			frac = u
+		}
+		out[i] = time.Duration(frac * float64(window))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,157 @@
+package churn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSchedule = `
+# flash crowd with a mid-storm partition
+seed 42
+relays 3
+pool 64
+streams 4
+records 2000
+record-bytes 512
+secure on
+end 8s
+storm at=0s nodes=100000 over=2s curve=ramp
+partition at=2500ms a=1 b=2 for=1s
+crash at=4s relay=2 down=500ms
+rotate at=5s
+impair at=6s a=0 b=1 capacity=125000 rtt=80ms jitter=10ms loss=0.01 for=1s
+`
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule([]byte(sampleSchedule))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Seed != 42 || s.Relays != 3 || s.Pool != 64 || s.Streams != 4 || s.Records != 2000 || s.RecordBytes != 512 || !s.Secure || s.End != 8*time.Second {
+		t.Fatalf("globals wrong: %+v", s)
+	}
+	if len(s.Events) != 5 {
+		t.Fatalf("events = %d, want 5", len(s.Events))
+	}
+	st := s.Events[0]
+	if st.Kind != EvStorm || st.Nodes != 100000 || st.Over != 2*time.Second || st.Curve != CurveRamp {
+		t.Fatalf("storm = %+v", st)
+	}
+	pa := s.Events[1]
+	if pa.Kind != EvPartition || pa.A != 1 || pa.B != 2 || pa.For != time.Second || pa.At != 2500*time.Millisecond {
+		t.Fatalf("partition = %+v", pa)
+	}
+	cr := s.Events[2]
+	if cr.Kind != EvCrash || cr.Relay != 2 || cr.Down != 500*time.Millisecond {
+		t.Fatalf("crash = %+v", cr)
+	}
+	if s.Events[3].Kind != EvRotate {
+		t.Fatalf("rotate = %+v", s.Events[3])
+	}
+	im := s.Events[4]
+	if im.Kind != EvImpair || im.CapacityBps != 125000 || im.RTT != 80*time.Millisecond || im.Jitter != 10*time.Millisecond || im.Loss != 0.01 {
+		t.Fatalf("impair = %+v", im)
+	}
+}
+
+func TestParseScheduleSortsEvents(t *testing.T) {
+	s, err := ParseSchedule([]byte("end 5s\ncrash at=3s relay=0\nstorm at=1s nodes=10 over=100ms\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Events[0].Kind != EvStorm || s.Events[1].Kind != EvCrash {
+		t.Fatalf("events not sorted by At: %+v", s.Events)
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"unknown verb", "frobnicate 3\n", "unknown verb"},
+		{"bad integer", "relays lots\n", "bad integer"},
+		{"bad duration", "end soon\n", "bad duration"},
+		{"relay out of range", "relays 2\ncrash at=1s relay=7\n", "invalid"},
+		{"partition self", "partition at=1s a=1 b=1 for=1s\n", "invalid"},
+		{"rotate insecure", "rotate at=1s\n", "requires secure"},
+		{"event after end", "end 2s\ncrash at=3s relay=0\n", "outside"},
+		{"unknown key", "storm at=0s volume=11\n", "unknown key"},
+		{"loss out of range", "impair at=1s a=0 b=1 loss=1.5 for=1s\n", "out of [0,1]"},
+		{"zero relays", "relays 0\n", "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSchedule([]byte(tc.text))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	s, err := ParseSchedule([]byte(sampleSchedule))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	again, err := ParseSchedule([]byte(s.String()))
+	if err != nil {
+		t.Fatalf("reparse of String() output: %v\n%s", err, s.String())
+	}
+	if s.String() != again.String() {
+		t.Fatalf("round trip diverged:\n--- first ---\n%s\n--- second ---\n%s", s.String(), again.String())
+	}
+}
+
+func TestParseScheduleDefaults(t *testing.T) {
+	s, err := ParseSchedule(nil)
+	if err != nil {
+		t.Fatalf("empty schedule: %v", err)
+	}
+	if s.Seed != 1 || s.Relays != 3 || s.Pool != 64 || s.Records != 1000 || s.End != 10*time.Second {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+}
+
+func TestArrivalOffsets(t *testing.T) {
+	ev := Event{Kind: EvStorm, Nodes: 1000, Over: time.Second}
+
+	for _, curve := range []Curve{CurveFlat, CurveRamp, CurveSpike} {
+		ev.Curve = curve
+		offs := ev.ArrivalOffsets(rand.New(rand.NewSource(7)))
+		if len(offs) != ev.Nodes {
+			t.Fatalf("%v: %d offsets, want %d", curve, len(offs), ev.Nodes)
+		}
+		for i, o := range offs {
+			if o < 0 || o > ev.Over {
+				t.Fatalf("%v: offset %d = %v outside [0, %v]", curve, i, o, ev.Over)
+			}
+			if i > 0 && o < offs[i-1] {
+				t.Fatalf("%v: offsets not sorted at %d", curve, i)
+			}
+		}
+	}
+
+	// Replayability: same seed, same offsets.
+	ev.Curve = CurveRamp
+	a := ev.ArrivalOffsets(rand.New(rand.NewSource(7)))
+	b := ev.ArrivalOffsets(rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Spike compresses everything into the first tenth of the window.
+	ev.Curve = CurveSpike
+	for _, o := range ev.ArrivalOffsets(rand.New(rand.NewSource(7))) {
+		if o > ev.Over/10 {
+			t.Fatalf("spike offset %v beyond first tenth", o)
+		}
+	}
+
+	// Ramp back-loads: the median arrival lands past the midpoint.
+	ev.Curve = CurveRamp
+	offs := ev.ArrivalOffsets(rand.New(rand.NewSource(7)))
+	if med := offs[len(offs)/2]; med < ev.Over/2 {
+		t.Fatalf("ramp median %v before midpoint", med)
+	}
+}

@@ -116,7 +116,29 @@ func NewSecureFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity
 	return newFederatedDeployment(f, relayCount, ca)
 }
 
+// NewSpreadFederatedDeployment is NewFederatedDeployment with each relay
+// placed in its own public site (RelaySiteName) instead of all sharing
+// the gateway. Relay-to-relay traffic then crosses distinct WAN links,
+// so chaos scenarios can partition, impair or jitter individual
+// relay pairs with Fabric.SetLink/Partition — the topology the churn
+// engine drives. The registry and SOCKS proxy stay on the gateway site,
+// so a partition between two relay sites never cuts either relay off
+// from discovery. Pass ca to run the spread mesh secured (nil for a
+// plain mesh).
+func NewSpreadFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity.Authority) (*Deployment, error) {
+	d, err := newDeployment(f, relayCount, ca, true)
+	return d, err
+}
+
 func newFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity.Authority) (*Deployment, error) {
+	return newDeployment(f, relayCount, ca, false)
+}
+
+// RelaySiteName is the fabric site hosting relay i of a spread
+// deployment (see NewSpreadFederatedDeployment).
+func RelaySiteName(i int) string { return fmt.Sprintf("relay-site-%d", i) }
+
+func newDeployment(f *emunet.Fabric, relayCount int, ca *identity.Authority, spread bool) (*Deployment, error) {
 	if relayCount < 1 {
 		relayCount = 1
 	}
@@ -141,8 +163,14 @@ func newFederatedDeployment(f *emunet.Fabric, relayCount int, ca *identity.Autho
 
 	for i := 0; i < relayCount; i++ {
 		name := fmt.Sprintf("relay-%d", i)
-		host := gw
-		if i > 0 {
+		var host *emunet.Host
+		switch {
+		case spread:
+			site := f.AddSite(RelaySiteName(i), emunet.SiteConfig{Firewall: emunet.Open})
+			host = site.AddHost(name)
+		case i == 0:
+			host = gw
+		default:
 			host = gwSite.AddHost(name)
 		}
 		ri, err := startRelay(d, name, host)
@@ -216,6 +244,26 @@ func startRelay(d *Deployment, name string, host *emunet.Host) (*RelayInstance, 
 	return &RelayInstance{Name: name, Host: host, Server: srv, Overlay: ov, registry: regCli}, nil
 }
 
+// RestartRelay brings relay i back after a Kill: a fresh server,
+// overlay membership and registry record on the same host and port (the
+// crashed server's listener is gone, so the port is free to rebind).
+// The restarted instance replaces d.Relays[i]; it rejoins the mesh and
+// re-registers, and surviving peers re-peer with it on their next
+// rescan. The caller is responsible for having killed the old instance
+// first.
+func (d *Deployment) RestartRelay(i int) error {
+	old := d.Relays[i]
+	ri, err := startRelay(d, old.Name, old.Host)
+	if err != nil {
+		return fmt.Errorf("deployment: restart %s: %w", old.Name, err)
+	}
+	d.Relays[i] = ri
+	if i == 0 {
+		d.Relay = ri.Server
+	}
+	return nil
+}
+
 // waitForMesh blocks until every relay is peered with every other.
 func (d *Deployment) waitForMesh(timeout time.Duration) error {
 	want := len(d.Relays) - 1
@@ -246,8 +294,13 @@ func (d *Deployment) RegistryEndpoint() emunet.Endpoint {
 	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RegistryPort}
 }
 
-// RelayEndpoint returns the first relay's endpoint.
+// RelayEndpoint returns the first relay's endpoint. On classic
+// deployments that is the gateway host; on spread deployments the first
+// relay's own site host.
 func (d *Deployment) RelayEndpoint() emunet.Endpoint {
+	if len(d.Relays) > 0 {
+		return d.Relays[0].Endpoint()
+	}
 	return emunet.Endpoint{Addr: d.Gateway.Address(), Port: RelayPort}
 }
 

@@ -2,6 +2,7 @@ package emunet
 
 import (
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -28,10 +29,15 @@ type shaper struct {
 	params   LinkParams
 	scale    float64
 	nextFree time.Time
+	jitter   *rand.Rand // seeded per link; nil when the link has no jitter
 }
 
-func newShaper(p LinkParams, scale float64) *shaper {
-	return &shaper{params: p, scale: scale}
+func newShaper(p LinkParams, scale float64, seed int64) *shaper {
+	sh := &shaper{params: p, scale: scale}
+	if p.Jitter > 0 {
+		sh.jitter = rand.New(rand.NewSource(seed))
+	}
+	return sh
 }
 
 // Params returns the link parameters this shaper enforces.
@@ -57,6 +63,9 @@ func (sh *shaper) sendDelay(n int) time.Duration {
 	}
 	sh.nextFree = start.Add(txTime)
 	oneWay := time.Duration(float64(sh.params.RTT) / 2 * sh.scale)
+	if sh.jitter != nil {
+		oneWay += time.Duration(float64(sh.jitter.Int63n(int64(sh.params.Jitter))) * sh.scale)
+	}
 	return sh.nextFree.Add(oneWay).Sub(now)
 }
 
@@ -181,6 +190,12 @@ type Conn struct {
 	remote Endpoint
 	sh     *shaper
 
+	// fabric/link are set for cross-site connections so that a
+	// partition of the site pair (Fabric.SetLink with Down) can sever
+	// the connection, and Close can deregister it.
+	fabric *Fabric
+	link   linkKey
+
 	closeOnce sync.Once
 }
 
@@ -222,6 +237,9 @@ func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.send.close()
 		c.recv.close()
+		if c.fabric != nil {
+			c.fabric.untrackConn(c.link, c)
+		}
 	})
 	return nil
 }

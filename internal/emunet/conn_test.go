@@ -14,7 +14,7 @@ import (
 func connPairForTest() (net.Conn, net.Conn) {
 	a := Endpoint{Addr: "198.51.1.2", Port: 1}
 	b := Endpoint{Addr: "198.51.2.2", Port: 2}
-	return newConnPair(a, b, newShaper(DefaultLAN, 0), 0)
+	return newConnPair(a, b, newShaper(DefaultLAN, 0, 1), 0)
 }
 
 func TestConnLargeTransferIntegrity(t *testing.T) {
@@ -158,7 +158,7 @@ func TestConnDoubleCloseIsSafe(t *testing.T) {
 }
 
 func TestShaperZeroScaleNoDelay(t *testing.T) {
-	sh := newShaper(LinkParams{CapacityBps: 1, RTT: time.Hour}, 0)
+	sh := newShaper(LinkParams{CapacityBps: 1, RTT: time.Hour}, 0, 1)
 	if d := sh.sendDelay(1 << 30); d != 0 {
 		t.Fatalf("zero-scale shaper must not delay, got %v", d)
 	}
@@ -172,7 +172,7 @@ func TestShaperScaledDelayRoughlyProportional(t *testing.T) {
 	// 1 MB/s capacity at scale 1.0: 100 KB should take ~100 ms of
 	// modelled time. We only check the returned delay value, not actual
 	// sleeping, so the test stays fast.
-	sh := newShaper(LinkParams{CapacityBps: 1e6, RTT: 20 * time.Millisecond}, 1.0)
+	sh := newShaper(LinkParams{CapacityBps: 1e6, RTT: 20 * time.Millisecond}, 1.0, 1)
 	d1 := sh.sendDelay(100 * 1000)
 	if d1 < 80*time.Millisecond || d1 > 400*time.Millisecond {
 		t.Fatalf("unexpected shaping delay %v", d1)
@@ -283,7 +283,7 @@ func TestReadStallFreezesConsumerAndBackpressuresWriter(t *testing.T) {
 	const sockBuf = 8 << 10
 	a := Endpoint{Addr: "198.51.1.2", Port: 1}
 	b := Endpoint{Addr: "198.51.2.2", Port: 2}
-	ca, cb := newConnPair(a, b, newShaper(DefaultLAN, 0), sockBuf)
+	ca, cb := newConnPair(a, b, newShaper(DefaultLAN, 0, 1), sockBuf)
 
 	cb.SetReadStall(true)
 

@@ -140,6 +140,19 @@ type LinkParams struct {
 	// throughput model in package simtcp; the emulated data plane
 	// itself delivers reliably, as TCP would).
 	LossRate float64
+	// Jitter is the maximum additional random one-way delay applied per
+	// write on top of RTT/2. The actual jitter of each write is drawn
+	// uniformly from [0, Jitter) by a per-link seeded generator, so runs
+	// are replayable. Like RTT, jitter is scaled by the fabric time
+	// scale and ignored entirely at time scale 0.
+	Jitter time.Duration
+	// Down marks the link as partitioned: new cross-site connections
+	// over it fail with ErrPartitioned and existing connections are
+	// severed when the link goes down (SetLink with Down set, or
+	// Fabric.Partition). Healing the link (Down=false, or Fabric.Heal)
+	// admits new connections; severed ones stay dead, as after a real
+	// outage.
+	Down bool
 }
 
 // DefaultLAN are the parameters used for intra-site traffic and as the
@@ -174,6 +187,10 @@ var (
 	// ErrEgressDenied indicates a strict firewall refused an outgoing
 	// connection to a non-whitelisted destination.
 	ErrEgressDenied = errors.New("emunet: outgoing connection denied by strict firewall")
+	// ErrPartitioned indicates the WAN link between the two sites is
+	// down (LinkParams.Down): the destination exists but no path to it
+	// is currently available.
+	ErrPartitioned = errors.New("emunet: link partitioned")
 )
 
 // Topology summarises the connectivity situation of a host, as needed by

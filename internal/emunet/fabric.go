@@ -15,10 +15,12 @@ type Fabric struct {
 	hosts     map[Address]*Host
 	links     map[linkKey]LinkParams
 	shapers   map[linkKey]*shaper
+	conns     map[linkKey]map[*Conn]struct{} // live cross-site conns, for partition severing
 	defLink   LinkParams
 	timeScale float64
 	sockBuf   int
 	rng       *rand.Rand
+	seed      int64
 	closed    bool
 
 	splices map[string]*spliceOffer // keyed by actual-local + target endpoints
@@ -68,7 +70,10 @@ func WithSocketBuffer(bytes int) Option {
 // WithSeed fixes the random seed used for NAT port assignment and loss,
 // making topologies deterministic for tests.
 func WithSeed(seed int64) Option {
-	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
+	return func(f *Fabric) {
+		f.rng = rand.New(rand.NewSource(seed))
+		f.seed = seed
+	}
 }
 
 // NewFabric creates an empty emulated internetwork.
@@ -78,8 +83,10 @@ func NewFabric(opts ...Option) *Fabric {
 		hosts:   make(map[Address]*Host),
 		links:   make(map[linkKey]LinkParams),
 		shapers: make(map[linkKey]*shaper),
+		conns:   make(map[linkKey]map[*Conn]struct{}),
 		defLink: LinkParams{CapacityBps: 1.25e6, RTT: 30 * time.Millisecond, LossRate: 0.0001},
 		rng:     rand.New(rand.NewSource(1)),
+		seed:    1,
 	}
 	for _, o := range opts {
 		o(f)
@@ -171,12 +178,83 @@ func (f *Fabric) Sites() []string {
 }
 
 // SetLink configures the WAN link parameters between two sites.
+// Setting Down severs every live connection currently crossing the
+// site pair and makes new dials over it fail with ErrPartitioned until
+// the link is configured up again (see also Partition and Heal).
 func (f *Fabric) SetLink(siteA, siteB string, p LinkParams) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	k := orderedLinkKey(siteA, siteB)
 	f.links[k] = p
 	delete(f.shapers, k)
+	var sever []*Conn
+	if p.Down {
+		for c := range f.conns[k] {
+			sever = append(sever, c)
+		}
+	}
+	f.mu.Unlock()
+	// Close outside the fabric lock: Close re-enters untrackConn.
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// Partition takes the WAN link between two sites down, preserving its
+// other parameters: existing connections across the pair are severed
+// and new dials fail with ErrPartitioned until Heal.
+func (f *Fabric) Partition(siteA, siteB string) {
+	p := f.Link(siteA, siteB)
+	p.Down = true
+	f.SetLink(siteA, siteB, p)
+}
+
+// Heal brings a partitioned link back up, preserving its other
+// parameters. Connections severed while the link was down stay dead;
+// new dials succeed again.
+func (f *Fabric) Heal(siteA, siteB string) {
+	p := f.Link(siteA, siteB)
+	p.Down = false
+	f.SetLink(siteA, siteB, p)
+}
+
+// linkDown reports whether the link between two sites is partitioned.
+func (f *Fabric) linkDown(siteA, siteB string) bool {
+	if siteA == siteB {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.links[orderedLinkKey(siteA, siteB)]
+	return ok && p.Down
+}
+
+// trackConnPair registers both ends of a cross-site connection so a
+// later partition of that site pair can sever them.
+func (f *Fabric) trackConnPair(siteA, siteB string, a, b *Conn) {
+	k := orderedLinkKey(siteA, siteB)
+	a.fabric, a.link = f, k
+	b.fabric, b.link = f, k
+	f.mu.Lock()
+	m := f.conns[k]
+	if m == nil {
+		m = make(map[*Conn]struct{})
+		f.conns[k] = m
+	}
+	m[a] = struct{}{}
+	m[b] = struct{}{}
+	f.mu.Unlock()
+}
+
+// untrackConn removes a closed connection end from the severing index.
+func (f *Fabric) untrackConn(k linkKey, c *Conn) {
+	f.mu.Lock()
+	if m := f.conns[k]; m != nil {
+		delete(m, c)
+		if len(m) == 0 {
+			delete(f.conns, k)
+		}
+	}
+	f.mu.Unlock()
 }
 
 // Link returns the link parameters between two sites (or the default).
@@ -206,9 +284,25 @@ func (f *Fabric) shaperFor(siteA, siteB string) *shaper {
 	if sh, ok := f.shapers[k]; ok {
 		return sh
 	}
-	sh := newShaper(p, f.timeScale)
+	// Each link's jitter stream is seeded from the fabric seed and the
+	// link identity, so impaired runs replay identically for a given
+	// -seed regardless of shaper creation order.
+	sh := newShaper(p, f.timeScale, f.seed^linkSeed(k))
 	f.shapers[k] = sh
 	return sh
+}
+
+// linkSeed derives a stable per-link seed component from the link key
+// (FNV-1a over both site names).
+func linkSeed(k linkKey) int64 {
+	h := uint64(14695981039346656037)
+	for _, s := range [2]string{k.a, k.b} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return int64(h)
 }
 
 // Close shuts the fabric down; all hosts and connections become unusable.

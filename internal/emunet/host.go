@@ -269,6 +269,9 @@ func (h *Host) connectLocal(src Endpoint, dstHost *Host, dst Endpoint) (net.Conn
 // completeDial wires up a cross-site connection that has already passed
 // all filtering.
 func (h *Host) completeDial(extSrc Endpoint, dstHost *Host, dst Endpoint) (net.Conn, error) {
+	if h.fabric.linkDown(h.site.name, dstHost.site.name) {
+		return nil, ErrPartitioned
+	}
 	l, ok := dstHost.listenerAt(dst.Port)
 	if !ok {
 		return nil, ErrConnRefused
@@ -278,6 +281,7 @@ func (h *Host) completeDial(extSrc Endpoint, dstHost *Host, dst Endpoint) (net.C
 	if !l.deliver(cRemote) {
 		return nil, ErrConnRefused
 	}
+	h.fabric.trackConnPair(h.site.name, dstHost.site.name, cLocal, cRemote)
 	return cLocal, nil
 }
 
@@ -395,11 +399,24 @@ func (f *Fabric) registerSplice(offer *spliceOffer) bool {
 		f.mu.Unlock()
 		return false
 	}
+	// A partitioned WAN link drops both SYNs: park the offer so the
+	// splice times out, just as on real hardware during an outage.
+	siteA, siteB := offer.host.site.name, peer.host.site.name
+	if siteA != siteB {
+		if p, known := f.links[orderedLinkKey(siteA, siteB)]; known && p.Down {
+			f.splices[spliceKeyOf(offer.actual, offer.target)] = offer
+			f.mu.Unlock()
+			return false
+		}
+	}
 	delete(f.splices, peerKey)
 	f.mu.Unlock()
 
-	sh := f.shaperFor(offer.host.site.name, peer.host.site.name)
+	sh := f.shaperFor(siteA, siteB)
 	cA, cB := newConnPair(offer.actual, peer.actual, sh, f.sockBuf)
+	if siteA != siteB {
+		f.trackConnPair(siteA, siteB, cA, cB)
+	}
 	offer.ready <- cA
 	peer.ready <- cB
 	return true

@@ -1,0 +1,173 @@
+package emunet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// twoSiteWorld builds two open public sites with one host each and a
+// listener on b, returning the hosts and the established a->b conn pair.
+func twoSiteWorld(t *testing.T, opts ...Option) (f *Fabric, ha, hb *Host, conn net.Conn, accepted net.Conn) {
+	t.Helper()
+	f = NewFabric(opts...)
+	sa := f.AddSite("alpha", SiteConfig{Firewall: Open})
+	sb := f.AddSite("beta", SiteConfig{Firewall: Open})
+	ha = sa.AddHost("a1")
+	hb = sb.AddHost("b1")
+	l, err := hb.Listen(7000)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	acceptCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	conn, err = ha.Dial(Endpoint{Addr: hb.Address(), Port: 7000})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	accepted = <-acceptCh
+	return f, ha, hb, conn, accepted
+}
+
+func TestPartitionBlocksNewDials(t *testing.T) {
+	f, ha, hb, conn, accepted := twoSiteWorld(t)
+	defer f.Close()
+	defer conn.Close()
+	defer accepted.Close()
+
+	f.Partition("alpha", "beta")
+	_, err := ha.Dial(Endpoint{Addr: hb.Address(), Port: 7000})
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across partition: got %v, want ErrPartitioned", err)
+	}
+
+	f.Heal("alpha", "beta")
+	c, err := ha.Dial(Endpoint{Addr: hb.Address(), Port: 7000})
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestPartitionSeversExistingConns(t *testing.T) {
+	f, _, _, conn, accepted := twoSiteWorld(t)
+	defer f.Close()
+
+	// Sanity: data flows before the partition.
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(accepted, buf); err != nil {
+		t.Fatalf("pre-partition read: %v", err)
+	}
+
+	f.Partition("alpha", "beta")
+
+	// Both ends observe the severed link: reads drain to EOF, writes
+	// fail once the pipe is closed.
+	accepted.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := accepted.Read(buf); err != io.EOF {
+		t.Fatalf("read on severed conn: got %v, want EOF", err)
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatalf("write on severed conn unexpectedly succeeded")
+	}
+
+	// Healing does not resurrect severed connections.
+	f.Heal("alpha", "beta")
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatalf("write after heal on severed conn unexpectedly succeeded")
+	}
+}
+
+func TestPartitionLeavesOtherLinksAlone(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		s := f.AddSite(name, SiteConfig{Firewall: Open})
+		s.AddHost(name + "-h")
+	}
+	hg := f.Site("gamma").Hosts()[0]
+	l, err := hg.Listen(7000)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	f.Partition("alpha", "beta")
+	ha := f.Site("alpha").Hosts()[0]
+	c, err := ha.Dial(Endpoint{Addr: hg.Address(), Port: 7000})
+	if err != nil {
+		t.Fatalf("dial alpha->gamma with alpha-beta partitioned: %v", err)
+	}
+	c.Close()
+}
+
+func TestConnTrackingDrainsOnClose(t *testing.T) {
+	f, _, _, conn, accepted := twoSiteWorld(t)
+	defer f.Close()
+
+	f.mu.Lock()
+	live := len(f.conns[orderedLinkKey("alpha", "beta")])
+	f.mu.Unlock()
+	if live != 2 {
+		t.Fatalf("tracked conns after dial: got %d, want 2", live)
+	}
+	conn.Close()
+	accepted.Close()
+	f.mu.Lock()
+	live = len(f.conns[orderedLinkKey("alpha", "beta")])
+	f.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("tracked conns after close: got %d, want 0", live)
+	}
+}
+
+func TestJitterAddsBoundedDelay(t *testing.T) {
+	// At time scale 1 a 0-RTT link with jitter must delay writes by
+	// [0, Jitter); with the same seed the delays replay identically.
+	params := LinkParams{CapacityBps: 0, RTT: 0, Jitter: 20 * time.Millisecond}
+	sample := func(seed int64) []time.Duration {
+		sh := newShaper(params, 1.0, seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = sh.sendDelay(1)
+		}
+		return out
+	}
+	a, b := sample(7), sample(7)
+	var nonzero bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not replayable: sample %d: %v != %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= params.Jitter {
+			t.Fatalf("jitter out of bounds: %v", a[i])
+		}
+		if a[i] > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatalf("jitter never fired across %d samples", len(a))
+	}
+	if c := sample(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatalf("different seeds produced identical jitter prefix")
+	}
+}

@@ -1,0 +1,156 @@
+// Partition/heal regression for the gossip directory, run against a
+// real spread deployment (external test package: it drives the overlay
+// through core, which imports it). A three-relay mesh is partitioned
+// mid-gossip — attaches and a detach land while one relay pair cannot
+// talk — then healed; every surviving view must reconverge to the live
+// attachment set, asserted through the churn invariant checker.
+package overlay_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netibis/internal/churn/invariant"
+	"netibis/internal/core"
+	"netibis/internal/emunet"
+	"netibis/internal/relay"
+	"netibis/internal/testutil"
+)
+
+func TestPartitionHealConvergesMidGossip(t *testing.T) {
+	check := testutil.LeakCheck(t, 4)
+
+	f := emunet.NewFabric(emunet.WithSeed(23))
+	defer f.Close()
+	dep, err := core.NewSpreadFederatedDeployment(f, 3, nil)
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	defer dep.Close()
+
+	site := f.AddSite("nodes", emunet.SiteConfig{Firewall: emunet.Stateful})
+	host := site.AddHost("node-host")
+
+	live := map[string]string{} // node ID -> relay name
+	clients := map[string]*relay.Client{}
+	attach := func(id string, relayIdx int) {
+		t.Helper()
+		conn, err := host.Dial(dep.Relays[relayIdx].Endpoint())
+		if err != nil {
+			t.Fatalf("dial relay %d: %v", relayIdx, err)
+		}
+		cli, err := relay.Attach(conn, id)
+		if err != nil {
+			t.Fatalf("attach %s: %v", id, err)
+		}
+		clients[id] = cli
+		live[id] = dep.Relays[relayIdx].Name
+	}
+	defer func() {
+		for _, cli := range clients {
+			cli.Close()
+		}
+	}()
+
+	views := func() map[string][]invariant.DirEntry {
+		out := make(map[string][]invariant.DirEntry)
+		for _, ri := range dep.Relays {
+			var es []invariant.DirEntry
+			for _, de := range ri.Overlay.Directory() {
+				es = append(es, invariant.DirEntry{Node: de.Node, Home: de.Home, Present: de.Present})
+			}
+			out[ri.Name] = es
+		}
+		return out
+	}
+	settleConverged := func(stage string) {
+		t.Helper()
+		if why := testutil.Settle(func() (bool, string) {
+			ok, why := invariant.ConvergedTo(views(), live)
+			return ok, why
+		}); why != "" {
+			t.Fatalf("%s: directories did not converge: %s", stage, why)
+		}
+	}
+
+	// A settled pre-partition population across all three relays.
+	for i := 0; i < 6; i++ {
+		attach(fmt.Sprintf("part/pre-%d", i), i%3)
+	}
+	settleConverged("pre-partition")
+
+	// Sever the relay-0 <-> relay-1 WAN link, then keep gossiping: new
+	// attaches on both sides of the cut and a detach whose tombstone
+	// must eventually reach everyone.
+	f.Partition(core.RelaySiteName(0), core.RelaySiteName(1))
+	attach("part/during-0", 0)
+	attach("part/during-1", 1)
+	attach("part/during-2", 2)
+	clients["part/pre-0"].Close()
+	delete(clients, "part/pre-0")
+	delete(live, "part/pre-0")
+
+	// While the cut holds, relay-0 and relay-1 must disagree: each has
+	// dropped the other's homed nodes and cannot hear the new attaches.
+	ok, _ := invariant.ConvergedTo(views(), live)
+	if ok {
+		t.Fatalf("views converged during the partition — the cut is not cutting")
+	}
+
+	f.Heal(core.RelaySiteName(0), core.RelaySiteName(1))
+	// Re-peering and snapshot merge must repair every divergence: the
+	// mid-partition attaches present everywhere, the detached node
+	// present nowhere, homes correct.
+	settleConverged("post-heal")
+
+	// The overlay metrics should also reflect a fully peered mesh again.
+	for _, ri := range dep.Relays {
+		if got := len(ri.Overlay.Peers()); got != 2 {
+			t.Errorf("%s: %d peers after heal, want 2", ri.Name, got)
+		}
+	}
+
+	for _, cli := range clients {
+		cli.Close()
+	}
+	clients = map[string]*relay.Client{}
+	dep.Close()
+	f.Close()
+	check()
+}
+
+// TestPartitionIsolatesOnlyTheCutPair pins down the spread topology's
+// point: a partition between two relay sites must not disturb either
+// relay's link to the third site or to the gateway (registry).
+func TestPartitionIsolatesOnlyTheCutPair(t *testing.T) {
+	f := emunet.NewFabric(emunet.WithSeed(29))
+	defer f.Close()
+	dep, err := core.NewSpreadFederatedDeployment(f, 3, nil)
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	defer dep.Close()
+
+	f.Partition(core.RelaySiteName(0), core.RelaySiteName(1))
+	defer f.Heal(core.RelaySiteName(0), core.RelaySiteName(1))
+
+	// 0 <-> 1 is cut...
+	if _, err := dep.Relays[0].Host.Dial(dep.Relays[1].Endpoint()); err != emunet.ErrPartitioned {
+		t.Fatalf("dial across cut: err = %v, want ErrPartitioned", err)
+	}
+	// ...but 0 <-> 2, 1 <-> 2 and both registry paths still work.
+	for _, pair := range [][2]int{{0, 2}, {1, 2}} {
+		conn, err := dep.Relays[pair[0]].Host.Dial(dep.Relays[pair[1]].Endpoint())
+		if err != nil {
+			t.Fatalf("dial %d->%d: %v", pair[0], pair[1], err)
+		}
+		conn.Close()
+	}
+	for i := 0; i < 2; i++ {
+		conn, err := dep.Relays[i].Host.Dial(dep.RegistryEndpoint())
+		if err != nil {
+			t.Fatalf("relay %d -> registry: %v", i, err)
+		}
+		conn.Close()
+	}
+}

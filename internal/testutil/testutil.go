@@ -7,6 +7,8 @@ package testutil
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -30,9 +32,9 @@ func Settle(cond func() (bool, string)) string {
 
 // LeakCheck snapshots the current goroutine count and returns a function
 // that fails t when the count has not settled back to the baseline
-// (plus slack for runtime background goroutines) — with a full stack
-// dump, so the leaked goroutine is named in the failure, not hunted
-// afterwards. Typical use:
+// (plus slack for runtime background goroutines) — with a labeled,
+// creation-site-deduplicated stack dump, so the leaked goroutine is
+// named in the failure, not hunted afterwards. Typical use:
 //
 //	check := testutil.LeakCheck(t, 3)
 //	... scenario that must clean up after itself ...
@@ -46,8 +48,156 @@ func LeakCheck(t testing.TB, slack int) func() {
 			now := runtime.NumGoroutine()
 			return now <= baseline+slack, fmt.Sprintf("goroutines: baseline %d, now %d", baseline, now)
 		}); why != "" {
-			buf := make([]byte, 1<<20)
-			t.Errorf("leaked goroutines — %s\n%s", why, buf[:runtime.Stack(buf, true)])
+			t.Errorf("leaked goroutines — %s\n%s", why, LeakReport())
 		}
 	}
+}
+
+// LeakReport captures the stacks of all live goroutines and renders them
+// grouped by creation site (see FormatGoroutineDump). It is exported so
+// non-test harnesses — the churn engine's invariant layer in particular
+// — can attach the same diagnostic to a leaked-goroutine violation.
+func LeakReport() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) && len(buf) < 64<<20 {
+		buf = make([]byte, len(buf)*2)
+		n = runtime.Stack(buf, true)
+	}
+	return FormatGoroutineDump(string(buf[:n]))
+}
+
+// GoroutineGroup is a set of live goroutines sharing one creation site,
+// as parsed from a runtime.Stack(all=true) dump.
+type GoroutineGroup struct {
+	// Count is the number of goroutines in the group.
+	Count int
+	// State is the scheduler state of the group's first goroutine,
+	// e.g. "chan receive" or "IO wait".
+	State string
+	// Top is the innermost function of the group's first goroutine.
+	Top string
+	// CreatedBy identifies the creation site ("created by" frame), or
+	// "main" for goroutines without one.
+	CreatedBy string
+	// Sample is the full stack of one representative goroutine.
+	Sample string
+}
+
+// ParseGoroutineDump splits a runtime.Stack(all=true) dump into
+// creation-site groups, most numerous first (ties broken by creation
+// site for stable output). Runtime-internal and testing-harness
+// goroutines — the permanent background noise of any test process — are
+// filtered out so the report shows only suspects.
+func ParseGoroutineDump(dump string) []GoroutineGroup {
+	bySite := map[string]*GoroutineGroup{}
+	for _, block := range strings.Split(strings.TrimRight(dump, "\n"), "\n\n") {
+		g, ok := parseGoroutineBlock(block)
+		if !ok || boringGoroutine(g) {
+			continue
+		}
+		key := g.CreatedBy + "|" + g.Top
+		if have, dup := bySite[key]; dup {
+			have.Count++
+			continue
+		}
+		gg := g
+		bySite[key] = &gg
+	}
+	groups := make([]GoroutineGroup, 0, len(bySite))
+	for _, g := range bySite {
+		groups = append(groups, *g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Count != groups[j].Count {
+			return groups[i].Count > groups[j].Count
+		}
+		return groups[i].CreatedBy < groups[j].CreatedBy
+	})
+	return groups
+}
+
+// parseGoroutineBlock parses one "goroutine N [state]:" block.
+func parseGoroutineBlock(block string) (GoroutineGroup, bool) {
+	lines := strings.Split(strings.TrimSpace(block), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return GoroutineGroup{}, false
+	}
+	g := GoroutineGroup{Count: 1, Sample: strings.TrimSpace(block), CreatedBy: "main"}
+	if open := strings.IndexByte(lines[0], '['); open >= 0 {
+		if end := strings.IndexByte(lines[0][open:], ']'); end > 0 {
+			g.State = lines[0][open+1 : open+end]
+		}
+	}
+	// Frames come in pairs: "pkg.func(...)" then "\tfile:line +0x..".
+	// The first pair is the innermost frame.
+	g.Top = strings.TrimSpace(lines[1])
+	// Trim the trailing argument list, not a "(*T)" method receiver.
+	if i := strings.LastIndexByte(g.Top, '('); i > 0 {
+		g.Top = g.Top[:i]
+	}
+	for i, ln := range lines {
+		if rest, ok := strings.CutPrefix(ln, "created by "); ok {
+			site := rest
+			if j := strings.Index(site, " in goroutine"); j >= 0 {
+				site = site[:j]
+			}
+			if i+1 < len(lines) {
+				loc := strings.TrimSpace(lines[i+1])
+				if k := strings.IndexByte(loc, ' '); k > 0 {
+					loc = loc[:k] // drop the +0x offset
+				}
+				site += " at " + loc
+			}
+			g.CreatedBy = site
+			break
+		}
+	}
+	return g, true
+}
+
+// boringGoroutine reports whether a goroutine belongs to the runtime or
+// the testing harness and should not appear in a leak report.
+func boringGoroutine(g GoroutineGroup) bool {
+	for _, prefix := range []string{"testing.", "runtime.", "runtime/"} {
+		if strings.HasPrefix(g.Top, prefix) || strings.HasPrefix(g.CreatedBy, prefix) {
+			return true
+		}
+	}
+	// The goroutine running the leak check itself (its top frame is
+	// runtime.Stack only in live captures, not in replayed dumps).
+	return strings.HasPrefix(g.Top, "netibis/internal/testutil.LeakReport")
+}
+
+// FormatGoroutineDump renders a runtime.Stack(all=true) dump as a
+// creation-site summary followed by one representative stack per group:
+//
+//	3 goroutines [chan receive] at pkg.(*T).loop, created by pkg.New at file.go:42
+//	...
+//
+// so CI logs name the leak instead of pasting hundreds of identical
+// stacks.
+func FormatGoroutineDump(dump string) string {
+	groups := ParseGoroutineDump(dump)
+	if len(groups) == 0 {
+		return "no candidate goroutines (all remaining are runtime/testing internals)"
+	}
+	var b strings.Builder
+	total := 0
+	for _, g := range groups {
+		total += g.Count
+	}
+	fmt.Fprintf(&b, "%d candidate goroutine(s) in %d group(s) by creation site:\n", total, len(groups))
+	for _, g := range groups {
+		noun := "goroutines"
+		if g.Count == 1 {
+			noun = "goroutine"
+		}
+		fmt.Fprintf(&b, "  %d %s [%s] at %s, created by %s\n", g.Count, noun, g.State, g.Top, g.CreatedBy)
+	}
+	b.WriteString("\nrepresentative stacks:\n")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "--- %d× created by %s ---\n%s\n", g.Count, g.CreatedBy, g.Sample)
+	}
+	return b.String()
 }

@@ -1,0 +1,132 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleDump mimics a runtime.Stack(all=true) capture: one main
+// goroutine, three identical worker leaks from one creation site, one
+// distinct leak, and runtime/testing background goroutines that the
+// report must filter out.
+const sampleDump = `goroutine 1 [running]:
+netibis/internal/testutil.LeakReport()
+	/root/repo/internal/testutil/testutil.go:60 +0x65
+main.main()
+	/root/repo/main.go:10 +0x20
+
+goroutine 21 [chan receive]:
+netibis/internal/relay.(*Egress).loop(0xc000120000)
+	/root/repo/internal/relay/egress.go:88 +0x9c
+created by netibis/internal/relay.newEgress in goroutine 5
+	/root/repo/internal/relay/egress.go:41 +0x11d
+
+goroutine 22 [chan receive]:
+netibis/internal/relay.(*Egress).loop(0xc000120300)
+	/root/repo/internal/relay/egress.go:88 +0x9c
+created by netibis/internal/relay.newEgress in goroutine 5
+	/root/repo/internal/relay/egress.go:41 +0x11d
+
+goroutine 23 [chan receive]:
+netibis/internal/relay.(*Egress).loop(0xc000120600)
+	/root/repo/internal/relay/egress.go:88 +0x9c
+created by netibis/internal/relay.newEgress in goroutine 5
+	/root/repo/internal/relay/egress.go:41 +0x11d
+
+goroutine 30 [IO wait]:
+netibis/internal/overlay.(*Relay).rescanLoop(0xc0001a2000)
+	/root/repo/internal/overlay/overlay.go:210 +0x5a
+created by netibis/internal/overlay.New in goroutine 5
+	/root/repo/internal/overlay/overlay.go:120 +0x3f0
+
+goroutine 8 [syscall]:
+runtime.goexit()
+	/usr/local/go/src/runtime/asm_amd64.s:1695 +0x1
+created by runtime.createfing in goroutine 16
+	/usr/local/go/src/runtime/mfinal.go:163 +0x3d
+
+goroutine 7 [chan receive]:
+testing.(*T).Run(0xc000103040)
+	/usr/local/go/src/testing/testing.go:1750 +0x3ab
+created by testing.tRunner in goroutine 1
+	/usr/local/go/src/testing/testing.go:1798 +0x1b5
+`
+
+func TestParseGoroutineDumpGroupsByCreationSite(t *testing.T) {
+	groups := ParseGoroutineDump(sampleDump)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+	// Sorted most numerous first: the three egress loops lead.
+	if groups[0].Count != 3 {
+		t.Errorf("first group count = %d, want 3", groups[0].Count)
+	}
+	if want := "netibis/internal/relay.newEgress at /root/repo/internal/relay/egress.go:41"; groups[0].CreatedBy != want {
+		t.Errorf("first group CreatedBy = %q, want %q", groups[0].CreatedBy, want)
+	}
+	if want := "netibis/internal/relay.(*Egress).loop"; groups[0].Top != want {
+		t.Errorf("first group Top = %q, want %q", groups[0].Top, want)
+	}
+	if groups[0].State != "chan receive" {
+		t.Errorf("first group State = %q, want %q", groups[0].State, "chan receive")
+	}
+	if groups[1].Count != 1 || !strings.Contains(groups[1].CreatedBy, "overlay.New") {
+		t.Errorf("second group = %+v, want single overlay.New leak", groups[1])
+	}
+}
+
+func TestParseGoroutineDumpFiltersRuntimeAndTesting(t *testing.T) {
+	for _, g := range ParseGoroutineDump(sampleDump) {
+		for _, banned := range []string{"runtime.", "testing.", "testutil."} {
+			if strings.HasPrefix(g.Top, banned) {
+				t.Errorf("unfiltered background goroutine in report: %+v", g)
+			}
+		}
+	}
+}
+
+func TestFormatGoroutineDumpSummaryAndSamples(t *testing.T) {
+	out := FormatGoroutineDump(sampleDump)
+	for _, want := range []string{
+		"4 candidate goroutine(s) in 2 group(s)",
+		"3 goroutines [chan receive] at netibis/internal/relay.(*Egress).loop, created by netibis/internal/relay.newEgress at /root/repo/internal/relay/egress.go:41",
+		"1 goroutine [IO wait]",
+		"--- 3× created by netibis/internal/relay.newEgress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted dump missing %q:\n%s", want, out)
+		}
+	}
+	// Deduplication: the representative egress stack appears once, not
+	// three times.
+	if n := strings.Count(out, "goroutine 21 "); n != 1 {
+		t.Errorf("representative stack repeated %d times, want 1", n)
+	}
+	if strings.Contains(out, "goroutine 22 ") {
+		t.Errorf("duplicate stack not deduplicated:\n%s", out)
+	}
+	if strings.Contains(out, "testing.(*T).Run") {
+		t.Errorf("testing-harness goroutine leaked into report:\n%s", out)
+	}
+}
+
+func TestFormatGoroutineDumpEmpty(t *testing.T) {
+	out := FormatGoroutineDump("goroutine 1 [running]:\nruntime.main()\n\t/usr/local/go/src/runtime/proc.go:1 +0x1\n")
+	if !strings.Contains(out, "no candidate goroutines") {
+		t.Errorf("empty dump report = %q", out)
+	}
+}
+
+func TestLeakReportLive(t *testing.T) {
+	// Park a goroutine and make sure the live report names its creation
+	// site; then release it.
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() { <-block; close(done) }()
+	rep := LeakReport()
+	if !strings.Contains(rep, "created by netibis/internal/testutil.TestLeakReportLive") {
+		t.Errorf("live leak report does not name the parked goroutine's creation site:\n%s", rep)
+	}
+	close(block)
+	<-done
+}
