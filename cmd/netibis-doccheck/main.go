@@ -11,10 +11,13 @@
 // With no arguments it checks every *.md file in the working directory.
 // The exit status is non-zero when any link is broken.
 //
-// With -metrics-lint the tool instead audits the observability naming
-// scheme: every "netibis_..." string literal in non-test Go sources
+// With -metrics-lint the tool audits the observability naming scheme by
+// delegating to the metricname analyzer from the netibis-vet suite (the
+// flag predates the suite and is kept as an alias): the name reaching
+// every obs registration — through consts, concatenation and Sprintf —
 // must satisfy obs.CheckName (netibis_<subsystem>_<name>_<unit>, known
-// subsystem and unit tokens, counters ending in _total). CI runs it as
+// subsystem and unit tokens, counters ending in _total), as must loose
+// metric-shaped constants. CI runs the suite directly; the alias form is
 //
 //	netibis-doccheck -metrics-lint internal cmd
 package main
@@ -27,7 +30,9 @@ import (
 	"regexp"
 	"strings"
 
-	"netibis/internal/obs"
+	"netibis/internal/analysis"
+	"netibis/internal/analysis/load"
+	"netibis/internal/analysis/metricname"
 )
 
 // mdLink matches [text](target) markdown links. Images and reference
@@ -90,48 +95,29 @@ func checkFile(path string) (broken []string, err error) {
 	return broken, nil
 }
 
-// metricLiteral matches quoted metric-name literals in Go source. The
-// naming scheme makes the prefix unambiguous, so a plain scan beats a
-// full parse: anything that says "netibis_..." in a string is either a
-// registered family name or a bug the lint should flag.
-var metricLiteral = regexp.MustCompile(`"(netibis_[A-Za-z0-9_]*)"`)
-
-// lintMetricNames walks the given directories and validates every
-// metric-name literal in non-test Go files against the naming scheme.
-// Test files are exempt: they carry deliberately malformed names as
-// fixtures for the scheme checker itself.
-func lintMetricNames(dirs []string) (bad int, names map[string]bool, err error) {
-	names = map[string]bool{}
-	for _, dir := range dirs {
-		werr := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-			if err != nil || d.IsDir() {
-				return err
-			}
-			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-				return nil
-			}
-			data, err := os.ReadFile(path)
-			if err != nil {
-				return err
-			}
-			for _, m := range metricLiteral.FindAllStringSubmatch(string(data), -1) {
-				name := m[1]
-				if names[name] {
-					continue
-				}
-				names[name] = true
-				if cerr := obs.CheckName(name); cerr != nil {
-					fmt.Fprintf(os.Stderr, "%s: %v\n", path, cerr)
-					bad++
-				}
-			}
-			return nil
-		})
-		if werr != nil {
-			return bad, names, werr
-		}
+// lintMetricNames delegates to the metricname analyzer from the
+// netibis-vet suite: it resolves the name actually reaching each obs
+// registration (through consts, concatenation and Sprintf) instead of
+// grepping literals, and still sweeps loose metric-shaped constants.
+// Each argument is a directory (the historical CLI: `internal cmd`) or
+// a go package pattern.
+func lintMetricNames(dirs []string) (findings []analysis.Finding, err error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
 	}
-	return bad, names, nil
+	patterns := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		if !strings.Contains(d, "...") {
+			d = "./" + filepath.ToSlash(filepath.Clean(d)) + "/..."
+		}
+		patterns = append(patterns, d)
+	}
+	pkgs, err := load.Dir(wd, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunPackages(pkgs, []*analysis.Analyzer{metricname.Analyzer})
 }
 
 func main() {
@@ -144,16 +130,19 @@ func main() {
 		if len(dirs) == 0 {
 			dirs = []string{"internal", "cmd"}
 		}
-		bad, names, err := lintMetricNames(dirs)
+		findings, err := lintMetricNames(dirs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 			os.Exit(2)
 		}
-		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "doccheck: %d metric name(s) violate the naming scheme\n", bad)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %d metric name(s) violate the naming scheme\n", len(findings))
 			os.Exit(1)
 		}
-		fmt.Printf("doccheck: %d metric name(s) conform to the naming scheme\n", len(names))
+		fmt.Println("doccheck: metric names conform to the naming scheme (via netibis-vet metricname)")
 		return
 	}
 

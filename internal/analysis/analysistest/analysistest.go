@@ -1,0 +1,217 @@
+// Package analysistest runs netibis-vet analyzers over fixture packages
+// and compares their findings against `// want "regexp"` comments in the
+// fixture sources — the golang.org/x/tools analysistest contract in
+// miniature, built on the stdlib-only framework in internal/analysis.
+//
+// A fixture lives under testdata/src/<name>/ and is an ordinary Go
+// package. It may import real module packages (netibis/internal/wire,
+// netibis/internal/obs, ...): fixtures are type-checked against the
+// compiled export data of the whole module, so the analyzers see exactly
+// the types they see in production code. A `// want "re"` comment expects
+// a finding on its own line whose message matches the regexp; every
+// expected finding must occur and every finding must be expected.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"netibis/internal/analysis"
+	"netibis/internal/analysis/load"
+)
+
+// Run type-checks the fixture package in dir, runs the analyzers over it
+// and reports want-comment mismatches on t. The fixture's import path is
+// the directory base name.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	RunWithPath(t, dir, filepath.Base(dir), analyzers...)
+}
+
+// RunWithPath is Run with an explicit import path for the fixture
+// package, for analyzers whose behavior depends on the package path
+// (e.g. determinism's hard-included subsystems).
+func RunWithPath(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := checkFixture(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunPackages([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expects, err := expectations(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		if !consume(expects, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no %q finding matched want %q", e.file, e.line, e.analyzers, e.re)
+		}
+	}
+}
+
+// Findings type-checks the fixture package and returns the raw findings
+// without want-comment matching — for tests asserting on the nolint
+// machinery itself, where a trailing want comment would be parsed as the
+// suppression's justification.
+func Findings(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) []analysis.Finding {
+	t.Helper()
+	pkg, err := checkFixture(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunPackages([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// moduleExports caches the (slow) go list walk over the module's export
+// data: every fixture in the test binary shares one importer.
+var moduleExports struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.Importer
+	err  error
+}
+
+func checkFixture(dir, importPath string) (*load.Package, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	moduleExports.once.Do(func() {
+		moduleExports.fset, moduleExports.imp, moduleExports.err = load.Checker(root, []string{"./..."})
+	})
+	if moduleExports.err != nil {
+		return nil, moduleExports.err
+	}
+	fset, imp := moduleExports.fset, moduleExports.imp
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture sources in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		abs, err := filepath.Abs(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", dir, err)
+	}
+	return &load.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+type expectation struct {
+	file      string
+	line      int
+	re        *regexp.Regexp
+	analyzers string // informational, for the failure message
+	matched   bool
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectations collects the want comments of all fixture files. Each
+// applies to findings on its own line.
+func expectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						return nil, fmt.Errorf("bad want pattern %q: %v", m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("bad want regexp %q: %v", pat, err)
+					}
+					posn := fset.Position(c.Pos())
+					out = append(out, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// consume matches a finding against the first unmatched expectation on
+// its line.
+func consume(expects []*expectation, f analysis.Finding) bool {
+	for _, e := range expects {
+		if e.matched || e.file != f.Posn.Filename || e.line != f.Posn.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			e.analyzers = f.Analyzer
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package bufref_test
+
+import (
+	"testing"
+
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/bufref"
+)
+
+func TestBufref(t *testing.T) {
+	analysistest.Run(t, "testdata/src/bufref", bufref.Analyzer)
+}

@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src/determinism", determinism.Analyzer)
+}
+
+// TestHardScopedPackage checks that internal/churn (and friends) are in
+// scope without any pragma: the fixture is type-checked under the real
+// churn import path.
+func TestHardScopedPackage(t *testing.T) {
+	analysistest.RunWithPath(t, "testdata/src/churnscope", "netibis/internal/churn", determinism.Analyzer)
+}

@@ -1,0 +1,10 @@
+// Fixture proving the hard-included package scope: no pragma anywhere,
+// but the test type-checks this package as netibis/internal/churn, so
+// the determinism rules apply to every file.
+package churnscope
+
+import "time"
+
+func hardScopedClock() time.Time {
+	return time.Now() // want "wall clock \\(time.Now\\) in deterministic scenario code"
+}

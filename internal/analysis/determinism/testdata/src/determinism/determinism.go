@@ -1,0 +1,62 @@
+// Fixture for the determinism analyzer: this file opts in via the
+// pragma below; noscope.go in the same package does not and stays
+// unchecked.
+//
+//netibis:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock \\(time.Now\\) in deterministic scenario code"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "wall clock \\(time.Since\\) in deterministic scenario code"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source \\(rand.Intn\\)"
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // allowed: seeded-instance constructors
+	return rng.Intn(10)                   // allowed: method on the seeded instance
+}
+
+func mapOrderLeaks(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k) // want "map iteration order leaks into emitted output here"
+	}
+}
+
+func mapCollectAndSort(m map[string]int, emit func(string)) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // allowed: sorted below before any emission
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+func mapFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // allowed: commutative fold
+	}
+	return total
+}
+
+func mapInvert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k // allowed: insertion into another map is order-free
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// No //netibis:deterministic pragma: this file is out of scope and its
+// wall-clock read goes unflagged.
+package determinism
+
+import "time"
+
+func unscopedClock() time.Time {
+	return time.Now() // allowed: file not opted in, package not hard-scoped
+}

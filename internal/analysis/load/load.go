@@ -1,0 +1,184 @@
+// Package load type-checks the packages the netibis-vet analyzers run
+// over. It is a small stand-in for golang.org/x/tools/go/packages built
+// only on the go toolchain and the standard library: `go list -export
+// -json -deps` supplies package metadata plus compiled export data for
+// every dependency (the go command builds export files into its cache,
+// fully offline), and go/importer's gc importer consumes that export
+// data during type-checking. Only the requested packages themselves are
+// parsed to ASTs; dependencies are loaded from export data, which keeps
+// a whole-repo load under a second.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one requested, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Dir runs the loader in dir (the module root or any package dir) over
+// the given package patterns and returns the matched packages,
+// type-checked, in import-path order.
+func Dir(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []*listEntry
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList shells out to the go command for metadata + export data.
+func goList(dir string, patterns []string) ([]*listEntry, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var entries []*listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// check parses and type-checks one target package against export data.
+func check(fset *token.FileSet, imp types.Importer, e *listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(e.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Checker builds a types.Importer (plus FileSet) over the export data
+// of the given packages and their dependency closure, for callers that
+// type-check sources of their own — the fixture tests type-check
+// testdata packages against the real module packages this way.
+func Checker(dir string, imports []string) (*token.FileSet, types.Importer, error) {
+	if len(imports) == 0 {
+		imports = []string{"std"}
+	}
+	entries, err := goList(dir, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	fset := token.NewFileSet()
+	return fset, newExportImporter(fset, exports), nil
+}
+
+// newExportImporter returns an importer that resolves import paths via
+// the gc export files recorded by go list. The gc importer caches
+// loaded packages internally, so one importer serves a whole run.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,306 @@
+// Package locksafe guards the relay/overlay hot paths against two lock
+// misuse shapes that stock `go vet` does not fully cover:
+//
+//   - Blocking while holding a sync.Mutex/RWMutex: a channel send or
+//     receive (outside a select with a default case) or a time.Sleep
+//     between Lock and Unlock turns one slow peer into a pileup behind
+//     the lock — exactly the accepts close-vs-send race shape from
+//     PR 1. sync.Cond.Wait is exempt: waiting with the lock held is
+//     its contract.
+//   - Lock-containing values crossing copy edges copylocks does not
+//     look at: channel sends and composite-literal elements. (Stock
+//     copylocks handles assignment, call args, range and returns; the
+//     suite runs it alongside.)
+//
+// The lock-held analysis is function-local and syntactic: it tracks
+// Lock/Unlock pairs on the same receiver expression in straight-line
+// code, and treats `defer mu.Unlock()` as holding the lock for the
+// rest of the function.
+package locksafe
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"netibis/internal/analysis"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag blocking channel operations and sleeps while a sync.Mutex is held, and lock-value copies through sends and composite literals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockHeld(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockHeld(pass, n.Body)
+				return false
+			case *ast.SendStmt:
+				checkLockCopy(pass, n.Value, "channel send")
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					e := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					checkLockCopy(pass, e, "composite literal")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- lock-held blocking operations ---------------------------------------
+
+// lockState tracks which mutex receiver expressions are held at a point
+// in the walk, keyed by the printed receiver expression (mu, s.mu, …).
+type lockState map[string]token.Pos
+
+func (l lockState) clone() lockState {
+	out := make(lockState, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+func checkLockHeld(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkStmts(pass, body.List, lockState{})
+}
+
+func walkStmts(pass *analysis.Pass, list []ast.Stmt, held lockState) {
+	for _, s := range list {
+		walkStmt(pass, s, held)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		handleCallEffects(pass, s.X, held, false)
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() means the lock is held until return: keep it
+		// in held (it was added by the preceding Lock). A deferred Lock
+		// would be bizarre; ignore.
+
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			reportBlocked(pass, s.Pos(), "channel send", held)
+		}
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			handleCallEffects(pass, rhs, held, false)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		handleCallEffects(pass, s.Cond, held, false)
+		walkStmts(pass, s.Body.List, held.clone())
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			walkStmts(pass, e.List, held.clone())
+		case *ast.IfStmt:
+			walkStmt(pass, e, held.clone())
+		}
+
+	case *ast.ForStmt:
+		walkStmts(pass, s.Body.List, held.clone())
+
+	case *ast.RangeStmt:
+		walkStmts(pass, s.Body.List, held.clone())
+
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, held.clone())
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			clauses = sw.Body.List
+		} else {
+			clauses = s.(*ast.TypeSwitchStmt).Body.List
+		}
+		for _, cl := range clauses {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, held.clone())
+			}
+		}
+
+	case *ast.SelectStmt:
+		// A select with a default case never blocks; without one, its
+		// sends/receives block like bare ones.
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm != nil && !hasDefault && len(held) > 0 {
+				reportBlocked(pass, cc.Comm.Pos(), "blocking select", held)
+			}
+			walkStmts(pass, cc.Body, held.clone())
+		}
+
+	case *ast.GoStmt:
+		// The goroutine body runs without our locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			checkLockHeld(pass, lit.Body)
+		}
+
+	case *ast.ReturnStmt:
+		// The path ends here, but the result expressions still evaluate
+		// with the locks held (e.g. `return <-ch` under a deferred
+		// Unlock).
+		for _, res := range s.Results {
+			handleCallEffects(pass, res, held, false)
+		}
+
+	case *ast.LabeledStmt:
+		walkStmt(pass, s.Stmt, held)
+	}
+}
+
+// handleCallEffects updates held for Lock/Unlock calls and reports
+// blocking operations in expressions evaluated while locks are held.
+func handleCallEffects(pass *analysis.Pass, e ast.Expr, held lockState, inSelectDefault bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				reportBlocked(pass, n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType := pass.TypesInfo.Types[sel.X].Type
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if isMutex(recvType) {
+					held[exprString(sel.X)] = n.Pos()
+				}
+			case "Unlock", "RUnlock":
+				if isMutex(recvType) {
+					delete(held, exprString(sel.X))
+				}
+			case "Sleep":
+				if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil &&
+					analysis.FuncPkgPath(fn) == "time" && len(held) > 0 {
+					reportBlocked(pass, n.Pos(), "time.Sleep", held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportBlocked(pass *analysis.Pass, pos token.Pos, what string, held lockState) {
+	// Name one held lock for the message (the earliest acquired).
+	var name string
+	var earliest token.Pos
+	for k, p := range held {
+		if earliest == token.NoPos || p < earliest {
+			earliest, name = p, k
+		}
+	}
+	pass.Reportf(pos, "%s while holding %s.Lock (acquired at %s): a stalled counterpart pins every other user of the lock",
+		what, name, pass.Fset.Position(earliest))
+}
+
+// isMutex reports whether t is sync.Mutex/RWMutex (or pointer to one).
+// sync.Cond is deliberately not matched: Cond.L conventions differ.
+func isMutex(t types.Type) bool {
+	return analysis.IsNamedType(t, "sync", "Mutex") || analysis.IsNamedType(t, "sync", "RWMutex")
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}
+
+// --- lock-value copies ----------------------------------------------------
+
+// checkLockCopy flags an expression whose value, copied by a send or
+// into a composite literal, transitively contains a lock.
+func checkLockCopy(pass *analysis.Pass, e ast.Expr, context string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return // a fresh value, not a copy of an existing one
+	case *ast.UnaryExpr:
+		return // &x: pointer, no copy
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if path := lockPath(tv.Type, nil); path != nil {
+		pass.Reportf(e.Pos(), "%s copies lock value: %s contains %s", context, tv.Type.String(), path[len(path)-1])
+	}
+}
+
+// lockPath returns a descriptive path when t transitively contains a
+// lock type by value, nil otherwise.
+func lockPath(t types.Type, seen []types.Type) []string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return nil
+		}
+	}
+	seen = append(seen, t)
+	if analysis.IsNamedType(t, "sync", "Mutex") && !isPointer(t) {
+		return []string{"sync.Mutex"}
+	}
+	if analysis.IsNamedType(t, "sync", "RWMutex") && !isPointer(t) {
+		return []string{"sync.RWMutex"}
+	}
+	if analysis.IsNamedType(t, "sync", "Cond") && !isPointer(t) {
+		return []string{"sync.Cond"}
+	}
+	if analysis.IsNamedType(t, "sync", "WaitGroup") && !isPointer(t) {
+		return []string{"sync.WaitGroup"}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPath(u.Field(i).Type(), seen); p != nil {
+				return append([]string{u.Field(i).Name()}, p...)
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return nil
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src/locksafe", locksafe.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Fixture for the locksafe analyzer: blocking operations under a held
+// mutex and lock-value copies through sends and composite literals.
+package locksafe
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu.Lock"
+	g.mu.Unlock()
+}
+
+func sendAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1 // allowed: the lock is already released
+}
+
+func recvInReturnUnderDefer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding g.mu.Lock"
+}
+
+func sleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu.Lock"
+	g.mu.Unlock()
+}
+
+func selectWithDefault(g *guarded) {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1: // allowed: the default case makes this non-blocking
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func selectBlocking(g *guarded) {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1: // want "blocking select while holding g.mu.Lock"
+	case v := <-g.ch: // want "blocking select while holding g.mu.Lock"
+		_ = v
+	}
+	g.mu.Unlock()
+}
+
+func condWaitOK(mu *sync.Mutex, c *sync.Cond) {
+	mu.Lock()
+	c.Wait() // allowed: waiting with the lock held is Cond's contract
+	mu.Unlock()
+}
+
+type lockBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyThroughChannel(ch chan lockBox, b lockBox) {
+	ch <- b // want "channel send copies lock value: locksafe.lockBox contains sync.Mutex"
+}
+
+func copyIntoLiteral(b lockBox) []lockBox {
+	return []lockBox{b} // want "composite literal copies lock value: locksafe.lockBox contains sync.Mutex"
+}
+
+func pointerSendOK(ch chan *lockBox, b *lockBox) {
+	ch <- b // allowed: a pointer send copies no lock
+}

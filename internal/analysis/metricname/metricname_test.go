@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata/src/metricname", metricname.Analyzer)
+}

@@ -1,0 +1,33 @@
+// Fixture for the metricname analyzer: names reaching obs registrations
+// through literals, consts, concatenation and Sprintf, plus the loose
+// metric-shaped literal sweep.
+package metricname
+
+import (
+	"fmt"
+
+	"netibis/internal/obs"
+)
+
+const baseName = "netibis_relay_dropped_frames" // allowed: valid loose metric literal
+
+const badConstName = "netibis_nope_dropped_total" // want "unknown subsystem \"nope\""
+
+var panels = []string{
+	"netibis_overlay_active_peers", // allowed: valid loose literal outside a registration
+	"netibis_estab_handshake",      // want "want netibis_<subsystem>_<name>_<unit>"
+}
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("netibis_relay_routed_frames_total", "frames routed")    // allowed
+	r.Gauge("netibis_overlay_active_peers", "current peers")           // allowed
+	r.Counter("netibis_bogus_routed_frames_total", "x")                // want "unknown subsystem \"bogus\""
+	r.Counter("netibis_relay_routed_frames", "x")                      // want "counters must end in _total"
+	r.Gauge("netibis_relay_backlog_bytes_total", "x")                  // want "only counters may end in _total"
+	r.Counter(badConstName, "x")                                       // want "unknown subsystem \"nope\""
+	r.Counter(baseName+"_total", "x")                                  // allowed: constant concatenation resolves
+	r.Gauge(fmt.Sprintf("netibis_relay_queue%d_depth_frames", 2), "x") // allowed: constant Sprintf resolves
+	r.Histogram("netibis_flow_window_seconds", "rtt", nil)             // allowed
+	r.Counter(dynamic, "x")                                            // want "does not resolve to a constant at analysis time"
+	_ = panels
+}

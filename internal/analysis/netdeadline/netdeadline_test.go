@@ -1,0 +1,12 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/netdeadline"
+)
+
+func TestNetdeadline(t *testing.T) {
+	analysistest.Run(t, "testdata/src/netdeadline", netdeadline.Analyzer)
+}

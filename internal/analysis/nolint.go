@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression records one //nolint:netibis-<name> comment: the line it
+// governs, the analyzers it names ("all" covers every analyzer) and
+// whether it carries the mandatory justification.
+type suppression struct {
+	line      int
+	analyzers map[string]bool
+	all       bool
+	justified bool
+	pos       token.Pos
+}
+
+// nolintPrefix introduces a suppression comment. The syntax is
+//
+//	//nolint:netibis-bufref,netibis-locksafe // why this is safe
+//
+// i.e. a comma-separated list of netibis-<name> analyzer names followed
+// by a second comment marker and a non-empty justification. A bare
+// "//nolint:netibis" (no analyzer) suppresses the whole suite on that
+// line and is discouraged; it still requires the justification.
+const nolintPrefix = "//nolint:"
+
+// parseSuppressions extracts the suppressions of one file. A
+// suppression governs the line it sits on; a comment alone on a line
+// also governs the following line, so both trailing and preceding
+// placement work.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, nolintPrefix) {
+				continue
+			}
+			rest := text[len(nolintPrefix):]
+			spec, justification, found := strings.Cut(rest, "//")
+			s := suppression{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: map[string]bool{},
+				justified: found && strings.TrimSpace(justification) != "",
+				pos:       c.Pos(),
+			}
+			for _, name := range strings.Split(spec, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if name == "netibis" {
+					s.all = true
+					continue
+				}
+				if n, ok := strings.CutPrefix(name, "netibis-"); ok {
+					s.analyzers[n] = true
+				}
+				// Foreign nolint names (e.g. staticcheck's) are not ours
+				// to police; they neither suppress nor require our
+				// justification when no netibis analyzer is named.
+			}
+			if len(s.analyzers) > 0 || s.all {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether the comment at line is alone on its
+// line (no preceding code), in which case it governs the next line too.
+func (s suppression) governs(line int, commentOnlyLines map[int]bool) bool {
+	if s.line == line {
+		return true
+	}
+	return commentOnlyLines[s.line] && s.line+1 == line
+}

@@ -1,0 +1,87 @@
+package analysis_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"netibis/internal/analysis"
+	"netibis/internal/analysis/analysistest"
+	"netibis/internal/analysis/determinism"
+)
+
+const nolintFixture = "testdata/src/nolintfix"
+
+// TestNolintSuppression exercises the suppression policy end to end:
+// justified suppressions (trailing, preceding-line and whole-suite)
+// silence the finding; an unjustified one silences nothing and is a
+// finding itself; naming the wrong analyzer does not suppress.
+func TestNolintSuppression(t *testing.T) {
+	findings := analysistest.Findings(t, nolintFixture, "nolintfix", determinism.Analyzer)
+
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(findings), render(findings))
+	}
+
+	sinceLine := fixtureLine(t, "time.Since")
+	untilLine := fixtureLine(t, "time.Until")
+
+	var sawUnsuppressed, sawNolint, sawWrongName bool
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "determinism" && strings.Contains(f.Message, "time.Since"):
+			sawUnsuppressed = true
+			if f.Posn.Line != sinceLine {
+				t.Errorf("unjustified-nolint finding at line %d, want %d", f.Posn.Line, sinceLine)
+			}
+		case f.Analyzer == "nolint":
+			sawNolint = true
+			if !strings.Contains(f.Message, "requires a justification") {
+				t.Errorf("nolint finding message = %q", f.Message)
+			}
+			if f.Posn.Line != sinceLine {
+				t.Errorf("nolint finding at line %d, want %d", f.Posn.Line, sinceLine)
+			}
+		case f.Analyzer == "determinism" && strings.Contains(f.Message, "time.Until"):
+			sawWrongName = true
+			if f.Posn.Line != untilLine {
+				t.Errorf("wrong-analyzer finding at line %d, want %d", f.Posn.Line, untilLine)
+			}
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if !sawUnsuppressed {
+		t.Error("unjustified nolint silently suppressed the finding it sat on")
+	}
+	if !sawNolint {
+		t.Error("unjustified nolint produced no finding of its own")
+	}
+	if !sawWrongName {
+		t.Error("a nolint naming a different analyzer suppressed the finding")
+	}
+}
+
+func fixtureLine(t *testing.T, needle string) int {
+	t.Helper()
+	data, err := os.ReadFile(nolintFixture + "/nolintfix.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("needle %q not in fixture", needle)
+	return 0
+}
+
+func render(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

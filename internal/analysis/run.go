@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"netibis/internal/analysis/load"
+)
+
+// RunPackages applies every analyzer to every package and returns the
+// surviving findings, sorted by position. Suppressed findings are
+// dropped; a nolint comment that names a netibis analyzer but carries
+// no justification is converted into a finding of its own, so the
+// suppression mechanism cannot silently rot.
+func RunPackages(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, posn) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Posn: posn, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		findings = append(findings, sup.unjustified()...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressor resolves nolint comments for one package.
+type suppressor struct {
+	fset  *token.FileSet
+	sups  map[string][]suppression // filename -> suppressions
+	lines map[string]map[int]bool  // filename -> comment-only lines
+	used  map[*suppression]bool
+}
+
+func newSuppressor(pkg *load.Package) *suppressor {
+	s := &suppressor{
+		fset:  pkg.Fset,
+		sups:  map[string][]suppression{},
+		lines: map[string]map[int]bool{},
+		used:  map[*suppression]bool{},
+	}
+	for _, f := range pkg.Files {
+		sups := parseSuppressions(pkg.Fset, f)
+		if len(sups) == 0 {
+			continue
+		}
+		name := pkg.Fset.Position(f.Pos()).Filename
+		s.sups[name] = sups
+		s.lines[name] = commentOnlyLines(name)
+	}
+	return s
+}
+
+// commentOnlyLines reports which lines of the file hold nothing but a
+// comment: a suppression on such a line governs the next line, while a
+// trailing suppression governs only its own.
+func commentOnlyLines(filename string) map[int]bool {
+	out := map[int]bool{}
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return out
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "//") {
+			out[i+1] = true
+		}
+	}
+	return out
+}
+
+func (s *suppressor) suppressed(analyzer string, posn token.Position) bool {
+	sups := s.sups[posn.Filename]
+	for i := range sups {
+		sup := &sups[i]
+		if !sup.all && !sup.analyzers[analyzer] {
+			continue
+		}
+		if !sup.governs(posn.Line, s.lines[posn.Filename]) {
+			continue
+		}
+		s.used[sup] = true
+		// An unjustified suppression does not silence anything; the
+		// finding stands alongside the unjustified-nolint finding.
+		return sup.justified
+	}
+	return false
+}
+
+// unjustified returns a finding for every netibis nolint comment that
+// lacks the mandatory justification, whether or not it matched a
+// diagnostic: the requirement is on the comment, not the finding.
+func (s *suppressor) unjustified() []Finding {
+	var out []Finding
+	for _, sups := range s.sups {
+		for i := range sups {
+			sup := &sups[i]
+			if sup.justified {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "nolint",
+				Posn:     s.fset.Position(sup.pos),
+				Message:  "nolint:netibis suppression requires a justification (`//nolint:netibis-<name> // why`)",
+			})
+		}
+	}
+	return out
+}
+
+// FilePragma reports whether any comment in the file consists of the
+// given pragma, e.g. "//netibis:deterministic". Pragmas are whole-line
+// machine-readable markers, conventionally placed right above or below
+// the package clause.
+func FilePragma(f *ast.File, pragma string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == pragma {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncPragma reports whether the function's doc comment carries the
+// given pragma line, e.g. "//netibis:preauth".
+func FuncPragma(fn *ast.FuncDecl, pragma string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == pragma {
+			return true
+		}
+	}
+	return false
+}

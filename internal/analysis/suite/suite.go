@@ -1,0 +1,41 @@
+// Package suite registers the netibis-vet analyzer set. The driver,
+// the doccheck delegation and the self-check test all consume this one
+// list so they cannot drift apart.
+package suite
+
+import (
+	"netibis/internal/analysis"
+	"netibis/internal/analysis/bufref"
+	"netibis/internal/analysis/determinism"
+	"netibis/internal/analysis/locksafe"
+	"netibis/internal/analysis/metricname"
+	"netibis/internal/analysis/netdeadline"
+)
+
+// Analyzers is the full suite, in report order.
+var Analyzers = []*analysis.Analyzer{
+	bufref.Analyzer,
+	determinism.Analyzer,
+	locksafe.Analyzer,
+	metricname.Analyzer,
+	netdeadline.Analyzer,
+}
+
+// ByName returns the named subset (names as in Analyzer.Name), or nil
+// for an unknown name.
+func ByName(names []string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, name := range names {
+		found := false
+		for _, a := range Analyzers {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}

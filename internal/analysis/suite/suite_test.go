@@ -1,0 +1,62 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netibis/internal/analysis"
+	"netibis/internal/analysis/load"
+	"netibis/internal/analysis/suite"
+)
+
+// TestRepositoryClean is the CI gate in test form: the full suite over
+// every package of the module must report nothing. A finding here means
+// either a real invariant violation or a missing justified nolint —
+// both belong in the change that introduced them.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and re-type-checks the whole module")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Dir(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunPackages(pkgs, suite.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if got := suite.ByName([]string{"bufref", "locksafe"}); len(got) != 2 {
+		t.Fatalf("ByName(bufref, locksafe) = %d analyzers, want 2", len(got))
+	}
+	if got := suite.ByName([]string{"nosuch"}); got != nil {
+		t.Fatalf("ByName(nosuch) = %v, want nil", got)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the nolint suppression machinery. No want comments here:
+// a trailing want would itself be the justification text, so the test
+// asserts on raw findings instead.
+//
+//netibis:deterministic
+package nolintfix
+
+import "time"
+
+func justified() time.Time {
+	return time.Now() //nolint:netibis-determinism // fixture: wall clock never reaches scenario state
+}
+
+func unjustified(t0 time.Time) time.Duration {
+	return time.Since(t0) //nolint:netibis-determinism
+}
+
+func wrongAnalyzerNamed(t0 time.Time) time.Duration {
+	return time.Until(t0) //nolint:netibis-bufref // fixture: names a different analyzer, must not suppress
+}
+
+func precedingLine() time.Time {
+	//nolint:netibis-determinism // fixture: a comment-only suppression governs the next line
+	return time.Now()
+}
+
+func wholeSuite() time.Time {
+	return time.Now() //nolint:netibis // fixture: whole-suite suppression, discouraged but justified
+}

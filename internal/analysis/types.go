@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IsNamedType reports whether t (after stripping one level of pointer)
+// is the named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// CalleeFunc resolves the static callee of a call expression: a
+// package-level function or a concrete method. Interface-method and
+// function-value calls resolve too (to the interface method object);
+// nil is returned for type conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// FuncPkgPath returns the defining package path of fn ("" for
+// builtins).
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsMethodOn reports whether fn is a method named name whose receiver
+// (after stripping pointers) is recvPkgPath.recvName.
+func IsMethodOn(fn *types.Func, name, recvPkgPath, recvName string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsNamedType(sig.Recv().Type(), recvPkgPath, recvName)
+}
+
+// LocalVar resolves id to a function-local variable or parameter (not a
+// field, not package-level), or nil.
+func LocalVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// ImplementsError reports whether t is the error interface type.
+func ImplementsError(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return types.Identical(t, types.Universe.Lookup("error").Type().Underlying())
+	}
+	return n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// IsNilIdent reports whether e is the predeclared nil.
+func IsNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// WirePath is the package whose Buf type the bufref analyzer tracks.
+// Matching is by path suffix so that the analyzers keep working if the
+// module is ever renamed or vendored.
+const WirePath = "internal/wire"
+
+// IsWirePkg reports whether path names the wire package.
+func IsWirePkg(path string) bool {
+	return path == WirePath || strings.HasSuffix(path, "/"+WirePath)
+}
+
+// IsWireBuf reports whether t is *wire.Buf or wire.Buf.
+func IsWireBuf(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Buf" && obj.Pkg() != nil && IsWirePkg(obj.Pkg().Path())
+}

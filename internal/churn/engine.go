@@ -461,7 +461,7 @@ func (rc *rClient) onDetach(err error) {
 		return
 	}
 	rc.e.rec.Eventf("client %s detached (%v), resuming", rc.id, err)
-	start := time.Now()
+	start := time.Now() //nolint:netibis-determinism // recovery-latency stopwatch; never feeds scenario decisions
 	go rc.resumeLoop(start)
 }
 
@@ -486,9 +486,9 @@ func (rc *rClient) resumeLoop(start time.Time) {
 				}
 				continue
 			}
-			rc.e.recoverLat.add(time.Since(start))
+			rc.e.recoverLat.add(time.Since(start)) //nolint:netibis-determinism // recovery-latency stopwatch; never feeds scenario decisions
 			rc.e.live.set(rc.id, rc.e.relayNames[i])
-			rc.e.rec.Eventf("client %s resumed on %s after %v", rc.id, rc.e.relayNames[i], time.Since(start).Round(time.Millisecond))
+			rc.e.rec.Eventf("client %s resumed on %s after %v", rc.id, rc.e.relayNames[i], time.Since(start).Round(time.Millisecond)) //nolint:netibis-determinism // wall-clock duration in the event log only
 			return
 		}
 		select {
@@ -667,7 +667,7 @@ func (e *engine) startProbes() {
 	go func() {
 		defer e.wg.Done()
 		for !e.stopped() {
-			t0 := time.Now()
+			t0 := time.Now() //nolint:netibis-determinism // open-latency stopwatch; never feeds scenario decisions
 			conn, err := pa.current().DialCancel("churn/probe-b", 2*time.Second, e.stopCh)
 			e.countMu.Lock()
 			if err != nil {
@@ -677,7 +677,7 @@ func (e *engine) startProbes() {
 			}
 			e.countMu.Unlock()
 			if err == nil {
-				e.openLat.add(time.Since(t0))
+				e.openLat.add(time.Since(t0)) //nolint:netibis-determinism // open-latency stopwatch; never feeds scenario decisions
 				conn.Close()
 			}
 			select {
@@ -701,7 +701,7 @@ func (e *engine) startProbes() {
 func (e *engine) runStorm(ev Event) {
 	offsets := ev.ArrivalOffsets(e.rng)
 	e.rec.Eventf("storm: %d arrivals over %v (%s) across pool %d", len(offsets), ev.Over, ev.Curve, len(e.slots))
-	start := time.Now()
+	start := time.Now() //nolint:netibis-determinism // storm pacing baseline; arrival offsets come from the seeded rng
 
 	type arrival struct{ n int }
 	chans := make([]chan arrival, len(e.slots))
@@ -721,7 +721,7 @@ func (e *engine) runStorm(ev Event) {
 		if e.stopped() {
 			break
 		}
-		if d := time.Until(start.Add(off)); d > 0 {
+		if d := time.Until(start.Add(off)); d > 0 { //nolint:netibis-determinism // paces seeded arrival offsets against the wall clock
 			select {
 			case <-e.stopCh:
 			case <-time.After(d):
@@ -734,7 +734,7 @@ func (e *engine) runStorm(ev Event) {
 	}
 	wg.Wait()
 
-	window := time.Since(start)
+	window := time.Since(start) //nolint:netibis-determinism // storm-window measurement; never feeds scenario decisions
 	e.countMu.Lock()
 	e.stormWindow += window
 	e.countMu.Unlock()
@@ -769,7 +769,7 @@ func (e *engine) attachSim(slotIdx, n int) {
 		return
 	}
 
-	t0 := time.Now()
+	t0 := time.Now() //nolint:netibis-determinism // attach-latency stopwatch; never feeds scenario decisions
 	cli, err := e.attachClient(host, id, relays[0])
 	if err != nil {
 		e.countMu.Lock()
@@ -777,7 +777,7 @@ func (e *engine) attachSim(slotIdx, n int) {
 		e.countMu.Unlock()
 		return
 	}
-	e.attachLat.add(time.Since(t0))
+	e.attachLat.add(time.Since(t0)) //nolint:netibis-determinism // attach-latency stopwatch; never feeds scenario decisions
 	e.countMu.Lock()
 	e.attaches++
 	e.countMu.Unlock()
@@ -830,25 +830,25 @@ func (e *engine) directoryViews() map[string][]invariant.DirEntry {
 // live attachment set (both sampled together each round), or flags a
 // convergence violation at the deadline.
 func (e *engine) awaitConvergence(label string, timeout time.Duration) (time.Duration, bool) {
-	t0 := time.Now()
+	t0 := time.Now() //nolint:netibis-determinism // convergence stopwatch and timeout; verdicts come from invariant checks
 	deadline := t0.Add(timeout)
 	var lastWhy string
 	for {
 		if e.stopped() && label != "final" {
-			return time.Since(t0), false
+			return time.Since(t0), false //nolint:netibis-determinism // wall-clock duration of an aborted wait, reported only
 		}
 		views := e.directoryViews()
 		expected := e.live.snapshot()
 		ok, why := invariant.ConvergedTo(views, expected)
 		if ok {
-			d := time.Since(t0)
+			d := time.Since(t0) //nolint:netibis-determinism // convergence-latency measurement; never feeds scenario decisions
 			e.rec.Eventf("converged (%s) in %v: %d nodes across %d views", label, d.Round(time.Millisecond), len(expected), len(views))
 			return d, true
 		}
 		lastWhy = why
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //nolint:netibis-determinism // wall-clock timeout check; the violation verdict is the invariant's
 			e.rec.Violatef("convergence", "%s: directories did not converge within %v: %s", label, timeout, lastWhy)
-			return time.Since(t0), false
+			return time.Since(t0), false //nolint:netibis-determinism // wall-clock duration reported alongside the violation
 		}
 		time.Sleep(convergePoll)
 	}
@@ -860,10 +860,10 @@ func (e *engine) awaitConvergence(label string, timeout time.Duration) (time.Dur
 // concurrently with everything else; partitions/crashes/impairments run
 // on their own timers too, so overlapping chaos is expressible.
 func (e *engine) runSchedule() {
-	start := time.Now()
+	start := time.Now() //nolint:netibis-determinism // schedule pacing baseline; event offsets come from the scenario
 	var wg sync.WaitGroup
 	for _, ev := range e.sched.Events {
-		if d := time.Until(start.Add(ev.At)); d > 0 {
+		if d := time.Until(start.Add(ev.At)); d > 0 { //nolint:netibis-determinism // paces scenario-defined event offsets against the wall clock
 			select {
 			case <-e.stopCh:
 			case <-time.After(d):
@@ -893,7 +893,7 @@ func (e *engine) runSchedule() {
 	wg.Wait()
 	// Hold the world until the scheduled end so short event lists still
 	// exercise the full window.
-	if d := time.Until(start.Add(e.sched.End)); d > 0 {
+	if d := time.Until(start.Add(e.sched.End)); d > 0 { //nolint:netibis-determinism // holds the run open to the scenario-defined end time
 		select {
 		case <-e.stopCh:
 		case <-time.After(d):

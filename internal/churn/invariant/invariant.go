@@ -61,12 +61,12 @@ type Recorder struct {
 // NewRecorder creates a Recorder; events and violations are echoed to
 // log when non-nil.
 func NewRecorder(log io.Writer) *Recorder {
-	return &Recorder{start: time.Now(), log: log}
+	return &Recorder{start: time.Now(), log: log} //nolint:netibis-determinism // event-log timestamps measure the run; they never feed scenario state
 }
 
 // Violatef records a violation.
 func (r *Recorder) Violatef(kind, format string, args ...any) {
-	v := Violation{At: time.Since(r.start), Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	v := Violation{At: time.Since(r.start), Kind: kind, Detail: fmt.Sprintf(format, args...)} //nolint:netibis-determinism // violation timestamp for the log only
 	r.mu.Lock()
 	r.violations = append(r.violations, v)
 	log := r.log
@@ -81,7 +81,7 @@ func (r *Recorder) Violatef(kind, format string, args ...any) {
 func (r *Recorder) Eventf(format string, args ...any) {
 	r.mu.Lock()
 	log := r.log
-	at := time.Since(r.start)
+	at := time.Since(r.start) //nolint:netibis-determinism // event timestamp for the log only
 	r.mu.Unlock()
 	if log != nil {
 		fmt.Fprintf(log, "[%8.3fs] %s\n", at.Seconds(), fmt.Sprintf(format, args...))
@@ -536,7 +536,7 @@ func (r *Receiver) Run(conn net.Conn) error {
 		if complete {
 			// Hold the connection open briefly so the final ack drains
 			// before close; the sender closes its side on completion.
-			conn.SetReadDeadline(time.Now().Add(time.Second))
+			conn.SetReadDeadline(time.Now().Add(time.Second)) //nolint:netibis-determinism // arms a real network read deadline; wall clock is the only correct base
 			io.Copy(io.Discard, conn)
 			return nil
 		}
@@ -703,6 +703,17 @@ type DirEntry struct {
 	Present bool
 }
 
+// sortedKeys returns m's keys in sorted order, so divergence reports
+// are a deterministic function of the map contents.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // ConvergedTo reports whether every relay's directory view agrees
 // exactly with the expected live attachment map (node -> home relay).
 // Tombstones are ignored; any missing, extra or misplaced present entry
@@ -720,7 +731,10 @@ func ConvergedTo(views map[string][]DirEntry, expected map[string]string) (bool,
 				present[e.Node] = e.Home
 			}
 		}
-		for node, home := range expected {
+		// Walk both maps in sorted key order so the "first divergence"
+		// reported is the same divergence on every run of a seed.
+		for _, node := range sortedKeys(expected) {
+			home := expected[node]
 			got, ok := present[node]
 			if !ok {
 				return false, fmt.Sprintf("relay %s missing %s (home %s)", relay, node, home)
@@ -729,9 +743,9 @@ func ConvergedTo(views map[string][]DirEntry, expected map[string]string) (bool,
 				return false, fmt.Sprintf("relay %s has %s on %s, expected %s", relay, node, got, home)
 			}
 		}
-		for node, home := range present {
+		for _, node := range sortedKeys(present) {
 			if _, ok := expected[node]; !ok {
-				return false, fmt.Sprintf("relay %s has stale present entry %s on %s", relay, node, home)
+				return false, fmt.Sprintf("relay %s has stale present entry %s on %s", relay, node, present[node])
 			}
 		}
 	}
@@ -764,8 +778,9 @@ func Agreeing(views map[string][]DirEntry) (bool, string) {
 		if len(present) != len(ref) {
 			return false, fmt.Sprintf("relay %s sees %d present nodes, %s sees %d", relay, len(present), refName, len(ref))
 		}
-		for node, home := range ref {
-			if got, ok := present[node]; !ok || got != home {
+		// Sorted order keeps the reported disagreement stable run to run.
+		for _, node := range sortedKeys(ref) {
+			if got, ok := present[node]; !ok || got != ref[node] {
 				return false, fmt.Sprintf("relay %s disagrees with %s about %s", relay, refName, node)
 			}
 		}

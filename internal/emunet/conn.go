@@ -52,7 +52,7 @@ func (sh *shaper) sendDelay(n int) time.Duration {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	now := time.Now()
+	now := time.Now() //nolint:netibis-determinism // bandwidth shaping paces real transfers against the wall clock
 	var txTime time.Duration
 	if sh.params.CapacityBps > 0 {
 		txTime = time.Duration(float64(n) / sh.params.CapacityBps * float64(time.Second) * sh.scale)
@@ -139,7 +139,7 @@ func (hp *halfPipe) read(p []byte) (int, error) {
 			return 0, io.EOF
 		}
 		if !hp.deadline.IsZero() {
-			now := time.Now()
+			now := time.Now() //nolint:netibis-determinism // deadline expiry is checked against the wall clock by net.Conn contract
 			if !now.Before(hp.deadline) {
 				return 0, ErrTimeout
 			}

@@ -3,6 +3,7 @@ package emunet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -174,6 +175,9 @@ func (f *Fabric) Sites() []string {
 	for n := range f.sites {
 		names = append(names, n)
 	}
+	// Sorted, so scenario code iterating the fabric's sites behaves the
+	// same on every run of a seed.
+	sort.Strings(names)
 	return names
 }
 
@@ -189,7 +193,7 @@ func (f *Fabric) SetLink(siteA, siteB string, p LinkParams) {
 	var sever []*Conn
 	if p.Down {
 		for c := range f.conns[k] {
-			sever = append(sever, c)
+			sever = append(sever, c) //nolint:netibis-determinism // severed set is pointer-keyed; every conn is closed and close order is unobservable to the scenario
 		}
 	}
 	f.mu.Unlock()
@@ -308,9 +312,14 @@ func linkSeed(k linkKey) int64 {
 // Close shuts the fabric down; all hosts and connections become unusable.
 func (f *Fabric) Close() {
 	f.mu.Lock()
-	hosts := make([]*Host, 0, len(f.hosts))
-	for _, h := range f.hosts {
-		hosts = append(hosts, h)
+	addrs := make([]string, 0, len(f.hosts))
+	for a := range f.hosts {
+		addrs = append(addrs, string(a))
+	}
+	sort.Strings(addrs) // deterministic teardown order
+	hosts := make([]*Host, 0, len(addrs))
+	for _, a := range addrs {
+		hosts = append(hosts, f.hosts[Address(a)])
 	}
 	f.closed = true
 	f.mu.Unlock()
@@ -467,7 +476,7 @@ func newFirewallState() *firewallState {
 func (fw *firewallState) recordOutgoing(local, remote Endpoint) {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	fw.flows[flowKey{local, remote}] = time.Now()
+	fw.flows[flowKey{local, remote}] = time.Now() //nolint:netibis-determinism // firewall flow timestamps are bookkeeping; reachability is set-membership
 }
 
 // established reports whether an incoming packet addressed to local from

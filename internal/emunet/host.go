@@ -3,6 +3,7 @@ package emunet
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -76,9 +77,14 @@ func (h *Host) externalAddr() Address {
 func (h *Host) Close() {
 	h.mu.Lock()
 	h.closed = true
-	ls := make([]*Listener, 0, len(h.listeners))
-	for _, l := range h.listeners {
-		ls = append(ls, l)
+	ports := make([]int, 0, len(h.listeners))
+	for p := range h.listeners {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports) // deterministic teardown order
+	ls := make([]*Listener, 0, len(ports))
+	for _, p := range ports {
+		ls = append(ls, h.listeners[p])
 	}
 	h.mu.Unlock()
 	for _, l := range ls {
@@ -193,7 +199,7 @@ func (h *Host) dialFrom(src Endpoint, dst Endpoint) (net.Conn, error) {
 	var dstSiteByPublic *Site
 	for _, s := range f.sites {
 		if s.public == dst.Addr {
-			dstSiteByPublic = s
+			dstSiteByPublic = s //nolint:netibis-determinism // at most one site owns a public address; the selected match is order-independent
 			break
 		}
 	}

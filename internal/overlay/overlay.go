@@ -405,6 +405,8 @@ func decodePeerHello(p []byte) (peerHello, error) {
 // meshes). With an identity configured the link is mutually
 // authenticated; with a trust store the peer *must* prove an identity
 // bound to its claimed mesh ID or the link is refused.
+//
+//netibis:preauth
 func (o *Relay) AddPeer(addr string) error {
 	o.mu.Lock()
 	closed := o.closed
@@ -475,6 +477,8 @@ func (o *Relay) AddPeer(addr string) error {
 // authentication exchange (announce in the hello, signature in
 // kindPeerAuth) before the link is admitted to the mesh — an
 // unauthenticated dialer is dropped without learning anything.
+//
+//netibis:preauth
 func (o *Relay) handlePeerConn(first wire.Frame, conn net.Conn, r *wire.Reader) {
 	if first.Kind != kindPeerHello {
 		conn.Close()

@@ -270,6 +270,8 @@ func (s *Server) rejectAttach(w *wire.Writer, id string, code uint64, msg string
 // connection whose attach frame carried ext (nil for a legacy attach).
 // It reports whether the node proved a trusted identity for id; on any
 // failure it has already written the typed rejection.
+//
+//netibis:preauth
 func (s *Server) authenticateNode(c net.Conn, r *wire.Reader, w *wire.Writer, id string, ext *attachExt) bool {
 	cfg := s.authConfig()
 	if cfg.Trust == nil {
@@ -358,7 +360,10 @@ func AttachAuth(conn net.Conn, nodeID string, auth *AuthConfig) (*Client, error)
 // after the attach frame was sent: it waits for the relay's challenge,
 // verifies the relay's proof when trust is configured, and answers with
 // the node's signature. It consumes frames up to (but not including) the
-// final attach verdict.
+// final attach verdict. It performs no reads itself; the caller's
+// handshake deadline bounds the exchange.
+//
+//netibis:preauth
 func clientAuthExchange(r *wire.Reader, w *wire.Writer, nodeID string, auth *AuthConfig, clientNonce []byte, challenge wire.Frame) error {
 	cb, err := decodeChallenge(challenge.Payload)
 	if err != nil {

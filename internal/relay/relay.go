@@ -479,15 +479,26 @@ func (s *Server) Inject(src string, kind byte, payload []byte, owner *wire.Buf) 
 	return true
 }
 
+// preAttachTimeout bounds how long an accepted connection may idle
+// before committing to an attach (or peer hello): a client probing RTT
+// refreshes it with every keep-alive, while a silent connection costs
+// the relay a timer instead of a goroutine pinned forever.
+const preAttachTimeout = 30 * time.Second
+
+//netibis:preauth
 func (s *Server) handle(c net.Conn) {
 	r := wire.NewReader(c)
 	pw := wire.NewWriter(c)
 
 	// Read up to the first meaningful frame. Keep-alives before the
 	// attach are echoed, which lets clients measure the round-trip time
-	// of a candidate relay before committing to it.
+	// of a candidate relay before committing to it. Until that frame
+	// arrives the peer is an arbitrary dialer, so every read is
+	// deadline-bounded (refreshed per keep-alive: an RTT probe may echo
+	// several times before the client picks this relay).
 	var f wire.Frame
 	for {
+		c.SetReadDeadline(time.Now().Add(preAttachTimeout))
 		var err error
 		f, err = r.ReadFrame()
 		if err != nil {
@@ -503,6 +514,10 @@ func (s *Server) handle(c net.Conn) {
 		}
 		break
 	}
+	// The meaningful frame is in: hand the connection on with the
+	// pre-attach deadline cleared (attach authentication and the overlay
+	// peer handshake arm their own).
+	c.SetReadDeadline(time.Time{})
 
 	if f.Kind != KindAttach {
 		// Not a node: maybe a peer relay of the overlay mesh. The frame
@@ -517,6 +532,7 @@ func (s *Server) handle(c net.Conn) {
 	s.handleNode(c, r, f)
 }
 
+//netibis:preauth
 func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	defer c.Close()
 	w := wire.NewWriter(c)
@@ -842,8 +858,15 @@ const (
 // handshake performs the attach exchange on conn — including the
 // authentication challenge/response when the relay demands it and auth
 // provides an identity — and returns the framing objects plus the relay
-// server's announced ID and capability bits.
+// server's announced ID and capability bits. The whole exchange is
+// bounded by authHandshakeTimeout: until the relay answers (and, with a
+// trust store, proves itself) it is just something that accepted a TCP
+// connection.
+//
+//netibis:preauth
 func handshake(conn net.Conn, nodeID string, auth *AuthConfig) (*wire.Writer, *wire.Reader, string, uint64, error) {
+	conn.SetReadDeadline(time.Now().Add(authHandshakeTimeout))
+	defer conn.SetReadDeadline(time.Time{})
 	w := wire.NewWriter(conn)
 	body := wire.AppendString(nil, nodeID)
 	var clientNonce []byte
@@ -926,12 +949,22 @@ func parseAttachAck(payload []byte) (serverID string, caps uint64) {
 	return serverID, caps
 }
 
+// probeTimeout bounds a single RTT probe: a relay that cannot echo a
+// keep-alive within it is not a candidate worth waiting on.
+const probeTimeout = 5 * time.Second
+
 // ProbeRTT measures the round-trip time to a relay over an established
 // but not yet attached connection, using the pre-attach keep-alive echo.
-// The connection remains usable for a subsequent Attach.
+// The connection remains usable for a subsequent Attach. The probe is
+// bounded by probeTimeout, so a black-holed relay yields an error
+// instead of hanging relay selection.
+//
+//netibis:preauth
 func ProbeRTT(conn net.Conn) (time.Duration, error) {
 	w := wire.NewWriter(conn)
 	r := wire.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(probeTimeout))
+	defer conn.SetReadDeadline(time.Time{})
 	start := time.Now()
 	if err := w.WriteFrame(wire.KindKeepAlive, 0, nil); err != nil {
 		return 0, err
