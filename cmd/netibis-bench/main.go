@@ -284,7 +284,7 @@ func scale(args []string) {
 
 func datapath() {
 	header("Measured data path: real stacks over in-memory links (throughput, allocs/op)")
-	rep, err := bench.RunDatapathSuite(64<<10, 256, true)
+	rep, err := bench.RunDatapathSuite(64<<10, 512, true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datapath: %v\n", err)
 		os.Exit(1)

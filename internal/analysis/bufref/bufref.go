@@ -9,9 +9,12 @@
 //     driver.ReadBuf, BufCursor.Take, Retain) must consume it on every
 //     error return: the error path is exactly the path tests forget,
 //     and a leaked pooled Buf is unreclaimable.
-//   - A Buf acquired once outside a loop must not be released inside
-//     the loop body on a path that stays in the loop: the second
-//     iteration double-releases.
+//   - A Buf that enters a loop holding a single reference must not be
+//     released inside the loop body on a path that stays in the loop:
+//     the second iteration double-releases. A Buf holding several
+//     references (batch-retained, one per queued fragment or frame) is
+//     exempt — releasing the batch in a post-write loop is the
+//     documented idiom and the refcount covers the iterations.
 //
 // The analysis is function-local and path-sensitive over straight-line
 // code, if/else, switch and loops; whenever ownership flows somewhere
@@ -99,14 +102,16 @@ func (s state) get(pass *analysis.Pass, id *ast.Ident) (*types.Var, *bufState) {
 
 type checker struct {
 	pass *analysis.Pass
-	// loopHeld are variables that entered the innermost enclosing loop
-	// with a reference held; consuming one inside the loop without
-	// leaving the loop is the release-in-loop bug.
-	loopHeld map[*types.Var]bool
+	// loopHeld maps variables that entered the innermost enclosing loop
+	// with references held to how many they held. Consuming a
+	// single-reference Buf inside the loop without leaving it is the
+	// release-in-loop bug; a multi-reference (batch-retained) Buf is
+	// entitled to one release per iteration.
+	loopHeld map[*types.Var]int
 }
 
 func checkFunc(pass *analysis.Pass, _ *ast.FuncType, body *ast.BlockStmt) {
-	c := &checker{pass: pass, loopHeld: map[*types.Var]bool{}}
+	c := &checker{pass: pass, loopHeld: map[*types.Var]int{}}
 	c.stmts(body.List, state{})
 }
 
@@ -354,10 +359,10 @@ func (c *checker) merge(st, thenSt state, thenTerm bool, elseSt state, elseTerm 
 // not leak past the loop (a second iteration may or may not have run).
 func (c *checker) loop(body *ast.BlockStmt, st state) {
 	prevHeld := c.loopHeld
-	c.loopHeld = map[*types.Var]bool{}
+	c.loopHeld = map[*types.Var]int{}
 	for v, bst := range st {
 		if bst.refs > 0 && !bst.escaped {
-			c.loopHeld[v] = true
+			c.loopHeld[v] = bst.refs
 		}
 	}
 	inner := st.clone()
@@ -771,7 +776,7 @@ func (c *checker) consume(v *types.Var, bst *bufState, pos token.Pos, how string
 		}
 		return
 	}
-	if c.loopHeld[v] && !nextExits {
+	if c.loopHeld[v] == 1 && !nextExits {
 		c.pass.Reportf(pos, "%s acquired before the loop is released inside it: the next iteration double-releases (release after the loop, or break/return immediately)",
 			v.Name())
 	}

@@ -76,6 +76,16 @@ func releaseThenBreak(items []int) {
 	}
 }
 
+func batchRelease(parts [3]int) {
+	b := wire.GetBuf(64)
+	b.Retain()
+	b.Retain() // one reference per fragment of the batch
+	route(b)   // the batched write borrows the frame
+	for range parts {
+		b.Release() // allowed: the batch holds one reference per iteration
+	}
+}
+
 func perIterationAcquire(items []int) {
 	for range items {
 		b := wire.GetBuf(32)

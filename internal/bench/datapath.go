@@ -49,9 +49,11 @@ func DatapathStacks() []string {
 	return []string{
 		"tcpblk",
 		"zip/tcpblk",
+		"zip:codec=lz/tcpblk",
 		"multi:streams=4/tcpblk",
 		"secure:psk=bench/tcpblk",
 		"zip/multi:streams=4/tcpblk",
+		"zip:codec=lz/multi:streams=4/tcpblk",
 		"zip/secure:psk=bench/multi:streams=4/tcpblk",
 	}
 }
@@ -175,11 +177,20 @@ type DatapathReport struct {
 func RunDatapathSuite(msgSize, messages int, withRelay bool) (DatapathReport, error) {
 	rep := DatapathReport{GeneratedAt: time.Now(), GoVersion: runtime.Version()}
 	for _, spec := range DatapathStacks() {
-		r, err := MeasureStackDatapath(spec, msgSize, messages)
-		if err != nil {
-			return rep, fmt.Errorf("stack %q: %w", spec, err)
+		// Best of three: a single pass over a loaded single-core box
+		// swings ±10%, and the recorded row is a baseline other runs
+		// (and the retention gate) compare against.
+		var best DatapathResult
+		for attempt := 0; attempt < 3; attempt++ {
+			r, err := MeasureStackDatapath(spec, msgSize, messages)
+			if err != nil {
+				return rep, fmt.Errorf("stack %q: %w", spec, err)
+			}
+			if r.MBps > best.MBps {
+				best = r
+			}
 		}
-		rep.Stacks = append(rep.Stacks, r)
+		rep.Stacks = append(rep.Stacks, best)
 	}
 	if withRelay {
 		relay, err := CompareRelayScaling(2, 256<<10)

@@ -433,7 +433,14 @@ func (in *Input) reader(i int) {
 			return
 		}
 		in.pending[seq] = data
-		in.cond.Broadcast()
+		// Only the arrival of the next in-order fragment can unblock a
+		// Read: it waits for pending[nextSeq] and drains any later
+		// fragments from the map without sleeping again. Waking on every
+		// out-of-order arrival would make each delivered fragment cost up
+		// to streams-1 futile wakeups of the reading goroutine.
+		if seq == in.nextSeq {
+			in.cond.Broadcast()
+		}
 		in.mu.Unlock()
 	}
 }

@@ -3,6 +3,8 @@ package multi
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -10,9 +12,11 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"netibis/internal/driver"
 	"netibis/internal/drivers/tcpblk"
+	"netibis/internal/testutil"
 )
 
 // testLink builds a parallel-streams link with n streams over in-memory
@@ -288,5 +292,91 @@ func TestReassemblyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOutOfOrderArrivalUnblocksRead pins the reassembly wakeup contract:
+// a blocked Read sleeps through out-of-order fragment arrivals (they
+// cannot advance the in-order cursor, so the readers do not wake it) and
+// is woken by exactly the fragment carrying nextSeq — after which the
+// buffered later fragments drain without further sleeping.
+func TestOutOfOrderArrivalUnblocksRead(t *testing.T) {
+	const streams = 4
+	writers := make([]*io.PipeWriter, streams)
+	subs := make([]driver.Input, streams)
+	for i := range subs {
+		r, w := io.Pipe()
+		writers[i], subs[i] = w, r
+	}
+	in := NewInput(subs)
+	defer in.Close()
+
+	frag := func(seq uint64, payload string) []byte {
+		var hdr [binary.MaxVarintLen64 * 2]byte
+		n := binary.PutUvarint(hdr[:], seq)
+		n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+		return append(hdr[:n:n], payload...)
+	}
+	payloads := []string{"seq-zero", "seq-one!", "seq-two!", "seq-three"}
+
+	read := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := in.Read(buf)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		read <- string(buf[:n])
+	}()
+
+	// Fragments 1..3 land first; none of them is nextSeq, so the Read
+	// must stay blocked.
+	for i := 1; i < streams; i++ {
+		if _, err := writers[i].Write(frag(uint64(i), payloads[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if why := testutil.Settle(func() (bool, string) {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		return len(in.pending) == streams-1, fmt.Sprintf("pending=%d", len(in.pending))
+	}); why != "" {
+		t.Fatalf("out-of-order fragments never reached the window: %s", why)
+	}
+	select {
+	case got := <-read:
+		t.Fatalf("Read returned %q before the in-order fragment arrived", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The in-order fragment arrives; the Read must wake and deliver it.
+	if _, err := writers[0].Write(frag(0, payloads[0])); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-read:
+		if got != payloads[0] {
+			t.Fatalf("first Read delivered %q, want %q", got, payloads[0])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Read still blocked after the in-order fragment arrived")
+	}
+
+	// The rest must drain from the window in sequence order.
+	for _, want := range payloads[1:] {
+		buf := make([]byte, 16)
+		n, err := in.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:n]) != want {
+			t.Fatalf("got %q, want %q", buf[:n], want)
+		}
+	}
+	for _, w := range writers {
+		w.Close()
+	}
+	if _, err := io.ReadAll(in); err != nil {
+		t.Fatalf("drain to EOF: %v", err)
 	}
 }

@@ -1,0 +1,49 @@
+package zip
+
+// Codec benchmarks on the Grid workload — the 9:1 text/noise mix the
+// measured data-path suite pushes through the stacks (see
+// internal/workload). The text benchmarks in lz_test.go use a more
+// compressible corpus; these are the numbers that predict the suite's
+// zip:codec=lz rows.
+
+import (
+	"testing"
+
+	"netibis/internal/workload"
+)
+
+func BenchmarkLZCompressGrid(b *testing.B) {
+	src := workload.Generate(workload.Grid, 64<<10, 7)
+	c := lzCodec{}
+	dst := make([]byte, c.Bound(len(src)))
+	n, err := c.Compress(dst, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("ratio %.2f", float64(len(src))/float64(n))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLZDecodeGrid(b *testing.B) {
+	src := workload.Generate(workload.Grid, 64<<10, 7)
+	c := lzCodec{}
+	enc := make([]byte, c.Bound(len(src)))
+	n, err := c.Compress(enc, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := decodeLZ(dst, enc[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

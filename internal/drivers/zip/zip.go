@@ -9,19 +9,25 @@
 // parameter so the ablation benchmarks can sweep it.
 //
 // The driver buffers written data into blocks. On flush (or when a block
-// fills up) the block is compressed with DEFLATE and sent down the stack
-// as a small header plus the compressed bytes. Incompressible blocks are
-// sent verbatim (with a "stored" marker), so the worst-case overhead is
-// a few header bytes rather than an expansion.
+// fills up) the block is compressed and sent down the stack as a small
+// header plus the compressed bytes. Incompressible blocks are sent
+// verbatim (with a "stored" marker), so the worst-case overhead is a few
+// header bytes rather than an expansion.
+//
+// The codec is pluggable per block (zip:codec=flate is the compatible
+// default, zip:codec=lz the fast byte-aligned one — see codec.go), and
+// on multi-core senders a block is split into stripes compressed in
+// parallel (zip:par=, zip:stripe=): every stripe is a self-contained
+// block of the same wire format, so a legacy receiver that has never
+// heard of stripes decodes the sequence unchanged.
 package zip
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"netibis/internal/driver"
@@ -39,14 +45,23 @@ const DefaultLevel = 1
 // better but add latency and memory.
 const DefaultBlockSize = 128 * 1024
 
+// DefaultStripeSize is the parallel-compression stripe: a block (or
+// flushed partial block) larger than this is cut into stripe-sized
+// independent blocks compressed concurrently. 16 KiB keeps four workers
+// busy on the 64 KiB messages grid applications typically flush, while
+// costing flate only a little window warm-up per stripe.
+const DefaultStripeSize = 16 * 1024
+
 // Block header layout: 1 flag byte + 4 bytes original length + 4 bytes
 // stored length.
 const headerSize = 9
 
-// Flag values.
+// Flag values. flagLZ lives in lz.go; further codecs claim the next
+// byte. A flag is forever: decoders keep every published mapping so old
+// streams stay readable.
 const (
-	flagDeflate byte = 1
 	flagStored  byte = 0
+	flagDeflate byte = 1
 )
 
 func init() {
@@ -61,9 +76,17 @@ func buildOutput(spec driver.Spec, _ *driver.Env, lower func() (driver.Output, e
 	if err != nil {
 		return nil, err
 	}
-	level := spec.IntParam("level", DefaultLevel)
-	block := spec.IntParam("block", DefaultBlockSize)
-	out, err := NewOutput(sub, level, block)
+	codec, err := codecByName(spec.Param("codec", ""), spec.IntParam("level", 0))
+	if err != nil {
+		sub.Close()
+		return nil, err
+	}
+	out, err := NewOutputOptions(sub, Options{
+		Codec:   codec,
+		Block:   spec.IntParam("block", DefaultBlockSize),
+		Stripe:  spec.IntParam("stripe", DefaultStripeSize),
+		Workers: spec.IntParam("par", 0),
+	})
 	if err != nil {
 		sub.Close()
 		return nil, err
@@ -82,15 +105,37 @@ func buildInput(spec driver.Spec, _ *driver.Env, lower func() (driver.Input, err
 	return NewInput(sub), nil
 }
 
+// Options configures an Output beyond its lower driver.
+type Options struct {
+	// Codec compresses the blocks; nil selects DEFLATE at Level.
+	Codec Codec
+	// Level is the DEFLATE level used when Codec is nil (0 =
+	// DefaultLevel).
+	Level int
+	// Block is the buffering granularity (0 = DefaultBlockSize).
+	Block int
+	// Stripe is the parallel-compression grain (0 = DefaultStripeSize).
+	Stripe int
+	// Workers caps how many stripes compress concurrently (0 = number
+	// of CPUs, at most 8; 1 = serial).
+	Workers int
+}
+
 // Output is the compressing side.
 type Output struct {
 	mu        sync.Mutex
 	lower     driver.Output
-	level     int
+	codec     Codec
 	blockSize int
+	stripe    int
+	workers   int
 	buf       []byte
-	fw        *flate.Writer // reused codec state, Reset per block
 	closed    bool
+
+	// Reused parallel-emit state: one slot per stripe of the largest
+	// emit seen, so steady-state emits do not allocate.
+	emitBufs []*wire.Buf
+	emitErrs []error
 
 	// Stats for the evaluation harness.
 	bytesIn  int64
@@ -98,27 +143,43 @@ type Output struct {
 	blocks   int64
 }
 
-// NewOutput creates a compressing output over lower.
+// NewOutput creates a DEFLATE-compressing output over lower — the
+// original constructor, kept for callers that predate pluggable codecs.
 func NewOutput(lower driver.Output, level, blockSize int) (*Output, error) {
-	if level == 0 {
-		level = DefaultLevel
+	return NewOutputOptions(lower, Options{Level: level, Block: blockSize})
+}
+
+// NewOutputOptions creates a compressing output over lower.
+func NewOutputOptions(lower driver.Output, o Options) (*Output, error) {
+	codec := o.Codec
+	if codec == nil {
+		var err error
+		if codec, err = newFlateCodec(o.Level); err != nil {
+			return nil, err
+		}
 	}
-	if level < flate.HuffmanOnly || level > flate.BestCompression {
-		return nil, fmt.Errorf("zip: invalid compression level %d", level)
-	}
+	blockSize := o.Block
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	fw, err := flate.NewWriter(io.Discard, level)
-	if err != nil {
-		return nil, err
+	stripe := o.Stripe
+	if stripe <= 0 {
+		stripe = DefaultStripeSize
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
 	}
 	return &Output{
 		lower:     lower,
-		level:     level,
+		codec:     codec,
 		blockSize: blockSize,
+		stripe:    stripe,
+		workers:   workers,
 		buf:       make([]byte, 0, blockSize),
-		fw:        fw,
 	}, nil
 }
 
@@ -131,6 +192,23 @@ func (o *Output) Write(p []byte) (int, error) {
 	}
 	total := 0
 	for len(p) > 0 {
+		// Large writes with nothing buffered compress straight from the
+		// caller's slice — the block a copy-then-flush would have built
+		// is identical, and the buffering memcpy is pure overhead at
+		// these sizes. The half-block threshold keeps small writes
+		// coalescing through the buffer for ratio.
+		if len(o.buf) == 0 && len(p) >= o.blockSize/2 {
+			n := len(p)
+			if n > o.blockSize {
+				n = o.blockSize
+			}
+			if err := o.emitSliceLocked(p[:n]); err != nil {
+				return total, err
+			}
+			p = p[n:]
+			total += n
+			continue
+		}
 		space := o.blockSize - len(o.buf)
 		if space == 0 {
 			if err := o.emitLocked(); err != nil {
@@ -163,50 +241,128 @@ func (o *Output) Flush() error {
 	return o.lower.Flush()
 }
 
-// emitLocked compresses the current block into a pooled buffer (header
-// and compressed bytes contiguous, so the whole block travels down the
-// stack as one owned Buf) and hands ownership to the lower driver.
+// compressBlock encodes src as one self-contained wire block (header and
+// stored bytes contiguous in a single owned Buf). The Buf is sized for
+// the codec's worst case up front — Bound(n) >= n, so when the codec
+// does not help (or overruns the bound on pathological input) the stored
+// fallback reuses the same Buf instead of allocating a second one.
+func compressBlock(codec Codec, src []byte) (*wire.Buf, error) {
+	out := wire.GetBuf(headerSize + codec.Bound(len(src)))
+	flag := codec.Flag()
+	n, err := codec.Compress(out.Bytes()[headerSize:], src)
+	switch {
+	case err == errBound || (err == nil && n >= len(src)):
+		// Compression did not help (random or already-compressed data):
+		// send the original bytes to avoid inflating the transfer.
+		flag = flagStored
+		n = copy(out.Bytes()[headerSize:], src)
+	case err != nil:
+		out.Release()
+		return nil, err
+	}
+	out.SetLen(headerSize + n)
+	hdr := out.Bytes()[:headerSize]
+	hdr[0] = flag
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(src)))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(n))
+	return out, nil
+}
+
+// emitLocked compresses the buffered data and hands the resulting
+// block(s) to the lower driver in order. Data beyond one stripe is cut
+// into independent stripe blocks compressed by parallel workers — the
+// receiver sees a plain block sequence either way.
 func (o *Output) emitLocked() error {
 	if len(o.buf) == 0 {
 		return nil
 	}
-	// Reserve the header, then let DEFLATE append directly into the
-	// pooled buffer — the reused flate.Writer keeps its internal state
-	// across blocks via Reset. The buffer is sized for the incompressible
-	// worst case up front so compression almost never grows it.
-	out := wire.GetBuf(headerSize + len(o.buf))
-	out.SetLen(headerSize)
-	o.fw.Reset(out)
-	if _, err := o.fw.Write(o.buf); err != nil {
-		out.Release()
+	if err := o.emitSliceLocked(o.buf); err != nil {
 		return err
 	}
-	if err := o.fw.Close(); err != nil {
-		out.Release()
-		return err
+	o.buf = o.buf[:0]
+	return nil
+}
+
+// emitSliceLocked compresses data (the accumulation buffer or a large
+// caller slice passed through zero-copy) and writes the block(s) down.
+func (o *Output) emitSliceLocked(data []byte) error {
+	stripes := (len(data) + o.stripe - 1) / o.stripe
+	if o.workers <= 1 || stripes == 1 {
+		out, err := compressBlock(o.codec, data)
+		if err != nil {
+			return err
+		}
+		o.countLocked(len(data), out.Len())
+		return driver.WriteBuf(o.lower, out)
 	}
 
-	flag := flagDeflate
-	storedLen := out.Len() - headerSize
-	if storedLen >= len(o.buf) {
-		// Compression did not help (random or already-compressed data):
-		// send the original bytes to avoid inflating the transfer.
-		flag = flagStored
-		storedLen = len(o.buf)
-		st := wire.GetBuf(headerSize + storedLen)
-		copy(st.Bytes()[headerSize:], o.buf)
-		out.Release()
-		out = st
+	if cap(o.emitBufs) < stripes {
+		o.emitBufs = make([]*wire.Buf, stripes)
+		o.emitErrs = make([]error, stripes)
 	}
-	hdr := out.Bytes()[:headerSize]
-	hdr[0] = flag
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(o.buf)))
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(storedLen))
-	o.bytesIn += int64(len(o.buf))
-	o.bytesOut += int64(storedLen) + headerSize
+	bufs := o.emitBufs[:stripes]
+	errs := o.emitErrs[:stripes]
+	// Strided assignment: worker w compresses stripes w, w+workers, ...
+	// — no shared claim state, and the emitting goroutine is worker 0,
+	// so a machine with no spare core still makes progress.
+	workers := o.workers
+	if workers > stripes {
+		workers = stripes
+	}
+	work := func(start int) {
+		for i := start; i < stripes; i += workers {
+			lo := i * o.stripe
+			hi := lo + o.stripe
+			if hi > len(data) {
+				hi = len(data)
+			}
+			bufs[i], errs[i] = compressBlock(o.codec, data[lo:hi])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+
+	var err error
+	for i := range bufs {
+		if err == nil {
+			err = errs[i]
+		}
+		if err != nil {
+			// A failed stripe poisons the stream (the receiver expects
+			// blocks in order): drop everything from the failure on.
+			if bufs[i] != nil {
+				bufs[i].Release()
+				bufs[i] = nil
+			}
+			continue
+		}
+		lo := i * o.stripe
+		hi := lo + o.stripe
+		if hi > len(data) {
+			hi = len(data)
+		}
+		o.countLocked(hi-lo, bufs[i].Len())
+		werr := driver.WriteBuf(o.lower, bufs[i]) // consumes the Buf
+		bufs[i] = nil
+		if werr != nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+func (o *Output) countLocked(in, out int) {
+	o.bytesIn += int64(in)
+	o.bytesOut += int64(out)
 	o.blocks++
-	o.buf = o.buf[:0]
-	return driver.WriteBuf(o.lower, out)
 }
 
 // Close flushes and closes the lower driver.
@@ -246,15 +402,15 @@ func (o *Output) Stats() (in, out, blocks int64) {
 	return o.bytesIn, o.bytesOut, o.blocks
 }
 
-// Input is the decompressing side.
+// Input is the decompressing side. It dispatches per block on the flag
+// byte (codec registry in codec.go), so streams from any codec — and
+// any mix, including legacy flagDeflate-only senders — decode through
+// the same Input.
 type Input struct {
 	mu      sync.Mutex
 	lower   driver.Input
 	current driver.BufCursor // owned decoded block
-	src     bytes.Reader     // reused view over the stored bytes
-	fr      io.ReadCloser    // reused DEFLATE decoder state, Reset per block
 	hdrBuf  [headerSize]byte
-	probe   [1]byte
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -278,8 +434,12 @@ func (in *Input) Read(p []byte) (int, error) {
 			return 0, io.ErrClosedPipe
 		default:
 		}
-		if err := in.fillLocked(); err != nil {
+		n, err := in.fillLocked(p)
+		if err != nil {
 			return 0, err
+		}
+		if n > 0 {
+			return n, nil
 		}
 	}
 }
@@ -299,62 +459,72 @@ func (in *Input) ReadBuf() (*wire.Buf, error) {
 			return nil, io.ErrClosedPipe
 		default:
 		}
-		if err := in.fillLocked(); err != nil {
+		if _, err := in.fillLocked(nil); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// fillLocked reads and decodes the next block from the lower driver into
-// a pooled buffer, reusing the DEFLATE decoder state across blocks.
-func (in *Input) fillLocked() error {
+// fillLocked reads the next block from the lower driver. When the whole
+// decoded block fits the caller's destination slice, it is decoded (or,
+// for stored blocks, read) straight into it and the consumed length is
+// returned — no pooled intermediate block. Otherwise the block is
+// decoded into a pooled buffer loaded as in.current and 0 is returned.
+func (in *Input) fillLocked(direct []byte) (int, error) {
 	if _, err := io.ReadFull(in.lower, in.hdrBuf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return io.EOF
+			return 0, io.EOF
 		}
-		return err
+		return 0, err
 	}
 	flag := in.hdrBuf[0]
 	origLen := binary.BigEndian.Uint32(in.hdrBuf[1:5])
 	storedLen := binary.BigEndian.Uint32(in.hdrBuf[5:9])
 	if origLen > uint32(wire.MaxFrameLen) || storedLen > uint32(wire.MaxFrameLen) {
-		return fmt.Errorf("zip: block length out of range (%d/%d)", origLen, storedLen)
+		return 0, fmt.Errorf("zip: block length out of range (%d/%d)", origLen, storedLen)
+	}
+	if flag == flagStored {
+		if int(storedLen) <= len(direct) && storedLen > 0 {
+			if _, err := io.ReadFull(in.lower, direct[:storedLen]); err != nil {
+				return 0, fmt.Errorf("zip: truncated block: %w", err)
+			}
+			return int(storedLen), nil
+		}
+		payload := wire.GetBuf(int(storedLen))
+		if _, err := io.ReadFull(in.lower, payload.Bytes()); err != nil {
+			payload.Release()
+			return 0, fmt.Errorf("zip: truncated block: %w", err)
+		}
+		in.current.Load(payload)
+		return 0, nil
 	}
 	payload := wire.GetBuf(int(storedLen))
 	if _, err := io.ReadFull(in.lower, payload.Bytes()); err != nil {
 		payload.Release()
-		return fmt.Errorf("zip: truncated block: %w", err)
+		return 0, fmt.Errorf("zip: truncated block: %w", err)
 	}
-	switch flag {
-	case flagStored:
-		in.current.Load(payload)
-	case flagDeflate:
-		in.src.Reset(payload.Bytes())
-		if in.fr == nil {
-			in.fr = flate.NewReader(&in.src)
-		} else if err := in.fr.(flate.Resetter).Reset(&in.src, nil); err != nil {
-			payload.Release()
-			return fmt.Errorf("zip: resetting decoder: %w", err)
-		}
-		out := wire.GetBuf(int(origLen))
-		if _, err := io.ReadFull(in.fr, out.Bytes()); err != nil {
-			payload.Release()
-			out.Release()
-			return fmt.Errorf("zip: corrupt compressed block: %w", err)
-		}
-		// The block must end exactly at origLen.
-		if n, err := in.fr.Read(in.probe[:]); n != 0 || (err != nil && err != io.EOF) {
-			payload.Release()
-			out.Release()
-			return fmt.Errorf("zip: compressed block longer than header said (%d)", origLen)
-		}
+	decode := decoders[flag]
+	if decode == nil {
 		payload.Release()
-		in.current.Load(out)
-	default:
-		payload.Release()
-		return fmt.Errorf("zip: unknown block flag %d", flag)
+		return 0, fmt.Errorf("zip: unknown block flag %d", flag)
 	}
-	return nil
+	if int(origLen) <= len(direct) && origLen > 0 {
+		err := decode(direct[:origLen], payload.Bytes())
+		payload.Release()
+		if err != nil {
+			return 0, err
+		}
+		return int(origLen), nil
+	}
+	out := wire.GetBuf(int(origLen))
+	err := decode(out.Bytes(), payload.Bytes())
+	payload.Release()
+	if err != nil {
+		out.Release()
+		return 0, err
+	}
+	in.current.Load(out)
+	return 0, nil
 }
 
 // Close closes the lower driver before taking the Read mutex (so the

@@ -157,6 +157,10 @@ var Units = map[string]bool{
 	"peers":   true,
 	"entries": true,
 	"records": true,
+	// "write" is the per-syscall ratio denominator: histograms like
+	// netibis_relay_egress_frames_per_write count how many frames one
+	// vectored write emitted.
+	"write": true,
 }
 
 // CheckName validates a metric name against the scheme

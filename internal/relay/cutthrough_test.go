@@ -38,7 +38,7 @@ func (c *aliasConn) SetWriteDeadline(time.Time) error { return nil }
 
 // newTestPeer builds a serverPeer with a running egress over conn.
 func newTestPeer(id string, conn net.Conn) *serverPeer {
-	return &serverPeer{id: id, conn: conn, eg: NewEgress(conn, wire.NewWriter(conn), 0)}
+	return &serverPeer{id: id, conn: conn, eg: NewEgress(conn, wire.NewWriter(conn), 0, nil)}
 }
 
 // routeFixture builds a Server with two directly registered peers whose

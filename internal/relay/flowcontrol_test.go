@@ -475,7 +475,7 @@ func TestLegacyRelayRunsLinksUncredited(t *testing.T) {
 // accumulate one idle ring per source it ever heard from.
 func TestEgressCompactsIdleSources(t *testing.T) {
 	sink := &aliasConn{}
-	eg := NewEgress(sink, wire.NewWriter(sink), 4)
+	eg := NewEgress(sink, wire.NewWriter(sink), 4, nil)
 	defer eg.Close()
 	const churn = 200
 	for i := 0; i < churn; i++ {

@@ -97,6 +97,9 @@ func (s *Server) MetricsInto(reg *obs.Registry) {
 				emit(obs.Labels("node", nb.Node), float64(nb.Frames))
 			}
 		})
+	reg.RegisterHistogram("netibis_relay_egress_frames_per_write",
+		"Frames emitted per egress vectored write (batching efficiency; mean > 1 under load).",
+		s.egressHist)
 	reg.GaugeFunc("netibis_flow_egress_queue_limit_frames",
 		"Per-source egress queue bound (frames).",
 		func() float64 {

@@ -177,6 +177,14 @@ type Server struct {
 	// egressLimit is the per-source queue bound applied to every
 	// attached node's egress scheduler (0 = DefaultEgressQueueFrames).
 	egressLimit int
+	// egressBatch is the per-write frame budget applied to every
+	// attached node's egress scheduler (0 = DefaultEgressBatchFrames).
+	egressBatch int
+	// egressHist observes, for every vectored write an attached node's
+	// egress performs, how many frames that write emitted (the batching
+	// win: mean > 1 under load). Shared by all egress schedulers;
+	// Observe is atomic and alloc-free.
+	egressHist *obs.Histogram
 
 	framesRouted    atomic.Int64
 	bytesRouted     atomic.Int64
@@ -251,6 +259,9 @@ func NewServer() *Server {
 	return &Server{
 		nodes:           make(map[string]*serverPeer),
 		forwardedByPeer: make(map[string]int64),
+		// Power-of-two buckets up to the default batch budget: the
+		// interesting signal is "how far above 1 frame per writev".
+		egressHist: obs.NewHistogram([]float64{1, 2, 4, 8, 16, 32}),
 	}
 }
 
@@ -283,6 +294,29 @@ func (s *Server) egressQueue() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.egressLimit
+}
+
+// SetEgressBatch overrides the frames-per-write budget of the egress
+// schedulers of nodes attaching from now on (<= 0 restores the default,
+// 1 disables batching). It is meant to be set before Serve.
+func (s *Server) SetEgressBatch(frames int) {
+	s.mu.Lock()
+	s.egressBatch = frames
+	s.mu.Unlock()
+}
+
+func (s *Server) egressBatchFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.egressBatch
+}
+
+// EgressWriteStats reports, across all attached nodes' egress schedulers,
+// how many vectored writes have been performed and how many frames they
+// emitted in total (frames/writes is the mean batch size — the
+// netibis_relay_egress_frames_per_write signal, for tests and benches).
+func (s *Server) EgressWriteStats() (writes, frames int64) {
+	return s.egressHist.Count(), int64(s.egressHist.Sum())
 }
 
 // SetForwarder installs the inter-relay forwarding hook.
@@ -582,7 +616,10 @@ func (s *Server) handleNode(c net.Conn, r *wire.Reader, attach wire.Frame) {
 	if err := w.WriteFrame(KindAttachOK, 0, ack); err != nil {
 		return
 	}
-	peer.eg = NewEgress(c, w, s.egressQueue())
+	peer.eg = NewEgress(c, w, s.egressQueue(), s.egressHist)
+	if batch := s.egressBatchFrames(); batch > 0 {
+		peer.eg.SetBatch(batch, 0)
+	}
 	defer peer.eg.Close()
 
 	s.attachMu.Lock()

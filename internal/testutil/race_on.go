@@ -1,0 +1,10 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Zero-allocation gates consult it: under -race, sync.Pool
+// deliberately drops items to widen race coverage, so any pooled hot
+// path allocates by design and an AllocsPerRun == 0 assertion would
+// fail for reasons unrelated to the code under test.
+const RaceEnabled = true

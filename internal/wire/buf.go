@@ -86,6 +86,13 @@ func (b *Buf) SetLen(n int) {
 	b.n = n
 }
 
+// Refs returns the current reference count. It is inherently racy under
+// concurrent Retain/Release and exists for diagnostics and the
+// release-accounting tests (asserting a settled Buf holds exactly the
+// references the caller still owns); production code must never branch
+// on it.
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
 // Retain adds a reference: one extra consumer may (and must) Release.
 func (b *Buf) Retain() {
 	if b.refs.Add(1) <= 1 {

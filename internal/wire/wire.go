@@ -85,6 +85,10 @@ type Writer struct {
 	// pointer receiver).
 	vecBase net.Buffers
 	vecView net.Buffers
+	// batchHdr is the reused per-frame header arena of WriteFrameBatch:
+	// all wire headers of one batch are encoded into it back to back, so
+	// a steady-state batch write allocates nothing.
+	batchHdr []byte
 }
 
 // NewWriter returns a frame Writer emitting to w.
@@ -199,6 +203,63 @@ func (fw *Writer) WriteFrameParts(kind, flags byte, parts ...[]byte) error {
 			fw.vecView = append(fw.vecView, p)
 		}
 	}
+	if cap(fw.vecView) > cap(fw.vecBase) {
+		fw.vecBase = fw.vecView[:0]
+	}
+	_, err := fw.vecView.WriteTo(fw.w)
+	return err
+}
+
+// BatchFrame describes one frame of a multi-frame vectored write. The
+// frame body is the concatenation Hdr ++ Payload; either part may be
+// empty. Neither slice is copied — both must stay valid (and unshared
+// with concurrent writers) until WriteFrameBatch returns.
+type BatchFrame struct {
+	Kind    byte
+	Flags   byte
+	Hdr     []byte
+	Payload []byte
+}
+
+// WriteFrameBatch writes every frame of the batch as a single vectored
+// write (one writev on TCP connections): N frames cross the socket
+// layer for one syscall instead of N. No payload or header part is
+// copied; the per-frame wire headers are encoded into a Writer-local
+// arena reused across batches, so the steady-state batch write
+// allocates nothing. It is the relay egress scheduler's emission path:
+// a burst of queued frames drains in one syscall, and every retained
+// owner is released by the caller after the batch write returns.
+func (fw *Writer) WriteFrameBatch(frames []BatchFrame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	// Size the header arena up front: growing it mid-build would leave
+	// the earlier vec entries aliasing the abandoned backing array.
+	need := len(frames) * (2 + binary.MaxVarintLen64)
+	if cap(fw.batchHdr) < need {
+		fw.batchHdr = make([]byte, 0, need)
+	}
+	hdrs := fw.batchHdr[:0]
+	vec := fw.vecBase[:0]
+	for i := range frames {
+		f := &frames[i]
+		total := len(f.Hdr) + len(f.Payload)
+		if total > MaxFrameLen {
+			return ErrFrameTooLarge
+		}
+		start := len(hdrs)
+		hdrs = append(hdrs, f.Kind, f.Flags)
+		n := binary.PutUvarint(hdrs[len(hdrs):len(hdrs)+binary.MaxVarintLen64], uint64(total))
+		hdrs = hdrs[:start+2+n]
+		vec = append(vec, hdrs[start:])
+		if len(f.Hdr) > 0 {
+			vec = append(vec, f.Hdr)
+		}
+		if len(f.Payload) > 0 {
+			vec = append(vec, f.Payload)
+		}
+	}
+	fw.vecView = vec
 	if cap(fw.vecView) > cap(fw.vecBase) {
 		fw.vecBase = fw.vecView[:0]
 	}

@@ -272,3 +272,92 @@ func BenchmarkFrameRoundTrip64K(b *testing.B) {
 		}
 	}
 }
+
+func TestWriteFrameBatchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := []BatchFrame{
+		{Kind: KindData, Flags: 1, Hdr: []byte("route:"), Payload: []byte("payload-one")},
+		{Kind: KindControl, Flags: 0, Hdr: nil, Payload: bytes.Repeat([]byte{0x7e}, 9000)},
+		{Kind: KindFlush, Flags: 2, Hdr: []byte("h"), Payload: nil},
+		{Kind: KindData, Flags: 0, Hdr: nil, Payload: nil},
+	}
+	if err := w.WriteFrameBatch(frames); err != nil {
+		t.Fatalf("WriteFrameBatch: %v", err)
+	}
+	r := NewReader(&buf)
+	for i, f := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.Kind != f.Kind || got.Flags != f.Flags {
+			t.Fatalf("frame %d header mismatch: %v", i, got)
+		}
+		want := append(append([]byte(nil), f.Hdr...), f.Payload...)
+		if !bytes.Equal(got.Payload, want) {
+			t.Fatalf("frame %d body mismatch: got %d bytes want %d", i, len(got.Payload), len(want))
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF after batch, got %v", err)
+	}
+}
+
+func TestWriteFrameBatchEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrameBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty batch wrote %d bytes", buf.Len())
+	}
+}
+
+func TestWriteFrameBatchTooLarge(t *testing.T) {
+	w := NewWriter(io.Discard)
+	frames := []BatchFrame{
+		{Kind: KindData, Payload: make([]byte, MaxFrameLen+1)},
+	}
+	if err := w.WriteFrameBatch(frames); err != ErrFrameTooLarge {
+		t.Fatalf("oversize batch frame: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestWriteFrameBatchZeroAllocs gates the batch emission path the same
+// way the single-frame vectored writes are gated: after warm-up, a
+// multi-frame batch write performs zero heap allocations.
+func TestWriteFrameBatchZeroAllocs(t *testing.T) {
+	w := NewWriter(io.Discard)
+	payload := bytes.Repeat([]byte{0x42}, 32*1024)
+	hdr := []byte("dst-node\x00\x09")
+	frames := make([]BatchFrame, 16)
+	for i := range frames {
+		frames[i] = BatchFrame{Kind: KindData, Hdr: hdr, Payload: payload}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.WriteFrameBatch(frames); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteFrameBatch allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
+func BenchmarkWriteFrameBatch16x32K(b *testing.B) {
+	w := NewWriter(io.Discard)
+	payload := bytes.Repeat([]byte{0x42}, 32*1024)
+	frames := make([]BatchFrame, 16)
+	for i := range frames {
+		frames[i] = BatchFrame{Kind: KindData, Payload: payload}
+	}
+	b.SetBytes(int64(16 * len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteFrameBatch(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
